@@ -1,0 +1,116 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 6) on the simulated manycore, plus Bechamel
+   micro-benchmarks of the compiler itself.
+
+   Usage:
+     main.exe            run all tables + figures
+     main.exe all        tables + figures + ablations + micro
+     main.exe table1     one artifact (table1..table3, fig13..fig24, summary)
+     main.exe ablation   the DESIGN.md ablations
+     main.exe micro      Bechamel micro-benchmarks *)
+
+module E = Ndp_experiments
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let mesh = Ndp_noc.Mesh.create ~cols:6 ~rows:6 in
+  let rng = Ndp_prelude.Rng.create 7 in
+  let random_edges n =
+    List.concat_map
+      (fun u -> List.filter_map (fun v -> if u < v then Some { Ndp_graph.Kruskal.u; v; weight = 1 + Ndp_prelude.Rng.int rng 10 } else None)
+          (List.init n Fun.id))
+      (List.init n Fun.id)
+  in
+  let edges36 = random_edges 36 in
+  let stmt =
+    Ndp_ir.Parser.statement "A[i] = B[i] + C[i] * (D[i] + E[i+1]) + F[i] / G[i]"
+  in
+  let kernel = Ndp_workloads.Suite.find "cholesky" in
+  let bench_mst =
+    Test.make ~name:"kruskal-36-complete" (Staged.stage (fun () -> Ndp_graph.Kruskal.mst ~n:36 edges36))
+  in
+  let bench_route =
+    Test.make ~name:"xy-route-corner-to-corner"
+      (Staged.stage (fun () -> Ndp_noc.Mesh.xy_route mesh ~src:0 ~dst:35))
+  in
+  let bench_nested =
+    Test.make ~name:"nested-set-build"
+      (Staged.stage (fun () -> Ndp_ir.Nested_set.of_expr stmt.Ndp_ir.Stmt.rhs))
+  in
+  let bench_parse =
+    Test.make ~name:"parse-statement"
+      (Staged.stage (fun () ->
+           Ndp_ir.Parser.statement "X[i] = Y[i] * (Z[i] + W[2*i+1]) - V[i] / U[i]"))
+  in
+  let bench_pipeline =
+    Test.make ~name:"compile+simulate-cholesky"
+      (Staged.stage (fun () ->
+           Ndp_core.Pipeline.run
+             (Ndp_core.Pipeline.Partitioned
+                { Ndp_core.Pipeline.partitioned_defaults with
+                  Ndp_core.Pipeline.window = Ndp_core.Pipeline.Fixed 2 })
+             kernel))
+  in
+  let tests =
+    Test.make_grouped ~name:"ndp"
+      [ bench_mst; bench_route; bench_nested; bench_parse; bench_pipeline ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  let results = Analyze.merge ols instances results in
+  print_endline "== Micro-benchmarks (ns per run, OLS estimate) ==";
+  Hashtbl.iter
+    (fun measure tbl ->
+      if measure = Measure.label Instance.monotonic_clock then
+        Hashtbl.iter
+          (fun test ols_result ->
+            match Bechamel.Analyze.OLS.estimates ols_result with
+            | Some [ est ] -> Printf.printf "%-40s %12.1f ns\n" test est
+            | _ -> Printf.printf "%-40s (no estimate)\n" test)
+          tbl)
+    results
+
+let () =
+  let common = E.Common.create () in
+  let artifacts =
+    [
+      ("table1", fun () -> E.Tables.table1 common);
+      ("table2", fun () -> E.Tables.table2 common);
+      ("table3", fun () -> E.Tables.table3 common);
+      ("fig13", fun () -> E.Figures.fig13 common);
+      ("fig14", fun () -> E.Figures.fig14 common);
+      ("fig15", fun () -> E.Figures.fig15 common);
+      ("fig16", fun () -> E.Figures.fig16 common);
+      ("fig17", fun () -> E.Figures.fig17 common);
+      ("fig18", fun () -> E.Figures.fig18 common);
+      ("fig19", fun () -> E.Figures.fig19 common);
+      ("fig20", fun () -> E.Figures.fig20 common);
+      ("fig21", fun () -> E.Figures.fig21 common);
+      ("fig22", fun () -> E.Figures.fig22 common);
+      ("fig23", fun () -> E.Figures.fig23 common);
+      ("fig24", fun () -> E.Figures.fig24 common);
+      ("summary", fun () -> E.Figures.summary common);
+    ]
+  in
+  let run_paper () = List.iter (fun (_, f) -> f ()) artifacts in
+  match Sys.argv with
+  | [| _ |] -> run_paper ()
+  | [| _; "all" |] ->
+    run_paper ();
+    E.Ablation.all common;
+    micro ()
+  | [| _; "ablation" |] -> E.Ablation.all common
+  | [| _; "micro" |] -> micro ()
+  | [| _; name |] -> (
+    match List.assoc_opt name artifacts with
+    | Some f -> f ()
+    | None ->
+      Printf.eprintf "unknown artifact %s\n" name;
+      exit 1)
+  | _ ->
+    prerr_endline "usage: main.exe [all|ablation|micro|table1..3|fig13..24]";
+    exit 1

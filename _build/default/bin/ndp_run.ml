@@ -1,0 +1,203 @@
+(* Command-line driver: compile one of the twelve application kernels under
+   a placement scheme and simulate it on the KNL-like mesh.
+
+     ndp_run list
+     ndp_run run barnes --scheme partitioned --cluster quadrant --memory flat
+     ndp_run compare water --window 4
+     ndp_run codegen fft *)
+
+open Cmdliner
+
+let kernel_conv =
+  let parse name =
+    match Ndp_workloads.Suite.find name with
+    | k -> Ok k
+    | exception Not_found ->
+      Error (`Msg (Printf.sprintf "unknown application %S (try `ndp_run list')" name))
+  in
+  Arg.conv (parse, fun ppf k -> Format.pp_print_string ppf k.Ndp_core.Kernel.name)
+
+let cluster_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Ndp_noc.Cluster.of_string s) in
+  Arg.conv (parse, fun ppf c -> Format.pp_print_string ppf (Ndp_noc.Cluster.to_string c))
+
+let memory_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Ndp_sim.Config.memory_mode_of_string s) in
+  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Ndp_sim.Config.memory_mode_to_string m))
+
+let kernel_arg =
+  Arg.(required & pos 0 (some kernel_conv) None & info [] ~docv:"APP" ~doc:"Application kernel name.")
+
+let cluster_arg =
+  Arg.(value & opt cluster_conv Ndp_noc.Cluster.Quadrant & info [ "cluster" ] ~doc:"Cluster mode: all-to-all, quadrant or snc-4.")
+
+let memory_arg =
+  Arg.(value & opt memory_conv Ndp_sim.Config.Flat & info [ "memory" ] ~doc:"Memory mode: flat, cache or hybrid.")
+
+let window_arg =
+  Arg.(value & opt (some int) None & info [ "window" ] ~doc:"Fixed window size (default: adaptive per nest).")
+
+let scheme_arg =
+  Arg.(value & opt (enum [ ("default", `Default); ("partitioned", `Partitioned) ]) `Partitioned
+       & info [ "scheme" ] ~doc:"Computation placement: default or partitioned.")
+
+let config_of cluster memory = Ndp_sim.Config.with_modes Ndp_sim.Config.default cluster memory
+
+let scheme_of scheme window =
+  match scheme with
+  | `Default -> Ndp_core.Pipeline.Default
+  | `Partitioned ->
+    let w =
+      match window with
+      | None -> Ndp_core.Pipeline.Adaptive
+      | Some k -> Ndp_core.Pipeline.Fixed k
+    in
+    Ndp_core.Pipeline.Partitioned { Ndp_core.Pipeline.partitioned_defaults with Ndp_core.Pipeline.window = w }
+
+let print_result (r : Ndp_core.Pipeline.result) =
+  let s = r.Ndp_core.Pipeline.stats in
+  Printf.printf "%s / %s\n" r.Ndp_core.Pipeline.kernel_name r.Ndp_core.Pipeline.scheme_name;
+  Printf.printf "  execution time     %d cycles\n" r.Ndp_core.Pipeline.exec_time;
+  Printf.printf "  data movement      %d flit-hops over %d messages\n" s.Ndp_sim.Stats.hops
+    s.Ndp_sim.Stats.messages;
+  Printf.printf "  network latency    avg %.1f, max %d cycles\n" (Ndp_sim.Stats.avg_latency s)
+    s.Ndp_sim.Stats.latency_max;
+  Printf.printf "  L1 hit rate        %.1f%%   L2 hit rate %.1f%%\n"
+    (100.0 *. Ndp_sim.Stats.l1_hit_rate s)
+    (100.0 *. Ndp_sim.Stats.l2_hit_rate s);
+  Printf.printf "  tasks              %d (%d statement instances)\n" r.Ndp_core.Pipeline.tasks_emitted
+    r.Ndp_core.Pipeline.num_instances;
+  Printf.printf "  synchronizations   %d\n" r.Ndp_core.Pipeline.sync_arcs;
+  Printf.printf "  energy             %.0f pJ (%s)\n"
+    (Ndp_sim.Energy.total r.Ndp_core.Pipeline.energy)
+    (Format.asprintf "%a" Ndp_sim.Energy.pp r.Ndp_core.Pipeline.energy);
+  (match r.Ndp_core.Pipeline.windows_chosen with
+  | [] -> ()
+  | ws ->
+    Printf.printf "  windows            %s\n"
+      (String.concat ", " (List.map (fun (n, w) -> Printf.sprintf "%s=%d" n w) ws)));
+  Printf.printf "  predictor accuracy %.1f%%\n" (100.0 *. r.Ndp_core.Pipeline.predictor_accuracy)
+
+let run_cmd =
+  let act kernel cluster memory scheme window =
+    let r = Ndp_core.Pipeline.run ~config:(config_of cluster memory) (scheme_of scheme window) kernel in
+    print_result r
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Compile and simulate one application.")
+    Term.(const act $ kernel_arg $ cluster_arg $ memory_arg $ scheme_arg $ window_arg)
+
+let compare_cmd =
+  let act kernel cluster memory window =
+    let config = config_of cluster memory in
+    let d = Ndp_core.Pipeline.run ~config Ndp_core.Pipeline.Default kernel in
+    let o = Ndp_core.Pipeline.run ~config (scheme_of `Partitioned window) kernel in
+    print_result d;
+    print_newline ();
+    print_result o;
+    let imp base opt = 100.0 *. float_of_int (base - opt) /. float_of_int (max 1 base) in
+    Printf.printf "\nimprovement: exec %.1f%%, movement %.1f%%\n"
+      (imp d.Ndp_core.Pipeline.exec_time o.Ndp_core.Pipeline.exec_time)
+      (imp d.Ndp_core.Pipeline.stats.Ndp_sim.Stats.hops o.Ndp_core.Pipeline.stats.Ndp_sim.Stats.hops)
+  in
+  Cmd.v (Cmd.info "compare" ~doc:"Run default and partitioned placements and compare.")
+    Term.(const act $ kernel_arg $ cluster_arg $ memory_arg $ window_arg)
+
+let list_cmd =
+  let act () =
+    List.iter
+      (fun name ->
+        let k = Ndp_workloads.Suite.find name in
+        Printf.printf "%-10s %s\n" name k.Ndp_core.Kernel.description)
+      Ndp_workloads.Suite.names
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the application kernels.") Term.(const act $ const ())
+
+let codegen_cmd =
+  let act kernel =
+    (* Render the subcomputation program of the first window of the first
+       nest, Figure 8 style. *)
+    let config = Ndp_sim.Config.default in
+    let machine = Ndp_sim.Machine.create config in
+    let insp = Ndp_core.Kernel.inspector kernel in
+    Ndp_ir.Inspector.run insp;
+    let address_of = Ndp_core.Kernel.address_of kernel in
+    let ctx =
+      Ndp_core.Context.create ~machine
+        ~compiler_resolve:(Ndp_ir.Inspector.compiler_resolver insp ~address_of)
+        ~runtime_resolve:(Ndp_ir.Inspector.runtime_resolver insp ~address_of)
+        ~arrays:kernel.Ndp_core.Kernel.program.Ndp_ir.Loop.arrays
+        ~options:(Ndp_core.Context.default_options config)
+    in
+    match kernel.Ndp_core.Kernel.program.Ndp_ir.Loop.nests with
+    | [] -> prerr_endline "kernel has no loop nests"
+    | nest :: _ ->
+      let envs = Ndp_ir.Loop.iterations nest in
+      let metas =
+        List.concat
+          (List.mapi
+             (fun ii env ->
+               List.mapi
+                 (fun si stmt ->
+                   {
+                     Ndp_core.Window.group = (ii * List.length nest.Ndp_ir.Loop.body) + si;
+                     default_node = ii mod Ndp_noc.Mesh.size (Ndp_sim.Machine.mesh machine);
+                     inst = { Ndp_ir.Dependence.stmt_idx = si; stmt; env };
+                   })
+                 nest.Ndp_ir.Loop.body)
+             envs)
+      in
+      let window = List.filteri (fun i _ -> i < 4) metas in
+      let compiled = Ndp_core.Window.compile ctx window in
+      List.iter
+        (fun (m : Ndp_core.Window.meta) ->
+          Printf.printf "S%d: %s  %s\n" m.Ndp_core.Window.group
+            (Ndp_ir.Stmt.to_string m.Ndp_core.Window.inst.Ndp_ir.Dependence.stmt)
+            (Format.asprintf "%a" Ndp_ir.Env.pp m.Ndp_core.Window.inst.Ndp_ir.Dependence.env))
+        window;
+      print_newline ();
+      print_endline (Ndp_core.Codegen.emit (List.map fst compiled.Ndp_core.Window.tasks))
+  in
+  Cmd.v (Cmd.info "codegen" ~doc:"Show the generated per-node subcomputation program for one window.")
+    Term.(const act $ kernel_arg)
+
+let dot_cmd =
+  let act kernel =
+    let config = Ndp_sim.Config.default in
+    let machine = Ndp_sim.Machine.create config in
+    let insp = Ndp_core.Kernel.inspector kernel in
+    Ndp_ir.Inspector.run insp;
+    let address_of = Ndp_core.Kernel.address_of kernel in
+    let ctx =
+      Ndp_core.Context.create ~machine
+        ~compiler_resolve:(Ndp_ir.Inspector.compiler_resolver insp ~address_of)
+        ~runtime_resolve:(Ndp_ir.Inspector.runtime_resolver insp ~address_of)
+        ~arrays:kernel.Ndp_core.Kernel.program.Ndp_ir.Loop.arrays
+        ~options:(Ndp_core.Context.default_options config)
+    in
+    match kernel.Ndp_core.Kernel.program.Ndp_ir.Loop.nests with
+    | [] -> prerr_endline "kernel has no loop nests"
+    | nest :: _ ->
+      let env = List.hd (Ndp_ir.Loop.iterations nest) in
+      let stmt = List.hd nest.Ndp_ir.Loop.body in
+      let split = Ndp_core.Splitter.split ctx ~store_node:0 stmt env in
+      print_endline (Ndp_core.Graphviz.statement_mst split);
+      let metas =
+        List.mapi
+          (fun si stmt ->
+            {
+              Ndp_core.Window.group = si;
+              default_node = 0;
+              inst = { Ndp_ir.Dependence.stmt_idx = si; stmt; env };
+            })
+          nest.Ndp_ir.Loop.body
+      in
+      let compiled = Ndp_core.Window.compile ctx metas in
+      print_endline (Ndp_core.Graphviz.task_graph compiled.Ndp_core.Window.tasks)
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit Graphviz DOT for a statement MST and one window's task graph.")
+    Term.(const act $ kernel_arg)
+
+let () =
+  let info = Cmd.info "ndp_run" ~doc:"Data-movement-aware computation partitioning playground." in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; compare_cmd; list_cmd; codegen_cmd; dot_cmd ]))

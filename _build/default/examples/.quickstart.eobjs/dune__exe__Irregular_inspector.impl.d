@@ -1,0 +1,1 @@
+examples/irregular_inspector.ml: Array_decl Loop Ndp_core Ndp_ir Ndp_sim Ndp_workloads Parser Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array_decl Loop Ndp_core Ndp_ir Ndp_sim Parser Printf

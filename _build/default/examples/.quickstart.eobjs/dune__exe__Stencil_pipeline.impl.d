@@ -1,0 +1,1 @@
+examples/stencil_pipeline.ml: Array_decl List Loop Ndp_core Ndp_ir Ndp_noc Ndp_sim Parser Printf String

@@ -1,0 +1,1 @@
+examples/window_explorer.ml: Array List Ndp_core Ndp_sim Ndp_workloads Printf String Sys

@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Array Context List Ndp_ir Ndp_noc Ndp_sim Option Printf

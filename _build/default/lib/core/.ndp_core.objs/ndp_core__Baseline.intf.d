@@ -1,0 +1,1 @@
+lib/core/baseline.mli: Context Ndp_ir Ndp_sim

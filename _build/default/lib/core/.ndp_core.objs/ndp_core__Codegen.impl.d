@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Hashtbl List Ndp_sim Option Printf Schedule Splitter String

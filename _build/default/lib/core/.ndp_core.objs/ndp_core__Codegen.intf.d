@@ -1,0 +1,1 @@
+lib/core/codegen.mli: Context Ndp_ir Ndp_sim

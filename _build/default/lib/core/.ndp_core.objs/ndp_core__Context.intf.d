@@ -1,0 +1,1 @@
+lib/core/context.mli: Hashtbl Ndp_ir Ndp_mem Ndp_noc Ndp_sim Queue

@@ -1,0 +1,1 @@
+lib/core/data_mapping.ml: Context Hashtbl List Ndp_mem Ndp_noc Ndp_sim Option

@@ -1,0 +1,1 @@
+lib/core/data_mapping.mli: Context

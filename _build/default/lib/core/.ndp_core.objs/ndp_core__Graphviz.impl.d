@@ -1,0 +1,1 @@
+lib/core/graphviz.ml: Buffer List Location Ndp_graph Ndp_ir Ndp_sim Option Printf Splitter String

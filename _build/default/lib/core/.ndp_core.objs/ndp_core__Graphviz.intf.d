@@ -1,0 +1,1 @@
+lib/core/graphviz.mli: Ndp_sim Splitter

@@ -1,0 +1,1 @@
+lib/core/kernel.ml: Array_decl Inspector List Loop Ndp_ir

@@ -1,0 +1,1 @@
+lib/core/kernel.mli: Ndp_ir

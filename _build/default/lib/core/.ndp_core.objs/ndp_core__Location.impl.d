@@ -1,0 +1,1 @@
+lib/core/location.ml: Context Ndp_ir Ndp_mem Ndp_sim

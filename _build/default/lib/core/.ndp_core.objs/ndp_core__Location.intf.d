@@ -1,0 +1,1 @@
+lib/core/location.mli: Context Ndp_ir

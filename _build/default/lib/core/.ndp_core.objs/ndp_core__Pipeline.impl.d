@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Baseline Context Data_mapping Hashtbl Kernel List Ndp_ir Ndp_mem Ndp_sim Option Printf Queue Window

@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Context Hashtbl List Location Ndp_graph Ndp_ir Ndp_noc Ndp_sim Option Printf Splitter

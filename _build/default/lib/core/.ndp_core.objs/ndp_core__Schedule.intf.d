@@ -1,0 +1,1 @@
+lib/core/schedule.mli: Context Ndp_ir Ndp_sim Splitter

@@ -1,0 +1,1 @@
+lib/core/splitter.mli: Context Location Ndp_graph Ndp_ir

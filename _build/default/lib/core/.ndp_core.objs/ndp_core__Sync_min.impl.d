@@ -1,0 +1,1 @@
+lib/core/sync_min.ml: Array Hashtbl List Ndp_graph Option

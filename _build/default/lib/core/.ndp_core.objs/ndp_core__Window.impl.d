@@ -1,0 +1,1 @@
+lib/core/window.ml: Array Context Hashtbl List Location Ndp_ir Ndp_sim Option Schedule Splitter Sync_min

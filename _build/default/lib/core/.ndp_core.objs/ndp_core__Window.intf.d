@@ -1,0 +1,1 @@
+lib/core/window.mli: Context Ndp_ir Ndp_sim

@@ -1,0 +1,86 @@
+module Mesh = Ndp_noc.Mesh
+module Task = Ndp_sim.Task
+
+let home (ctx : Context.t) va = Ndp_sim.Machine.home_node ctx.machine ~va
+
+(* Profile cost of running an iteration on a node: total distance to the
+   home of every reference it touches (the LLC-locality view). *)
+let iteration_cost (ctx : Context.t) mesh env node stmt =
+  let ref_cost acc r =
+    match ctx.runtime_resolve r env with
+    | None -> acc
+    | Some va -> acc + Mesh.distance mesh node (home ctx va)
+  in
+  let refs = Ndp_ir.Stmt.output stmt :: Ndp_ir.Stmt.inputs stmt in
+  List.fold_left ref_cost 0 refs
+
+let assign_iterations (ctx : Context.t) nest iterations =
+  let mesh = Context.mesh ctx in
+  let num_nodes = Mesh.size mesh in
+  let iters = Array.of_list iterations in
+  (* Chunk one sweep of the iteration space and repeat the assignment for
+     the remaining sweeps: each core owns the same iterations of every
+     sweep, as an OpenMP-style static schedule would. *)
+  let period = max 1 (Ndp_ir.Loop.base_trip_count nest) in
+  let iters = Array.sub iters 0 (min period (Array.length iters)) in
+  let trips = Array.length iters in
+  let chunks = min num_nodes (max 1 trips) in
+  let bounds k =
+    let per = trips / chunks and rem = trips mod chunks in
+    let lo = (k * per) + min k rem in
+    let hi = lo + per + if k < rem then 1 else 0 in
+    (lo, hi)
+  in
+  let chunk_cost k node =
+    let lo, hi = bounds k in
+    let acc = ref 0 in
+    for i = lo to hi - 1 do
+      List.iter
+        (fun stmt -> acc := !acc + iteration_cost ctx mesh iters.(i) node stmt)
+        nest.Ndp_ir.Loop.body
+    done;
+    !acc
+  in
+  (* Greedy matching: chunks claim their cheapest still-free node. *)
+  let taken = Array.make num_nodes false in
+  let assignment = Array.make trips 0 in
+  for k = 0 to chunks - 1 do
+    let best = ref (-1) and best_cost = ref max_int in
+    for node = 0 to num_nodes - 1 do
+      if not taken.(node) then begin
+        let c = chunk_cost k node in
+        if c < !best_cost then begin
+          best := node;
+          best_cost := c
+        end
+      end
+    done;
+    taken.(!best) <- true;
+    let lo, hi = bounds k in
+    for i = lo to hi - 1 do
+      assignment.(i) <- !best
+    done
+  done;
+  Array.init (List.length iterations) (fun i -> assignment.(i mod trips))
+
+let compile_instance (ctx : Context.t) ~group ~node (inst : Ndp_ir.Dependence.instance) =
+  let stmt = inst.Ndp_ir.Dependence.stmt in
+  let env = inst.Ndp_ir.Dependence.env in
+  let operand r =
+    Option.map
+      (fun va -> Task.Load { va; bytes = Context.bytes_of ctx r })
+      (ctx.runtime_resolve r env)
+  in
+  let operands = List.filter_map operand (Ndp_ir.Stmt.inputs stmt) in
+  let store =
+    Option.map
+      (fun va -> (va, Context.bytes_of ctx (Ndp_ir.Stmt.output stmt)))
+      (ctx.runtime_resolve (Ndp_ir.Stmt.output stmt) env)
+  in
+  Task.make
+    ~id:(Context.fresh_task_id ctx)
+    ~group ~node
+    ~ops:(Ndp_ir.Expr.ops stmt.Ndp_ir.Stmt.rhs)
+    ~operands ?store
+    ~label:(Printf.sprintf "g%d:default" group)
+    ()

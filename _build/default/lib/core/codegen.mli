@@ -1,0 +1,10 @@
+(** High-level code generation (Section 4.5, Figure 8): render the
+    per-node subcomputation programs produced by the scheduler, with
+    explicit [sync(...)] waits, in the style of the paper's example. *)
+
+val emit : Ndp_sim.Task.t list -> string
+(** Group the tasks by node and print each node's program. *)
+
+val emit_statement :
+  Context.t -> store_node:int -> Ndp_ir.Stmt.t -> Ndp_ir.Env.t -> string
+(** Convenience: split + schedule one statement instance and render it. *)

@@ -1,0 +1,114 @@
+type options = {
+  reuse_aware : bool;
+  sync_minimize : bool;
+  level_based : bool;
+  balance_threshold : float;
+  ideal_location : bool;
+}
+
+let default_options (config : Ndp_sim.Config.t) =
+  {
+    reuse_aware = true;
+    sync_minimize = true;
+    level_based = true;
+    balance_threshold = config.Ndp_sim.Config.balance_threshold;
+    ideal_location = false;
+  }
+
+type t = {
+  machine : Ndp_sim.Machine.t;
+  config : Ndp_sim.Config.t;
+  predictor : Ndp_mem.Miss_predictor.t;
+  compiler_resolve : Ndp_ir.Dependence.resolver;
+  runtime_resolve : Ndp_ir.Dependence.resolver;
+  arrays : Ndp_ir.Array_decl.t list;
+  loads : int array;
+  var2node : (int, int * int) Hashtbl.t; (* line -> node, statement stamp *)
+  var2node_fifo : int Queue.t;
+  var2node_cap : int;
+  mutable stmt_clock : int;
+  mutable next_task : int;
+  options : options;
+}
+
+let create ~machine ~compiler_resolve ~runtime_resolve ~arrays ~options =
+  let config = Ndp_sim.Machine.config machine in
+  let map = Ndp_sim.Config.addr_map config in
+  {
+    machine;
+    config;
+    predictor =
+      Ndp_mem.Miss_predictor.create
+        ~capacity_blocks:config.Ndp_sim.Config.predictor_capacity_blocks map;
+    compiler_resolve;
+    runtime_resolve;
+    arrays;
+    loads = Array.make (Ndp_noc.Mesh.size (Ndp_sim.Machine.mesh machine)) 0;
+    var2node = Hashtbl.create 256;
+    var2node_fifo = Queue.create ();
+    var2node_cap = config.Ndp_sim.Config.l1_size / config.Ndp_sim.Config.line_bytes;
+    stmt_clock = 0;
+    next_task = 0;
+    options;
+  }
+
+let fresh_task_id t =
+  let id = t.next_task in
+  t.next_task <- id + 1;
+  id
+
+let bytes_of t (r : Ndp_ir.Reference.t) =
+  (Ndp_ir.Array_decl.find t.arrays r.Ndp_ir.Reference.array).Ndp_ir.Array_decl.elem_size
+
+let mesh t = Ndp_sim.Machine.mesh t.machine
+
+let clear_reuse t =
+  Hashtbl.reset t.var2node;
+  Queue.clear t.var2node_fifo;
+  t.stmt_clock <- 0
+
+(* How many subsequent statements a recorded L1 placement stays credible
+   for: intervening subcomputations pollute the small L1s, so reuse
+   assumptions beyond this horizon usually miss at runtime (Section 4.4).
+   This is what makes the window-size preprocessing prefer moderate
+   windows rather than growing without bound. *)
+let reuse_horizon = 4
+
+let advance_statement t = t.stmt_clock <- t.stmt_clock + 1
+
+let note_cached t ~line ~node =
+  if not (Hashtbl.mem t.var2node line) then begin
+    Queue.push line t.var2node_fifo;
+    (* Model L1 capacity: beyond it, the oldest tracked line is assumed
+       evicted — the cache-pollution effect of large windows (4.4). *)
+    if Queue.length t.var2node_fifo > t.var2node_cap then
+      Hashtbl.remove t.var2node (Queue.pop t.var2node_fifo)
+  end;
+  Hashtbl.replace t.var2node line (node, t.stmt_clock)
+
+let cached_node t ~line =
+  match Hashtbl.find_opt t.var2node line with
+  | Some (node, stamp) when t.stmt_clock - stamp <= reuse_horizon -> Some node
+  | Some _ | None -> None
+
+let add_load t ~node ~cost = t.loads.(node) <- t.loads.(node) + cost
+
+let balanced t ~node ~cost =
+  (* The paper phrases the rule as "no more than 10% extra load than the
+     next highly-loaded node"; taken literally, several overloaded nodes
+     validate each other (each is within 10% of the next). We compare to
+     the fleet mean instead, which vetoes any emerging hot spot while
+     leaving evenly-loaded nodes free. The [cost] grace keeps the very
+     first assignments from being vetoed while the mean is still zero. *)
+  let total = Array.fold_left ( + ) 0 t.loads in
+  let mean = float_of_int total /. float_of_int (Array.length t.loads) in
+  let would = float_of_int (t.loads.(node) + cost) in
+  would <= ((1.0 +. t.options.balance_threshold) *. mean) +. float_of_int cost
+
+let fork_for_estimate t =
+  {
+    t with
+    loads = Array.copy t.loads;
+    var2node = Hashtbl.copy t.var2node;
+    var2node_fifo = Queue.copy t.var2node_fifo;
+  }

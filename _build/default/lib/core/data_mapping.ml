@@ -1,0 +1,33 @@
+module Mesh = Ndp_noc.Mesh
+
+let page_of (ctx : Context.t) va =
+  va lsr Ndp_mem.Addr_map.page_bits (Ndp_sim.Config.addr_map ctx.config)
+
+let profile (ctx : Context.t) ~accesses =
+  let mesh = Context.mesh ctx in
+  let counts : (int, (int, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 256 in
+  let note (page, node) =
+    let per_node =
+      match Hashtbl.find_opt counts page with
+      | Some t -> t
+      | None ->
+        let t = Hashtbl.create 8 in
+        Hashtbl.replace counts page t;
+        t
+    in
+    Hashtbl.replace per_node node (Option.value (Hashtbl.find_opt per_node node) ~default:0 + 1)
+  in
+  List.iter note accesses;
+  let best_mc per_node =
+    let cost mc =
+      Hashtbl.fold (fun node count acc -> acc + (count * Mesh.distance mesh node mc)) per_node 0
+    in
+    List.fold_left
+      (fun (bm, bc) mc ->
+        let c = cost mc in
+        if c < bc then (mc, c) else (bm, bc))
+      (-1, max_int)
+      (Mesh.memory_controllers mesh)
+    |> fst
+  in
+  Hashtbl.fold (fun page per_node acc -> (page, best_mc per_node) :: acc) counts []

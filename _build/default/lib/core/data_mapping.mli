@@ -1,0 +1,15 @@
+(** Profile-based data-to-MC page mapping (Figure 23).
+
+    For each virtual page, the profiler counts accesses per computing node
+    and re-homes the page's L2-miss service to the memory controller
+    preferred by the majority of those nodes (minimum total distance). *)
+
+val profile :
+  Context.t ->
+  accesses:(int * int) list ->
+  (int * int) list
+(** [profile ctx ~accesses] takes [(virtual page, node)] access samples and
+    returns [(virtual page, mc node)] overrides for
+    {!Ndp_sim.Machine.set_mc_overrides}. *)
+
+val page_of : Context.t -> int -> int

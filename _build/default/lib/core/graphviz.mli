@@ -1,0 +1,12 @@
+(** Graphviz (DOT) export of the partitioner's data structures, for
+    inspecting schedules visually: [dot -Tsvg out.dot > out.svg]. *)
+
+val task_graph : (Ndp_sim.Task.t * int) list -> string
+(** A compiled window's subcomputation DAG: one box per task labelled with
+    its mesh node, solid edges for partial-result flow, a dashed ring on
+    tasks that synchronize. Takes the (task, level) pairs of
+    {!Window.compile}. *)
+
+val statement_mst : Splitter.t -> string
+(** The spanning tree of one statement over the mesh nodes that hold its
+    data, edge labels carrying link distances — the paper's Figure 4b. *)

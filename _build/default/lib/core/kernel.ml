@@ -1,0 +1,33 @@
+open Ndp_ir
+
+type t = {
+  name : string;
+  description : string;
+  program : Loop.program;
+  index_arrays : (string * int array) list;
+  hot_arrays : string list;
+}
+
+let make ~name ~description ~program ?(index_arrays = []) ?(hot_arrays = []) () =
+  { name; description; program; index_arrays; hot_arrays }
+
+let inspector t =
+  let insp = Inspector.create () in
+  List.iter (fun (name, contents) -> Inspector.declare_index_array insp name contents) t.index_arrays;
+  insp
+
+let address_of t name i = Array_decl.address (Array_decl.find t.program.Loop.arrays name) i
+
+let hot_ranges t ~budget =
+  let add (used, acc) name =
+    match List.find_opt (fun d -> d.Array_decl.name = name) t.program.Loop.arrays with
+    | None -> (used, acc)
+    | Some d ->
+      let bytes = d.Array_decl.length * d.Array_decl.elem_size in
+      if used + bytes > budget then (used, acc)
+      else (used + bytes, (d.Array_decl.base_va, bytes) :: acc)
+  in
+  let _, acc = List.fold_left add (0, []) t.hot_arrays in
+  List.rev acc
+
+let total_statements t = List.length (Loop.all_statements t.program)

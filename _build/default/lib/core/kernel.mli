@@ -1,0 +1,34 @@
+(** A compilable kernel: a loop-nest program plus the runtime context the
+    simulator needs (index-array contents for indirect accesses, MCDRAM
+    placement candidates). *)
+
+type t = {
+  name : string;
+  description : string;
+  program : Ndp_ir.Loop.program;
+  index_arrays : (string * int array) list;
+  hot_arrays : string list;
+      (** arrays to place in MCDRAM under flat/hybrid modes, hottest
+          first (the paper's VTune-guided selection) *)
+}
+
+val make :
+  name:string ->
+  description:string ->
+  program:Ndp_ir.Loop.program ->
+  ?index_arrays:(string * int array) list ->
+  ?hot_arrays:string list ->
+  unit ->
+  t
+
+val inspector : t -> Ndp_ir.Inspector.t
+(** Fresh inspector pre-loaded with the kernel's index arrays. *)
+
+val address_of : t -> string -> int -> int
+(** Virtual address of element [i] of a named array. *)
+
+val hot_ranges : t -> budget:int -> (int * int) list
+(** [(base, bytes)] ranges of the hottest arrays fitting in [budget]. *)
+
+val total_statements : t -> int
+(** Static statement count across all nests. *)

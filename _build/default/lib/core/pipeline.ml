@@ -1,0 +1,310 @@
+module Config = Ndp_sim.Config
+module Machine = Ndp_sim.Machine
+module Engine = Ndp_sim.Engine
+module Task = Ndp_sim.Task
+module Dep = Ndp_ir.Dependence
+module Loop = Ndp_ir.Loop
+
+type window_policy = Adaptive | Fixed of int
+
+type part_options = {
+  window : window_policy;
+  reuse_aware : bool;
+  sync_minimize : bool;
+  level_based : bool;
+  balance_threshold : float option;
+  ideal_data : bool;
+  use_inspector : bool;
+}
+
+type scheme = Default | Partitioned of part_options
+
+let partitioned_defaults =
+  {
+    window = Adaptive;
+    reuse_aware = true;
+    sync_minimize = true;
+    level_based = true;
+    balance_threshold = None;
+    ideal_data = false;
+    use_inspector = true;
+  }
+
+type tweaks = {
+  l1_boost : float;
+  distance_factor : float;
+  mc_overrides : (int * int) list;
+  cost_scale : float;
+  extra_syncs : int;
+}
+
+let no_tweaks =
+  { l1_boost = 0.0; distance_factor = 1.0; mc_overrides = []; cost_scale = 1.0; extra_syncs = 0 }
+
+type result = {
+  kernel_name : string;
+  scheme_name : string;
+  stats : Ndp_sim.Stats.t;
+  energy : Ndp_sim.Energy.breakdown;
+  exec_time : int;
+  group_hops : int array;
+  group_avg_latency : float array;
+  parallelism : float array;
+  group_syncs : int array;
+  sync_arcs : int;
+  num_instances : int;
+  offload_mix : Task.op_mix;
+  analyzable_fraction : float;
+  predictor_accuracy : float;
+  windows_chosen : (string * int) list;
+  est_movement_total : int;
+  tasks_emitted : int;
+  node_finish : int array;
+  node_busy : int array;
+}
+
+let scheme_name = function
+  | Default -> "default"
+  | Partitioned o -> (
+    match o.window with
+    | Adaptive -> "partitioned(adaptive)"
+    | Fixed k -> Printf.sprintf "partitioned(w=%d)" k)
+
+(* Enumerate the statement-instance stream of a nest, in execution order. *)
+let instance_stream (ctx : Context.t) nest ~first_group =
+  let iterations = Loop.iterations nest in
+  let assignment = Baseline.assign_iterations ctx nest iterations in
+  let group = ref first_group in
+  let metas =
+    List.concat
+      (List.mapi
+         (fun iter_idx env ->
+           List.mapi
+             (fun stmt_idx stmt ->
+               let g = !group in
+               incr group;
+               {
+                 Window.group = g;
+                 default_node = assignment.(iter_idx);
+                 inst = { Dep.stmt_idx; stmt; env };
+               })
+             nest.Loop.body)
+         iterations)
+  in
+  (metas, !group)
+
+let analyzable_fraction metas =
+  let count (ok, total) (m : Window.meta) =
+    let refs =
+      Ndp_ir.Stmt.output m.Window.inst.Dep.stmt :: Ndp_ir.Stmt.inputs m.Window.inst.Dep.stmt
+    in
+    let ok' = List.length (List.filter Ndp_ir.Reference.analyzable refs) in
+    (ok + ok', total + List.length refs)
+  in
+  let ok, total = List.fold_left count (0, 0) metas in
+  if total = 0 then 1.0 else float_of_int ok /. float_of_int total
+
+let make_context ?(options_override = None) ~config ~tweaks scheme kernel =
+  let machine = Machine.create config in
+  (match config.Config.memory_mode with
+  | Config.Flat ->
+    Machine.set_hot_ranges machine (Kernel.hot_ranges kernel ~budget:config.Config.mcdram_capacity)
+  | Config.Hybrid ->
+    Machine.set_hot_ranges machine
+      (Kernel.hot_ranges kernel ~budget:(config.Config.mcdram_capacity / 2))
+  | Config.Cache_mode -> ());
+  Machine.set_l1_boost machine tweaks.l1_boost;
+  Ndp_sim.Network.set_distance_factor (Machine.network machine) tweaks.distance_factor;
+  Machine.set_mc_overrides machine tweaks.mc_overrides;
+  let opts = match scheme with Partitioned o -> o | Default -> partitioned_defaults in
+  let insp = Kernel.inspector kernel in
+  if opts.use_inspector then Ndp_ir.Inspector.run insp;
+  let address_of = Kernel.address_of kernel in
+  let runtime_resolve = Ndp_ir.Inspector.runtime_resolver insp ~address_of in
+  let compiler_resolve =
+    if opts.ideal_data then runtime_resolve
+    else Ndp_ir.Inspector.compiler_resolver insp ~address_of
+  in
+  let ctx_options =
+    match options_override with
+    | Some o -> o
+    | None ->
+      {
+        Context.reuse_aware = opts.reuse_aware;
+        sync_minimize = opts.sync_minimize;
+        level_based = opts.level_based;
+        balance_threshold =
+          Option.value opts.balance_threshold ~default:config.Config.balance_threshold;
+        ideal_location = opts.ideal_data;
+      }
+  in
+  Context.create ~machine ~compiler_resolve ~runtime_resolve
+    ~arrays:kernel.Kernel.program.Loop.arrays ~options:ctx_options
+
+let apply_tweaks tweaks (task : Task.t) =
+  let task =
+    if tweaks.cost_scale > 1.0 then
+      { task with Task.cost = max 1 (int_of_float (float_of_int task.Task.cost /. tweaks.cost_scale)) }
+    else task
+  in
+  if tweaks.extra_syncs > 0 then { task with Task.syncs = task.Task.syncs + tweaks.extra_syncs }
+  else task
+
+let line_of config va = va / config.Config.line_bytes
+
+let run ?(config = Config.default) ?(tweaks = no_tweaks) scheme kernel =
+  let ctx = make_context ~config ~tweaks scheme kernel in
+  let engine = Engine.create ctx.Context.machine in
+  let streams, total_groups =
+    List.fold_left
+      (fun (acc, g) nest ->
+        let metas, g' = instance_stream ctx nest ~first_group:g in
+        ((nest, metas) :: acc, g'))
+      ([], 0) kernel.Kernel.program.Loop.nests
+  in
+  let streams = List.rev streams in
+  let parallelism = Array.make total_groups 1.0 in
+  let group_syncs = Array.make total_groups 0 in
+  let est_movement_total = ref 0 in
+  let sync_arcs = ref 0 in
+  let offload = ref Task.zero_mix in
+  let windows_chosen = ref [] in
+  let tasks_emitted = ref 0 in
+  (match scheme with
+  | Default ->
+    List.iter
+      (fun (_, metas) ->
+        List.iter
+          (fun (m : Window.meta) ->
+            let task =
+              Baseline.compile_instance ctx ~group:m.Window.group ~node:m.Window.default_node
+                m.Window.inst
+            in
+            incr tasks_emitted;
+            Engine.run engine [ apply_tweaks tweaks task ])
+          metas)
+      streams
+  | Partitioned opts ->
+    List.iter
+      (fun ((nest : Loop.nest), metas) ->
+        let w =
+          match opts.window with
+          | Fixed k -> max 1 k
+          | Adaptive -> Window.choose_size ctx metas ~max:config.Config.max_window
+        in
+        windows_chosen := (nest.Loop.nest_name, w) :: !windows_chosen;
+        let pending : (int, bool Queue.t) Hashtbl.t = Hashtbl.create 64 in
+        let push_prediction (va, p) =
+          let line = line_of config va in
+          let q =
+            match Hashtbl.find_opt pending line with
+            | Some q -> q
+            | None ->
+              let q = Queue.create () in
+              Hashtbl.replace pending line q;
+              q
+          in
+          Queue.push p q
+        in
+        let pop_prediction line =
+          match Hashtbl.find_opt pending line with
+          | Some q when not (Queue.is_empty q) -> Some (Queue.pop q)
+          | _ -> None
+        in
+        let on_load ~va ~l1_hit ~l2_hit =
+          let line = line_of config va in
+          match l2_hit with
+          | None ->
+            (* Satisfied by the L1: the L2 prediction went untested. *)
+            if l1_hit then ignore (pop_prediction line)
+          | Some hit -> (
+            match pop_prediction line with
+            | Some predicted ->
+              Ndp_mem.Miss_predictor.confirm ctx.Context.predictor ~addr:va ~predicted ~hit
+            | None -> Ndp_mem.Miss_predictor.note_access ctx.Context.predictor va)
+        in
+        let nest_tasks = ref [] in
+        List.iter
+          (fun window_metas ->
+            let compiled = Window.compile ctx window_metas in
+            List.iter push_prediction compiled.Window.predictions;
+            List.iter
+              (fun (r : Window.stmt_report) ->
+                parallelism.(r.Window.r_group) <- float_of_int r.Window.parallelism;
+                group_syncs.(r.Window.r_group) <- r.Window.syncs;
+                est_movement_total := !est_movement_total + r.Window.est_movement;
+                offload := Task.mix_add !offload r.Window.offload_mix)
+              compiled.Window.reports;
+            sync_arcs := !sync_arcs + compiled.Window.sync_count;
+            tasks_emitted := !tasks_emitted + List.length compiled.Window.tasks;
+            nest_tasks := compiled.Window.tasks :: !nest_tasks)
+          (Window.chunk metas w);
+        (* Emit the whole nest level-major: every node first runs all of
+           its dependency-free subcomputations across the nest's windows,
+           then the joins. This is the decoupling the paper's code
+           generation achieves by interleaving a node's own iterations
+           with the subcomputations it hosts for others (Section 4.5) —
+           producers finish long before consumers need them, so sync
+           waits do not convoy. The stable sort keeps producers before
+           consumers within a level chain. *)
+        let ordered =
+          List.stable_sort
+            (fun ((_ : Task.t), la) ((_ : Task.t), lb) -> compare la lb)
+            (List.concat (List.rev !nest_tasks))
+        in
+        Engine.run ~on_load engine (List.map (fun (t, _) -> apply_tweaks tweaks t) ordered))
+      streams);
+  let stats = Ndp_sim.Stats.copy (Engine.stats engine) in
+  let group_hops = Array.init total_groups (fun g -> Engine.group_hops engine g) in
+  let group_avg_latency =
+    Array.init total_groups (fun g ->
+        let sum, count = Engine.group_latency engine g in
+        if count = 0 then 0.0 else float_of_int sum /. float_of_int count)
+  in
+  let all_metas = List.concat_map snd streams in
+  {
+    kernel_name = kernel.Kernel.name;
+    scheme_name = scheme_name scheme;
+    stats;
+    energy = Ndp_sim.Energy.of_stats stats;
+    exec_time = stats.Ndp_sim.Stats.finish_time;
+    group_hops;
+    group_avg_latency;
+    parallelism;
+    group_syncs;
+    sync_arcs = !sync_arcs;
+    num_instances = total_groups;
+    offload_mix = !offload;
+    analyzable_fraction = analyzable_fraction all_metas;
+    predictor_accuracy = Ndp_mem.Miss_predictor.accuracy ctx.Context.predictor;
+    windows_chosen = List.rev !windows_chosen;
+    est_movement_total = !est_movement_total;
+    tasks_emitted = !tasks_emitted;
+    node_finish = Engine.node_clocks engine;
+    node_busy = Engine.node_busy engine;
+  }
+
+let profile_page_accesses ?(config = Config.default) kernel =
+  let ctx = make_context ~config ~tweaks:no_tweaks Default kernel in
+  let acc = ref [] in
+  let _ =
+    List.fold_left
+      (fun g nest ->
+        let metas, g' = instance_stream ctx nest ~first_group:g in
+        List.iter
+          (fun (m : Window.meta) ->
+            let refs =
+              Ndp_ir.Stmt.output m.Window.inst.Dep.stmt
+              :: Ndp_ir.Stmt.inputs m.Window.inst.Dep.stmt
+            in
+            List.iter
+              (fun r ->
+                match ctx.Context.runtime_resolve r m.Window.inst.Dep.env with
+                | Some va -> acc := (Data_mapping.page_of ctx va, m.Window.default_node) :: !acc
+                | None -> ())
+              refs)
+          metas;
+        g')
+      0 kernel.Kernel.program.Loop.nests
+  in
+  !acc

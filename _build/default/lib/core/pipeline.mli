@@ -1,0 +1,67 @@
+(** End-to-end driver: compile a kernel under a placement scheme and
+    execute it on the simulated manycore, producing the metrics the
+    paper's evaluation reports.
+
+    Compilation and execution are interleaved per window, so the compiler's
+    L2 miss predictor is trained by the access stream it actually induces
+    (the profiling-on-beginning-iterations effect of Section 4.5), and the
+    simulated L1s see exactly the schedule the compiler produced. *)
+
+type window_policy = Adaptive | Fixed of int
+
+type part_options = {
+  window : window_policy;
+  reuse_aware : bool; (** variable2node reuse (Section 4.3) *)
+  sync_minimize : bool; (** transitive-closure sync elimination *)
+  level_based : bool; (** nested-set priority levels *)
+  balance_threshold : float option; (** [None]: the config's 10% *)
+  ideal_data : bool; (** perfect analysis + location (Section 6.4) *)
+  use_inspector : bool; (** executor phase for indirect accesses *)
+}
+
+type scheme = Default | Partitioned of part_options
+
+val partitioned_defaults : part_options
+(** Adaptive window, reuse-aware, sync-minimized, level-based, inspector
+    enabled — the paper's full scheme. *)
+
+(** Counterfactual knobs for the isolation schemes (Figure 18) and the
+    data-mapping comparison (Figure 23). *)
+type tweaks = {
+  l1_boost : float; (** S1: convert L1 misses to hits with this probability *)
+  distance_factor : float; (** S2: scale message path lengths; 1.0 = off *)
+  mc_overrides : (int * int) list; (** Figure 23 page->MC re-homing *)
+  cost_scale : float; (** S3: divide per-task compute cost; 1.0 = off *)
+  extra_syncs : int; (** S4: add syncs to every statement task *)
+}
+
+val no_tweaks : tweaks
+
+type result = {
+  kernel_name : string;
+  scheme_name : string;
+  stats : Ndp_sim.Stats.t;
+  energy : Ndp_sim.Energy.breakdown;
+  exec_time : int;
+  group_hops : int array; (** flit-hops per statement instance *)
+  group_avg_latency : float array; (** mean network latency per instance *)
+  parallelism : float array; (** subcomputation parallelism per instance *)
+  group_syncs : int array; (** surviving synchronizations per instance *)
+  sync_arcs : int; (** surviving synchronizations, whole run *)
+  num_instances : int;
+  offload_mix : Ndp_sim.Task.op_mix;
+  analyzable_fraction : float;
+  predictor_accuracy : float;
+  windows_chosen : (string * int) list; (** per loop nest *)
+  est_movement_total : int; (** compiler's own movement estimate *)
+  tasks_emitted : int;
+  node_finish : int array; (** per-node completion times *)
+  node_busy : int array; (** per-node busy cycles (occupancy) *)
+}
+
+val run : ?config:Ndp_sim.Config.t -> ?tweaks:tweaks -> scheme -> Kernel.t -> result
+
+val profile_page_accesses :
+  ?config:Ndp_sim.Config.t -> Kernel.t -> (int * int) list
+(** [(virtual page, node)] samples under the default placement — the
+    profile input of the Figure 23 data-to-MC mapping. *)

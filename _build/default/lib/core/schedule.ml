@@ -1,0 +1,243 @@
+module Task = Ndp_sim.Task
+module Tree = Ndp_graph.Rooted_tree
+
+type t = {
+  tasks : Task.t list;
+  root_task : int;
+  join_arcs : (int * int) list;
+  parallelism : int;
+  offload_mix : Task.op_mix;
+  placements : (int * int) list;
+}
+
+(* What a child subtree hands to its parent: either a finished task whose
+   result travels up, or a single data item the parent loads itself. *)
+type upward =
+  | From_task of { task : int; bytes : int }
+  | Deferred of Location.t
+
+let take k list =
+  let rec go k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> go (k - 1) (x :: acc) rest
+  in
+  go k [] list
+
+let load_operand (ctx : Context.t) env (loc : Location.t) =
+  let va =
+    match loc.Location.va with
+    | Some va -> Some va
+    | None -> ctx.runtime_resolve loc.Location.ref_ env
+  in
+  Option.map (fun va -> Task.Load { va; bytes = loc.Location.bytes }) va
+
+(* Pick the node that executes a combine: the MST parent node first (the
+   minimum-movement choice), then its children, skipping overloaded nodes
+   per the 10% rule. The root combine is pinned to the store node. *)
+(* Expected core occupancy of running a combine at [node] — the same
+   formula the engine charges, evaluated with the compiler's location and
+   hit/miss knowledge, so the balance veto tracks reality. *)
+let expected_occupancy (ctx : Context.t) ~node ~ops_cost ~items =
+  let c = ctx.Context.config in
+  let mesh = Context.mesh ctx in
+  let latency (loc : Location.t) =
+    if loc.Location.in_l1 && loc.Location.node = node then c.Ndp_sim.Config.l1_hit_cycles
+    else begin
+      let travel = 2 * Ndp_noc.Mesh.distance mesh node loc.Location.node * c.Ndp_sim.Config.hop_cycles in
+      let service =
+        match loc.Location.predicted_hit with
+        | Some false -> c.Ndp_sim.Config.ddr_cycles
+        | Some true | None -> c.Ndp_sim.Config.l2_hit_cycles
+      in
+      travel + service + c.Ndp_sim.Config.l1_hit_cycles
+    end
+  in
+  let stall = List.fold_left (fun acc l -> acc + latency l) 0 items in
+  (List.length items * c.Ndp_sim.Config.load_issue_cycles)
+  + (ops_cost * c.Ndp_sim.Config.op_cycles)
+  + int_of_float ((1.0 -. c.Ndp_sim.Config.mlp_overlap) *. float_of_int stall)
+
+let choose_exec_node (ctx : Context.t) ~pinned ~preferred ~alternatives ~ops_cost ~items =
+  let occ node = expected_occupancy ctx ~node ~ops_cost ~items in
+  if pinned then (preferred, occ preferred)
+  else begin
+    let candidates =
+      preferred
+      :: List.sort (fun a b -> compare ctx.Context.loads.(a) ctx.Context.loads.(b)) alternatives
+    in
+    let chosen =
+      match List.find_opt (fun n -> Context.balanced ctx ~node:n ~cost:(occ n)) candidates with
+      | Some n -> n
+      | None ->
+        List.fold_left
+          (fun best n ->
+            if ctx.Context.loads.(n) + occ n < ctx.Context.loads.(best) + occ best then n
+            else best)
+          preferred candidates
+    in
+    (chosen, occ chosen)
+  end
+
+let schedule (ctx : Context.t) ~group (split : Splitter.t) stmt env =
+  let all_ops = Ndp_ir.Expr.ops stmt.Ndp_ir.Stmt.rhs in
+  let ops_pool = ref all_ops in
+  let draw k =
+    let taken, rest = take k !ops_pool in
+    ops_pool := rest;
+    taken
+  in
+  let items_of node =
+    Option.value (List.assoc_opt node split.Splitter.items_at) ~default:[]
+  in
+  let tasks = ref [] in
+  let join_arcs = ref [] in
+  let placements = ref [] in
+  let offload = ref Task.zero_mix in
+  let levels : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let note_placement exec (loc : Location.t) =
+    match loc.Location.va with
+    | Some va -> placements := (Location.line_of ctx va, exec) :: !placements
+    | None -> ()
+  in
+  let emit ~node ~ops ~operands ~store ~label ~level ~bcost =
+    let id = Context.fresh_task_id ctx in
+    let task = Task.make ~id ~group ~node ~ops ~operands ?store ~label () in
+    tasks := task :: !tasks;
+    Context.add_load ctx ~node ~cost:(max 1 bcost);
+    if node <> split.Splitter.store_node then offload := Task.mix_add !offload task.Task.mix;
+    Hashtbl.replace levels id level;
+    task
+  in
+  (* Degenerate case: the whole statement's data sits on one node. *)
+  let single_node_schedule node =
+    let locs = items_of node in
+    let operands = List.filter_map (load_operand ctx env) locs in
+    let final_ops = draw (List.length all_ops) in
+    let bcost =
+      expected_occupancy ctx ~node ~ops_cost:(Task.cost_of_ops final_ops) ~items:locs
+    in
+    let task =
+      emit ~node ~ops:final_ops ~operands ~store:split.Splitter.store
+        ~label:(Printf.sprintf "g%d:final" group)
+        ~level:1 ~bcost
+    in
+    List.iter (note_placement node) locs;
+    {
+      tasks = List.rev !tasks;
+      root_task = task.Task.id;
+      join_arcs = [];
+      parallelism = 1;
+      offload_mix = !offload;
+      placements = !placements;
+    }
+  in
+  if split.Splitter.edges = [] then single_node_schedule split.Splitter.store_node
+  else begin
+    let tree = Tree.of_edges ~root:split.Splitter.store_node split.Splitter.edges in
+    let rec visit vertex =
+      let children = Tree.children tree vertex in
+      let child_results = List.map visit children in
+      let locs = items_of vertex in
+      let is_root = vertex = split.Splitter.store_node in
+      let local_loads = List.filter_map (load_operand ctx env) locs in
+      let deferred_loads =
+        List.filter_map
+          (function Deferred loc -> load_operand ctx env loc | From_task _ -> None)
+          child_results
+      in
+      let deferred_locs =
+        List.filter_map
+          (function Deferred loc -> Some loc | From_task _ -> None)
+          child_results
+      in
+      let result_ops =
+        List.filter_map
+          (function
+            | From_task { task; bytes } -> Some (Task.Result { producer = task; bytes })
+            | Deferred _ -> None)
+          child_results
+      in
+      let inputs = List.length local_loads + List.length deferred_loads + List.length result_ops in
+      if (not is_root) && inputs = 1 && result_ops = [] then begin
+        (* A lone data item: no computation here; the parent fetches it
+           directly (the leaf-node case of the MST walk). *)
+        match locs @ deferred_locs with
+        | [ loc ] -> Deferred loc
+        | _ -> assert false
+      end
+      else begin
+        let ops = if is_root then draw (List.length !ops_pool) else draw (max 0 (inputs - 1)) in
+        let alternatives =
+          (* "Skips this node and moves to the next one" (4.5): the result
+             travels toward the parent anyway, so every node on the mesh
+             route to the parent can host the combine without adding a
+             single link of movement; the children are equally free. *)
+          let en_route =
+            match Tree.parent tree vertex with
+            | None -> []
+            | Some parent ->
+              let mesh = Context.mesh ctx in
+              List.map
+                (fun (l : Ndp_noc.Mesh.link) -> l.Ndp_noc.Mesh.to_node)
+                (Ndp_noc.Mesh.xy_route mesh ~src:vertex ~dst:parent)
+          in
+          List.sort_uniq compare (children @ en_route)
+        in
+        let exec, bcost =
+          choose_exec_node ctx ~pinned:is_root ~preferred:vertex ~alternatives
+            ~ops_cost:(Task.cost_of_ops ops) ~items:(locs @ deferred_locs)
+        in
+        let level =
+          let producer_level = function
+            | Task.Result { producer; bytes = _ } ->
+              Option.value (Hashtbl.find_opt levels producer) ~default:0
+            | Task.Load _ -> 0
+          in
+          1 + List.fold_left (fun acc op -> max acc (producer_level op)) 0 result_ops
+        in
+        let operands = local_loads @ deferred_loads @ result_ops in
+        let store = if is_root then split.Splitter.store else None in
+        let label =
+          if is_root then Printf.sprintf "g%d:final" group
+          else Printf.sprintf "g%d:sub@%d" group exec
+        in
+        let task = emit ~node:exec ~ops ~operands ~store ~label ~level ~bcost in
+        List.iter (note_placement exec) (locs @ deferred_locs);
+        if List.length result_ops >= 2 then
+          List.iter
+            (function
+              | Task.Result { producer; bytes = _ } -> join_arcs := (producer, task.Task.id) :: !join_arcs
+              | Task.Load _ -> ())
+            result_ops;
+        (* A forwarded partial result is a single scalar, not a line. *)
+        From_task { task = task.Task.id; bytes = Context.bytes_of ctx stmt.Ndp_ir.Stmt.lhs }
+      end
+    in
+    (match visit split.Splitter.store_node with
+    | From_task _ -> ()
+    | Deferred _ -> assert false);
+    let tasks = List.rev !tasks in
+    let root_task =
+      match List.rev tasks with
+      | last :: _ -> last.Task.id
+      | [] -> assert false
+    in
+    let parallelism =
+      let counts = Hashtbl.create 8 in
+      List.iter
+        (fun (t : Task.t) ->
+          let l = Option.value (Hashtbl.find_opt levels t.Task.id) ~default:1 in
+          Hashtbl.replace counts l (Option.value (Hashtbl.find_opt counts l) ~default:0 + 1))
+        tasks;
+      Hashtbl.fold (fun _ c acc -> max c acc) counts 1
+    in
+    {
+      tasks;
+      root_task;
+      join_arcs = List.rev !join_arcs;
+      parallelism;
+      offload_mix = !offload;
+      placements = !placements;
+    }
+  end

@@ -1,0 +1,22 @@
+(** Subcomputation scheduling (Algorithm 1, lines 33-58; Section 4.3).
+
+    The statement MST is rooted at the store node and walked from the
+    leaves: each tree node combines its local data with the partial results
+    arriving from its children, and forwards one partial result to its
+    parent. A node with two or more children is a join and synchronizes on
+    its children (Figure 6). The final subcomputation always runs on the
+    store node — the result is never migrated (Section 4.5). Intermediate
+    subcomputations may be deflected to a neighbouring tree node by the
+    load balancer (10% rule, division counted 10x). *)
+
+type t = {
+  tasks : Ndp_sim.Task.t list; (** producers before consumers *)
+  root_task : int; (** final task id *)
+  join_arcs : (int * int) list; (** producer -> consumer sync arcs at joins *)
+  parallelism : int; (** antichain width of the task graph *)
+  offload_mix : Ndp_sim.Task.op_mix; (** ops moved off the store node *)
+  placements : (int * int) list; (** (VA line, node) L1 placements *)
+}
+
+val schedule :
+  Context.t -> group:int -> Splitter.t -> Ndp_ir.Stmt.t -> Ndp_ir.Env.t -> t

@@ -1,0 +1,148 @@
+module Kruskal = Ndp_graph.Kruskal
+module Mesh = Ndp_noc.Mesh
+
+type t = {
+  edges : Kruskal.edge list;
+  items_at : (int * Location.t list) list;
+  store_node : int;
+  store : (int * int) option;
+  nodes : int list;
+  est_movement : int;
+  predictions : (int * bool) list;
+}
+
+(* A component is the "single node" of the level-based optimization: either
+   one located reference or an already-processed inner set, identified by
+   the physical nodes its data occupies. *)
+type component = { members : int list }
+
+let min_pair mesh a b =
+  let best (bu, bv, bw) u v =
+    let w = Mesh.distance mesh u v in
+    if w < bw then (u, v, w) else (bu, bv, bw)
+  in
+  List.fold_left
+    (fun acc u -> List.fold_left (fun acc v -> best acc u v) acc b.members)
+    (-1, -1, max_int)
+    a.members
+
+(* Kruskal over components: the candidate edge between two components is
+   the concrete minimum-distance pair of member nodes. [guf] is the
+   statement-global union-find over physical nodes: Algorithm 1 pools the
+   per-level MST edges into one MSTedges set, so an edge whose endpoints
+   are already physically connected (by a sibling level's tree) would
+   create a cycle and is skipped — the existing path is reused. *)
+let mst_over mesh ~guf components =
+  let n = List.length components in
+  if n <= 1 then []
+  else begin
+    let arr = Array.of_list components in
+    let candidates = ref [] in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let u, v, w = min_pair mesh arr.(i) arr.(j) in
+        candidates := (w, i, j, u, v) :: !candidates
+      done
+    done;
+    let sorted = List.sort compare !candidates in
+    let uf = Ndp_graph.Union_find.create n in
+    let pick acc (w, i, j, u, v) =
+      if Ndp_graph.Union_find.union uf i j then
+        (* A zero-weight merge means the components share a physical node:
+           no link is traversed, so no tree edge is recorded. *)
+        if w = 0 || not (Ndp_graph.Union_find.union guf u v) then acc
+        else { Kruskal.u; v; weight = w } :: acc
+      else acc
+    in
+    List.fold_left pick [] sorted
+  end
+
+let flat_refs stmt = Ndp_ir.Stmt.inputs stmt
+
+let split (ctx : Context.t) ~store_node stmt env =
+  let mesh = Context.mesh ctx in
+  let items : (int, Location.t list) Hashtbl.t = Hashtbl.create 8 in
+  let predictions = ref [] in
+  let locate_item r =
+    let loc = Location.locate ctx ~store_node r env in
+    (match (loc.Location.predicted_hit, loc.Location.va) with
+    | Some p, Some va -> predictions := (va, p) :: !predictions
+    | _ -> ());
+    let cur = Option.value (Hashtbl.find_opt items loc.Location.node) ~default:[] in
+    Hashtbl.replace items loc.Location.node (loc :: cur);
+    loc
+  in
+  let edges = ref [] in
+  let guf = Ndp_graph.Union_find.create (Mesh.size mesh) in
+  (* Process one nested-set level: place every item, recurse into sub-sets,
+     then connect the level's components with an MST. Returns the member
+     node set of the completed level. *)
+  let rec process_level ?(extra = []) (set : Ndp_ir.Nested_set.t) =
+    let component_of_item = function
+      | Ndp_ir.Nested_set.Ref r ->
+        let loc = locate_item r in
+        Some { members = [ loc.Location.node ] }
+      | Ndp_ir.Nested_set.Const _ -> None
+      | Ndp_ir.Nested_set.Sub s -> Some { members = process_level s }
+    in
+    let components =
+      List.filter_map component_of_item set.Ndp_ir.Nested_set.items
+      @ List.map (fun n -> { members = [ n ] }) extra
+    in
+    (* Deduplicate identical singleton vertices (Algorithm 1, line 12). *)
+    let components =
+      List.fold_left
+        (fun acc c ->
+          match c.members with
+          | [ n ] when List.exists (fun c' -> c'.members = [ n ]) acc -> acc
+          | _ -> c :: acc)
+        [] components
+    in
+    edges := mst_over mesh ~guf components @ !edges;
+    List.sort_uniq compare (List.concat_map (fun c -> c.members) components)
+  in
+  let set =
+    if ctx.options.Context.level_based then Ndp_ir.Nested_set.of_expr stmt.Ndp_ir.Stmt.rhs
+    else
+      (* Ablation: ignore priority levels, flattening all references. *)
+      {
+        Ndp_ir.Nested_set.items =
+          List.map (fun r -> Ndp_ir.Nested_set.Ref r) (flat_refs stmt);
+        level_ops = Ndp_ir.Expr.ops stmt.Ndp_ir.Stmt.rhs;
+        reassociable = true;
+      }
+  in
+  let nodes = process_level ~extra:[ store_node ] set in
+  let store =
+    Option.map
+      (fun va -> (va, Context.bytes_of ctx stmt.Ndp_ir.Stmt.lhs))
+      (ctx.runtime_resolve stmt.Ndp_ir.Stmt.lhs env)
+  in
+  let edges = !edges in
+  {
+    edges;
+    items_at = Hashtbl.fold (fun node locs acc -> (node, List.rev locs) :: acc) items [];
+    store_node;
+    store;
+    nodes;
+    est_movement = Kruskal.total_weight edges;
+    predictions = List.rev !predictions;
+  }
+
+let unsplit t =
+  let all_items = List.concat_map snd t.items_at in
+  {
+    t with
+    edges = [];
+    items_at = [ (t.store_node, all_items) ];
+    nodes = [ t.store_node ];
+  }
+
+let default_movement (ctx : Context.t) ~store_node stmt env =
+  let mesh = Context.mesh ctx in
+  let movement_of r =
+    match ctx.runtime_resolve r env with
+    | None -> 0
+    | Some va -> Mesh.distance mesh store_node (Ndp_sim.Machine.home_node ctx.machine ~va)
+  in
+  List.fold_left (fun acc r -> acc + movement_of r) 0 (Ndp_ir.Stmt.inputs stmt)

@@ -1,0 +1,33 @@
+(** Single-statement splitting (Algorithm 1, lines 1-32).
+
+    The statement's references are classified into nested sets by operator
+    priority; processing proceeds innermost set first, running Kruskal's
+    algorithm per level with already-processed sets treated as single
+    components (their member nodes collectively form one vertex, and the
+    distance to a component is the minimum distance to any member). The
+    union of the per-level MST edges is a spanning tree over the distinct
+    physical nodes holding the statement's data, rooted at the store node. *)
+
+type t = {
+  edges : Ndp_graph.Kruskal.edge list;
+      (** tree edges over physical node ids; total weight = the minimized
+          data movement in links *)
+  items_at : (int * Location.t list) list;
+      (** data to be consumed at each physical node *)
+  store_node : int;
+  store : (int * int) option; (** runtime (va, bytes) of the output *)
+  nodes : int list; (** all distinct physical nodes, including the store *)
+  est_movement : int; (** sum of edge weights — Equation 1 with unit size *)
+  predictions : (int * bool) list; (** (va, predicted L2 hit) pairs made *)
+}
+
+val split : Context.t -> store_node:int -> Ndp_ir.Stmt.t -> Ndp_ir.Env.t -> t
+
+val default_movement : Context.t -> store_node:int -> Ndp_ir.Stmt.t -> Ndp_ir.Env.t -> int
+(** Links traversed by the default execution (every operand fetched to the
+    store node) — the 13 of Figure 3. *)
+
+val unsplit : t -> t
+(** Collapse a split back to whole-statement execution at the store node:
+    no tree edges, every item consumed there. Used when the MST cannot
+    beat the default movement. *)

@@ -1,0 +1,24 @@
+let minimize ~enabled arcs =
+  let arcs = List.sort_uniq compare arcs in
+  if (not enabled) || arcs = [] then arcs
+  else begin
+    (* Compact task ids to a dense range for the reduction. *)
+    let ids = List.sort_uniq compare (List.concat_map (fun (a, b) -> [ a; b ]) arcs) in
+    let index = Hashtbl.create (List.length ids) in
+    List.iteri (fun i id -> Hashtbl.replace index id i) ids;
+    let back = Array.of_list ids in
+    let dense = List.map (fun (a, b) -> (Hashtbl.find index a, Hashtbl.find index b)) arcs in
+    let n = List.length ids in
+    if not (Ndp_graph.Transitive.is_dag ~n dense) then arcs
+    else
+      Ndp_graph.Transitive.reduction ~n dense
+      |> List.map (fun (a, b) -> (back.(a), back.(b)))
+  end
+
+let syncs_per_consumer arcs =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (_, consumer) ->
+      Hashtbl.replace tbl consumer (Option.value (Hashtbl.find_opt tbl consumer) ~default:0 + 1))
+    arcs;
+  tbl

@@ -1,0 +1,13 @@
+(** Transitive-closure-based synchronization minimization (Section 4.5).
+
+    The synchronization graph has one vertex per subcomputation instance
+    and an arc wherever one subcomputation must wait for another. An arc
+    already implied by a longer chain of arcs is redundant and dropped. *)
+
+val minimize : enabled:bool -> (int * int) list -> (int * int) list
+(** [minimize ~enabled arcs] returns the surviving arcs (deduplicated).
+    Arc endpoints are arbitrary task ids. When [enabled] is false only
+    exact duplicates are removed, preserving the unminimized count. *)
+
+val syncs_per_consumer : (int * int) list -> (int, int) Hashtbl.t
+(** Number of surviving arcs into each consumer task. *)

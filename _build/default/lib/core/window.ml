@@ -1,0 +1,209 @@
+module Task = Ndp_sim.Task
+module Dep = Ndp_ir.Dependence
+
+type meta = { group : int; default_node : int; inst : Dep.instance }
+
+type stmt_report = {
+  r_group : int;
+  est_movement : int;
+  default_est : int;
+  parallelism : int;
+  task_count : int;
+  offload_mix : Task.op_mix;
+  syncs : int;
+}
+
+type compiled = {
+  tasks : (Task.t * int) list;
+  reports : stmt_report list;
+  sync_count : int;
+  predictions : (int * bool) list;
+}
+
+(* The root of the statement MST is the node the default placement
+   assigned the iteration to (Figure 8: node i computes the final
+   combine); the result's write-back still goes to its home bank, which
+   the engine models in the store path. Keeping the final subcomputation
+   on the assigned node preserves the default's iteration-level balance —
+   rooting at the LHS home bank would serialize the 8 statements sharing
+   an output cache line onto one node. *)
+let store_node_of (_ctx : Context.t) meta = meta.default_node
+
+let chunk list size =
+  if size <= 0 then invalid_arg "Window.chunk: size must be positive";
+  let rec go acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if n = size then go (List.rev cur :: acc) [ x ] 1 rest
+      else go acc (x :: cur) (n + 1) rest
+  in
+  go [] [] 0 list
+
+let compile (ctx : Context.t) metas =
+  Context.clear_reuse ctx;
+  let per_stmt =
+    List.map
+      (fun meta ->
+        let stmt = meta.inst.Dep.stmt in
+        let env = meta.inst.Dep.env in
+        let store_node = store_node_of ctx meta in
+        let split = Splitter.split ctx ~store_node stmt env in
+        let default_est = Splitter.default_movement ctx ~store_node stmt env in
+        (* Splitting must satisfy the minimum-data-movement requirement:
+           when the MST saves nothing over fetching every operand to the
+           store node (tiny network footprints — the paper's Cholesky/LU
+           case), the statement executes whole on its store node. *)
+        (* The estimate counts links only; synchronization and partial-
+           result forwarding are not in it, so splitting must clear a
+           margin before it is worth doing. *)
+        let margin_num, margin_den = (7, 10) in
+        let split =
+          if split.Splitter.est_movement * margin_den < default_est * margin_num then split
+          else { (Splitter.unsplit split) with Splitter.est_movement = default_est }
+        in
+        let sched = Schedule.schedule ctx ~group:meta.group split stmt env in
+        Context.advance_statement ctx;
+        (* Propagate this statement's L1 placements to later statements in
+           the window (the variable2node map of Algorithm 1, line 37). *)
+        List.iter (fun (line, node) -> Context.note_cached ctx ~line ~node) sched.Schedule.placements;
+        (match split.Splitter.store with
+        | Some (va, _) ->
+          Context.note_cached ctx ~line:(Location.line_of ctx va) ~node:store_node
+        | None -> ());
+        (meta, split, sched, default_est))
+      metas
+  in
+  (* Inter-statement dependences (flow/anti/output, including conservative
+     may-deps) become arcs from the producer's final task to the consuming
+     statement's task graph. *)
+  let instances = List.map (fun m -> m.inst) metas in
+  let deps = Dep.analyze ctx.compiler_resolve instances in
+  let arr = Array.of_list per_stmt in
+  let inter_arcs =
+    List.filter_map
+      (fun (d : Dep.dep) ->
+        let _, _, src_sched, _ = arr.(d.Dep.src) in
+        let _, _, dst_sched, _ = arr.(d.Dep.dst) in
+        let producer = src_sched.Schedule.root_task in
+        let consumer = dst_sched.Schedule.root_task in
+        if producer = consumer then None else Some (producer, consumer, d.Dep.kind))
+      deps
+  in
+  let join_arcs = List.concat_map (fun (_, _, s, _) -> s.Schedule.join_arcs) per_stmt in
+  (* A producer and consumer on the same node are ordered by the node's
+     program; only cross-node waits need a synchronization handshake. *)
+  let node_of_task = Hashtbl.create 64 in
+  List.iter
+    (fun (_, _, s, _) ->
+      List.iter
+        (fun (t : Task.t) -> Hashtbl.replace node_of_task t.Task.id t.Task.node)
+        s.Schedule.tasks)
+    per_stmt;
+  let cross_node (p, c) = Hashtbl.find_opt node_of_task p <> Hashtbl.find_opt node_of_task c in
+  let all_arcs =
+    List.filter cross_node (join_arcs @ List.map (fun (p, c, _) -> (p, c)) inter_arcs)
+  in
+  let surviving = Sync_min.minimize ~enabled:ctx.options.Context.sync_minimize all_arcs in
+  let sync_of = Sync_min.syncs_per_consumer surviving in
+  (* Inter-statement arcs that survive also order execution: attach them as
+     Result operands (flow deps carry a cache line; anti/output deps carry
+     a token). *)
+  let extra_operands = Hashtbl.create 16 in
+  List.iter
+    (fun (p, c, kind) ->
+      if List.mem (p, c) surviving then begin
+        let bytes = match kind with Dep.Flow | Dep.Anti | Dep.Output -> 8 in
+        let cur = Option.value (Hashtbl.find_opt extra_operands c) ~default:[] in
+        Hashtbl.replace extra_operands c (Task.Result { producer = p; bytes } :: cur)
+      end)
+    inter_arcs;
+  let finalize (task : Task.t) =
+    let extras = Option.value (Hashtbl.find_opt extra_operands task.Task.id) ~default:[] in
+    let syncs = Option.value (Hashtbl.find_opt sync_of task.Task.id) ~default:0 in
+    { task with Task.operands = task.Task.operands @ extras; Task.syncs }
+  in
+  let tasks = List.concat_map (fun (_, _, s, _) -> List.map finalize s.Schedule.tasks) per_stmt in
+  (* Emit the window level-by-level (all dependency-free subcomputations
+     first), so a node's generated program never blocks a ready
+     subcomputation behind one that is still waiting for remote partial
+     results — the interleaving the paper's code generator produces
+     (Figure 8). The sort is stable, preserving producer-before-consumer
+     within a level chain. *)
+  let level_of = Hashtbl.create 64 in
+  List.iter
+    (fun (t : Task.t) ->
+      let producer_level = function
+        | Task.Result { producer; bytes = _ } ->
+          Option.value (Hashtbl.find_opt level_of producer) ~default:0
+        | Task.Load _ -> 0
+      in
+      let level = 1 + List.fold_left (fun acc op -> max acc (producer_level op)) 0 t.Task.operands in
+      Hashtbl.replace level_of t.Task.id level)
+    tasks;
+  let tasks =
+    List.stable_sort
+      (fun (a, la) (b, lb) ->
+        ignore (a : Task.t);
+        ignore (b : Task.t);
+        compare la lb)
+      (List.map (fun (t : Task.t) -> (t, Hashtbl.find level_of t.Task.id)) tasks)
+  in
+  let group_syncs = Hashtbl.create 16 in
+  List.iter
+    (fun ((t : Task.t), _) ->
+      if t.Task.syncs > 0 then
+        Hashtbl.replace group_syncs t.Task.group
+          (Option.value (Hashtbl.find_opt group_syncs t.Task.group) ~default:0 + t.Task.syncs))
+    tasks;
+  let reports =
+    List.map
+      (fun (meta, split, sched, default_est) ->
+        {
+          r_group = meta.group;
+          est_movement = split.Splitter.est_movement;
+          default_est;
+          parallelism = sched.Schedule.parallelism;
+          task_count = List.length sched.Schedule.tasks;
+          offload_mix = sched.Schedule.offload_mix;
+          syncs = Option.value (Hashtbl.find_opt group_syncs meta.group) ~default:0;
+        })
+      per_stmt
+  in
+  let predictions = List.concat_map (fun (_, sp, _, _) -> sp.Splitter.predictions) per_stmt in
+  { tasks; reports; sync_count = List.length surviving; predictions }
+
+(* Preprocessing objective: estimated links traversed plus the cost of the
+   synchronizations the window structure induces, expressed in links
+   (sync handshake cycles over per-link cycles). Movement alone is
+   monotone in the window size; synchronizations are what push back. *)
+let movement_estimate (ctx : Context.t) metas ~window =
+  let ctx = Context.fork_for_estimate ctx in
+  let sync_links =
+    let c = ctx.Context.config in
+    max 1 (c.Ndp_sim.Config.sync_cycles / c.Ndp_sim.Config.hop_cycles) + 2
+  in
+  let windows = chunk metas window in
+  List.fold_left
+    (fun acc w ->
+      let compiled = compile ctx w in
+      let movement =
+        List.fold_left (fun acc r -> acc + r.est_movement) 0 compiled.reports
+      in
+      acc + movement + (sync_links * compiled.sync_count))
+    0 windows
+
+(* The preprocessing estimates movement on a prefix of the instance stream;
+   loop iterations are statistically uniform, so a few hundred instances
+   characterize the nest. *)
+let preprocessing_sample = 256
+
+let choose_size (ctx : Context.t) metas ~max:max_size =
+  let sample = List.filteri (fun i _ -> i < preprocessing_sample) metas in
+  let rec best w best_w best_m =
+    if w > max_size then best_w
+    else begin
+      let m = movement_estimate ctx sample ~window:w in
+      if m < best_m then best (w + 1) w m else best (w + 1) best_w best_m
+    end
+  in
+  best 1 1 max_int

@@ -1,0 +1,53 @@
+(** Window-based multi-statement scheduling (Sections 4.3-4.4).
+
+    A window is a run of consecutive statement instances. Within a window
+    the variable2node map propagates L1 placements from already-scheduled
+    subcomputations to later MSTs, inter-statement dependences are turned
+    into ordered result arcs, and the synchronization graph is minimized.
+    The window-size preprocessing compiles each nest under every window
+    size from 1 to the configured maximum and keeps the size with the
+    least estimated data movement. *)
+
+type meta = {
+  group : int; (** global statement-instance id *)
+  default_node : int; (** node the default placement would use *)
+  inst : Ndp_ir.Dependence.instance;
+}
+
+type stmt_report = {
+  r_group : int;
+  est_movement : int;
+  default_est : int;
+  parallelism : int;
+  task_count : int;
+  offload_mix : Ndp_sim.Task.op_mix;
+  syncs : int; (** surviving synchronizations charged to this statement *)
+}
+
+type compiled = {
+  tasks : (Ndp_sim.Task.t * int) list;
+      (** tasks with their dependency level (1 = no result operands),
+          sorted level-major so ready subcomputations precede waiting
+          ones in every node's generated program *)
+  reports : stmt_report list;
+  sync_count : int; (** surviving synchronization arcs *)
+  predictions : (int * bool) list; (** (va, predicted hit) in issue order *)
+}
+
+val store_node_of : Context.t -> meta -> int
+(** Home node of the statement's output under the compiler's view; falls
+    back to the default node when the output is unanalyzable. *)
+
+val compile : Context.t -> meta list -> compiled
+(** Compile one window. Clears and then populates the variable2node map. *)
+
+val choose_size : Context.t -> meta list -> max:int -> int
+(** The preprocessing step of Section 4.4: pick the window size in
+    [1..max] minimizing total estimated data movement over the instance
+    stream of one loop nest. *)
+
+val chunk : 'a list -> int -> 'a list list
+
+val movement_estimate : Context.t -> meta list -> window:int -> int
+(** Total estimated movement when compiling the stream under a fixed
+    window size (no simulation; used by preprocessing and tests). *)

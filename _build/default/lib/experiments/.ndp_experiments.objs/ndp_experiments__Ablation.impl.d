@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Common List Ndp_core Ndp_mem Ndp_prelude Ndp_sim Printf

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Hashtbl List Ndp_core Ndp_mem Ndp_noc Ndp_prelude Ndp_sim Ndp_workloads Printf String

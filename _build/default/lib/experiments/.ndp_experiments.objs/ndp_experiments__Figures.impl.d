@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Array Common Float List Ndp_core Ndp_ir Ndp_noc Ndp_prelude Ndp_sim Printf

@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Common List Ndp_core Ndp_prelude Ndp_sim

@@ -1,0 +1,66 @@
+module Pipeline = Ndp_core.Pipeline
+module Config = Ndp_sim.Config
+
+type t = {
+  cache : (string, Pipeline.result) Hashtbl.t;
+  mutable kernels : Ndp_core.Kernel.t list option;
+}
+
+let create () = { cache = Hashtbl.create 64; kernels = None }
+
+let apps t =
+  match t.kernels with
+  | Some ks -> ks
+  | None ->
+    let ks = Ndp_workloads.Suite.all () in
+    t.kernels <- Some ks;
+    ks
+
+let config_key (c : Config.t) =
+  Printf.sprintf "%s/%s/%s/l1b" (Ndp_noc.Cluster.letter c.Config.cluster)
+    (Config.memory_mode_letter c.Config.memory_mode)
+    (match c.Config.page_policy with
+    | Ndp_mem.Page_alloc.Coloring -> "col"
+    | Ndp_mem.Page_alloc.Scrambled -> "scr")
+
+let tweaks_key (tw : Pipeline.tweaks) =
+  if tw = Pipeline.no_tweaks then ""
+  else
+    Printf.sprintf "|b%.3f d%.3f mc%d c%.2f s%d" tw.Pipeline.l1_boost tw.Pipeline.distance_factor
+      (List.length tw.Pipeline.mc_overrides) tw.Pipeline.cost_scale tw.Pipeline.extra_syncs
+
+let scheme_key = function
+  | Pipeline.Default -> "default"
+  | Pipeline.Partitioned o ->
+    Printf.sprintf "part(w=%s,r=%b,s=%b,l=%b,bt=%s,id=%b,insp=%b)"
+      (match o.Pipeline.window with Pipeline.Adaptive -> "a" | Pipeline.Fixed k -> string_of_int k)
+      o.Pipeline.reuse_aware o.Pipeline.sync_minimize o.Pipeline.level_based
+      (match o.Pipeline.balance_threshold with None -> "-" | Some f -> Printf.sprintf "%.2f" f)
+      o.Pipeline.ideal_data o.Pipeline.use_inspector
+
+let run t ?(config = Config.default) ?(tweaks = Pipeline.no_tweaks) ?(key_suffix = "") scheme
+    kernel =
+  let key =
+    String.concat "#"
+      [
+        kernel.Ndp_core.Kernel.name; scheme_key scheme; config_key config; tweaks_key tweaks;
+        key_suffix;
+      ]
+  in
+  match Hashtbl.find_opt t.cache key with
+  | Some r -> r
+  | None ->
+    let r = Pipeline.run ~config ~tweaks scheme kernel in
+    Hashtbl.replace t.cache key r;
+    r
+
+let default_of t kernel = run t Pipeline.Default kernel
+
+let ours_of t kernel = run t (Pipeline.Partitioned Pipeline.partitioned_defaults) kernel
+
+let improvement ~base ~opt =
+  Ndp_prelude.Stats.improvement_pct (float_of_int base) (float_of_int opt)
+
+let geomean_improvement rows =
+  (* Geometric mean over percentages needs positive values; clamp small. *)
+  Ndp_prelude.Stats.geomean (List.map (fun (v, _) -> max 0.1 v) rows)

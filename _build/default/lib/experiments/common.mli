@@ -1,0 +1,32 @@
+(** Shared run cache for the experiment drivers: the same (app, scheme,
+    config, tweaks) simulation backs several figures, so results are
+    memoized per process. *)
+
+type t
+
+val create : unit -> t
+
+val apps : t -> Ndp_core.Kernel.t list
+(** The twelve-application suite, constructed once. *)
+
+val run :
+  t ->
+  ?config:Ndp_sim.Config.t ->
+  ?tweaks:Ndp_core.Pipeline.tweaks ->
+  ?key_suffix:string ->
+  Ndp_core.Pipeline.scheme ->
+  Ndp_core.Kernel.t ->
+  Ndp_core.Pipeline.result
+(** Memoized {!Ndp_core.Pipeline.run}. [key_suffix] must distinguish calls
+    whose config/tweaks differ in ways the automatic key cannot see. *)
+
+val default_of : t -> Ndp_core.Kernel.t -> Ndp_core.Pipeline.result
+(** The baseline run under the default config. *)
+
+val ours_of : t -> Ndp_core.Kernel.t -> Ndp_core.Pipeline.result
+(** The full partitioned scheme under the default config. *)
+
+val improvement : base:int -> opt:int -> float
+(** Percent reduction. *)
+
+val geomean_improvement : (float * 'a) list -> float

@@ -1,0 +1,10 @@
+(** Tables 1-3 of the paper, regenerated from measurements. *)
+
+val table1 : Common.t -> unit
+(** Fraction of compile-time analyzable data references per application. *)
+
+val table2 : Common.t -> unit
+(** L2 hit/miss predictor accuracy per application. *)
+
+val table3 : Common.t -> unit
+(** Operation-type mix of the computations re-mapped by the partitioner. *)

@@ -1,0 +1,1 @@
+lib/graph/kruskal.ml: List Union_find

@@ -1,0 +1,1 @@
+lib/graph/rooted_tree.ml: Hashtbl Kruskal List Option Queue

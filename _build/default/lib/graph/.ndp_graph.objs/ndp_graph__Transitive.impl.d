@@ -1,0 +1,1 @@
+lib/graph/transitive.ml: Array List Queue

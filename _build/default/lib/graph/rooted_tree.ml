@@ -1,0 +1,72 @@
+type t = {
+  root : int;
+  parents : (int, int * int) Hashtbl.t; (* vertex -> parent, edge weight *)
+  childmap : (int, int list) Hashtbl.t;
+  order : int list; (* vertices in BFS order from the root *)
+}
+
+let of_edges ~root edges =
+  let adj = Hashtbl.create 16 in
+  let add u v w =
+    let cur = Option.value (Hashtbl.find_opt adj u) ~default:[] in
+    Hashtbl.replace adj u ((v, w) :: cur)
+  in
+  List.iter (fun (e : Kruskal.edge) -> add e.u e.v e.weight; add e.v e.u e.weight) edges;
+  let parents = Hashtbl.create 16 in
+  let childmap = Hashtbl.create 16 in
+  let visited = Hashtbl.create 16 in
+  Hashtbl.replace visited root ();
+  let order = ref [ root ] in
+  let queue = Queue.create () in
+  Queue.push root queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let neighbors = Option.value (Hashtbl.find_opt adj u) ~default:[] in
+    let attach (v, w) =
+      if not (Hashtbl.mem visited v) then begin
+        Hashtbl.replace visited v ();
+        Hashtbl.replace parents v (u, w);
+        let cur = Option.value (Hashtbl.find_opt childmap u) ~default:[] in
+        Hashtbl.replace childmap u (v :: cur);
+        order := v :: !order;
+        Queue.push v queue
+      end
+      else
+        match Hashtbl.find_opt parents u with
+        | Some (p, _) when p = v -> ()
+        | _ when v = root && u <> root -> ()
+        | _ ->
+          (* A visited neighbor that is not our parent means a cycle. *)
+          if not (u = root && Hashtbl.mem parents v) then
+            invalid_arg "Rooted_tree.of_edges: edge set contains a cycle"
+    in
+    List.iter attach (List.sort compare neighbors)
+  done;
+  if Hashtbl.length visited <> List.length edges + 1 then
+    invalid_arg "Rooted_tree.of_edges: edge set is not a tree reaching the root";
+  { root; parents; childmap; order = List.rev !order }
+
+let root t = t.root
+
+let children t v =
+  List.sort compare (Option.value (Hashtbl.find_opt t.childmap v) ~default:[])
+
+let parent t v = Option.map fst (Hashtbl.find_opt t.parents v)
+
+let vertices t = t.order
+
+let leaves t = List.filter (fun v -> children t v = []) t.order
+
+let edge_weight t v =
+  match Hashtbl.find_opt t.parents v with
+  | Some (_, w) -> w
+  | None -> invalid_arg "Rooted_tree.edge_weight: root has no parent edge"
+
+let postorder t =
+  let rec walk v acc = v :: List.fold_right walk (children t v) acc in
+  List.rev (walk t.root [])
+
+let rec depth t v =
+  match parent t v with
+  | None -> 0
+  | Some p -> 1 + depth t p

@@ -1,0 +1,33 @@
+(** Rooted views of spanning trees.
+
+    The subcomputation scheduler walks the statement MST from its leaves
+    toward the node that stores the final result; this module provides that
+    rooted structure. *)
+
+type t
+
+val of_edges : root:int -> Kruskal.edge list -> t
+(** Orient an (acyclic, connected) edge set away from [root].
+    Raises [Invalid_argument] if the edges contain a cycle or do not reach
+    the root-connected component consistently. *)
+
+val root : t -> int
+
+val children : t -> int -> int list
+(** Children in deterministic (ascending) order. *)
+
+val parent : t -> int -> int option
+(** [None] exactly for the root. *)
+
+val vertices : t -> int list
+
+val leaves : t -> int list
+
+val edge_weight : t -> int -> int
+(** Weight of the edge from a non-root vertex to its parent. *)
+
+val postorder : t -> int list
+(** Every vertex after all of its children. *)
+
+val depth : t -> int -> int
+(** Distance in edges from the root. *)

@@ -1,0 +1,61 @@
+let adjacency ~n edges =
+  let adj = Array.make n [] in
+  List.iter (fun (u, v) -> adj.(u) <- v :: adj.(u)) edges;
+  adj
+
+let topological_order ~n edges =
+  let adj = adjacency ~n edges in
+  let indeg = Array.make n 0 in
+  List.iter (fun (_, v) -> indeg.(v) <- indeg.(v) + 1) edges;
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.push v queue
+  done;
+  let order = ref [] in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    order := u :: !order;
+    let relax v =
+      indeg.(v) <- indeg.(v) - 1;
+      if indeg.(v) = 0 then Queue.push v queue
+    in
+    List.iter relax adj.(u)
+  done;
+  if List.length !order <> n then None else Some (List.rev !order)
+
+let is_dag ~n edges = topological_order ~n edges <> None
+
+let closure ~n edges =
+  let reach = Array.make_matrix n n false in
+  List.iter (fun (u, v) -> reach.(u).(v) <- true) edges;
+  (* Floyd-Warshall style closure; n is the number of subcomputations in a
+     window, which stays small, so the cubic cost is immaterial. *)
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      if reach.(i).(k) then
+        for j = 0 to n - 1 do
+          if reach.(k).(j) then reach.(i).(j) <- true
+        done
+    done
+  done;
+  reach
+
+let reduction ~n edges =
+  if not (is_dag ~n edges) then invalid_arg "Transitive.reduction: graph has a cycle";
+  let edges = List.sort_uniq compare edges in
+  let adj = adjacency ~n edges in
+  (* reach_without u v e: is v reachable from u using edges other than e? *)
+  let redundant (u, v) =
+    let visited = Array.make n false in
+    let rec dfs x =
+      if x = v then true
+      else if visited.(x) then false
+      else begin
+        visited.(x) <- true;
+        let step y = if x = u && y = v then false else dfs y in
+        List.exists step adj.(x)
+      end
+    in
+    dfs u
+  in
+  List.filter (fun e -> not (redundant e)) edges

@@ -1,0 +1,14 @@
+(** Reachability and redundant-edge elimination on DAGs.
+
+    The synchronization minimizer drops a point-to-point synchronization
+    [a -> b] whenever a longer chain from [a] to [b] already orders the two
+    subcomputations (Section 4.5 of the paper). *)
+
+val closure : n:int -> (int * int) list -> bool array array
+(** [closure ~n edges] is the reachability matrix over vertices [0..n-1]. *)
+
+val reduction : n:int -> (int * int) list -> (int * int) list
+(** Transitive reduction: the subset of edges that are not implied by any
+    other path. Input must be a DAG; raises [Invalid_argument] on cycles. *)
+
+val is_dag : n:int -> (int * int) list -> bool

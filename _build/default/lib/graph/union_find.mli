@@ -1,0 +1,17 @@
+(** Disjoint-set forest with union by rank and path compression. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Representative of the set containing the element. *)
+
+val union : t -> int -> int -> bool
+(** Merge the two sets; [false] when already in the same set. *)
+
+val same : t -> int -> int -> bool
+
+val count : t -> int
+(** Number of disjoint sets currently present. *)

@@ -1,0 +1,1 @@
+lib/ir/dependence.ml: Array Env List Reference Stmt

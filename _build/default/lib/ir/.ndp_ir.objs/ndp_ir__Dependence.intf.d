@@ -1,0 +1,1 @@
+lib/ir/dependence.mli: Env Reference Stmt

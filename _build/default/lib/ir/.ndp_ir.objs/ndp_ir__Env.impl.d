@@ -1,0 +1,1 @@
+lib/ir/env.ml: Format List

@@ -1,0 +1,1 @@
+lib/ir/env.mli: Format

@@ -1,0 +1,1 @@
+lib/ir/inspector.ml: Array Hashtbl Reference Subscript

@@ -1,0 +1,1 @@
+lib/ir/inspector.mli: Dependence

@@ -1,0 +1,1 @@
+lib/ir/loop.ml: Array_decl Env Format List Stmt

@@ -1,0 +1,1 @@
+lib/ir/loop.mli: Array_decl Env Format Stmt

@@ -1,0 +1,1 @@
+lib/ir/nested_set.ml: Expr List Op Printf Reference String

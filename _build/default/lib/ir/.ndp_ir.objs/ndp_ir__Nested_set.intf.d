@@ -1,0 +1,1 @@
+lib/ir/nested_set.mli: Expr Op Reference

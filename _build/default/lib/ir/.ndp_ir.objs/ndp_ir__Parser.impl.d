@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Expr List Op Printf Reference Stmt String Subscript

@@ -1,0 +1,1 @@
+lib/ir/subscript.ml: Env List Option Printf String

@@ -1,0 +1,20 @@
+type t = { name : string; length : int; elem_size : int; base_va : int }
+
+let round_up v multiple = (v + multiple - 1) / multiple * multiple
+
+let layout ?(page_size = 4096) decls =
+  let place (next_va, acc) (name, length, elem_size) =
+    if length <= 0 || elem_size <= 0 then
+      invalid_arg "Array_decl.layout: length and elem_size must be positive";
+    let decl = { name; length; elem_size; base_va = next_va } in
+    let next_va = round_up (next_va + (length * elem_size)) page_size in
+    (next_va, decl :: acc)
+  in
+  let _, acc = List.fold_left place (page_size, []) decls in
+  List.rev acc
+
+let address t i =
+  let i = ((i mod t.length) + t.length) mod t.length in
+  t.base_va + (i * t.elem_size)
+
+let find decls name = List.find (fun d -> d.name = name) decls

@@ -1,0 +1,19 @@
+(** Array declarations with a virtual-address layout. *)
+
+type t = {
+  name : string;
+  length : int; (** number of elements *)
+  elem_size : int; (** bytes per element *)
+  base_va : int; (** virtual base address, page aligned *)
+}
+
+val layout : ?page_size:int -> (string * int * int) list -> t list
+(** [layout decls] assigns consecutive page-aligned virtual base addresses
+    to [(name, length, elem_size)] declarations, in order. *)
+
+val address : t -> int -> int
+(** Virtual address of element [i]. Out-of-range indices are wrapped into
+    the array (synthetic kernels index modulo their data set). *)
+
+val find : t list -> string -> t
+(** Raises [Not_found] for undeclared arrays. *)

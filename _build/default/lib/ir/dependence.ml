@@ -1,0 +1,50 @@
+type instance = { stmt_idx : int; stmt : Stmt.t; env : Env.t }
+
+type kind = Flow | Anti | Output
+
+type dep = { src : int; dst : int; kind : kind; may : bool }
+
+type resolver = Reference.t -> Env.t -> int option
+
+type access = { ref_ : Reference.t; addr : int option }
+
+let accesses resolver inst =
+  let resolve r = { ref_ = r; addr = resolver r inst.env } in
+  (resolve (Stmt.output inst.stmt), List.map resolve (Stmt.inputs inst.stmt))
+
+(* Two accesses conflict when they certainly touch the same element, or when
+   either is unresolvable and the arrays match (a may-dependence). *)
+let conflict a b =
+  if a.ref_.Reference.array <> b.ref_.Reference.array then None
+  else
+    match (a.addr, b.addr) with
+    | Some x, Some y -> if x = y then Some false else None
+    | None, _ | _, None -> Some true
+
+let analyze resolver instances =
+  let arr = Array.of_list instances in
+  let resolved = Array.map (accesses resolver) arr in
+  let deps = ref [] in
+  let add src dst kind may = deps := { src; dst; kind; may } :: !deps in
+  let n = Array.length arr in
+  for i = 0 to n - 1 do
+    let wi, ri = resolved.(i) in
+    for j = i + 1 to n - 1 do
+      let wj, rj = resolved.(j) in
+      (match conflict wi wj with
+      | Some may -> add i j Output may
+      | None -> ());
+      List.iter
+        (fun r -> match conflict wi r with Some may -> add i j Flow may | None -> ())
+        rj;
+      List.iter
+        (fun r -> match conflict r wj with Some may -> add i j Anti may | None -> ())
+        ri
+    done
+  done;
+  List.rev !deps
+
+let kind_to_string = function Flow -> "flow" | Anti -> "anti" | Output -> "output"
+
+let must_serialize deps ~src ~dst =
+  List.exists (fun d -> d.src = src && d.dst = dst) deps

@@ -1,0 +1,34 @@
+(** Dependence analysis over statement instances.
+
+    The partitioner works on concrete statement instances (a statement in a
+    given loop iteration), so dependences are computed by resolving each
+    reference to the element it touches. References a resolver cannot
+    analyze (indirect subscripts without inspector data) yield conservative
+    {e may}-dependences against every access to the same array. *)
+
+type instance = {
+  stmt_idx : int; (** position of the statement in program order *)
+  stmt : Stmt.t;
+  env : Env.t;
+}
+
+type kind = Flow | Anti | Output
+
+type dep = {
+  src : int; (** index into the analyzed instance list *)
+  dst : int;
+  kind : kind;
+  may : bool; (** [true] when at least one side was unresolvable *)
+}
+
+type resolver = Reference.t -> Env.t -> int option
+(** Maps a reference under an iteration environment to the address of the
+    element it touches; [None] when not compile-time analyzable. *)
+
+val analyze : resolver -> instance list -> dep list
+(** All pairwise dependences with [src < dst] in list order. *)
+
+val kind_to_string : kind -> string
+
+val must_serialize : dep list -> src:int -> dst:int -> bool
+(** Whether any dependence orders the two instances. *)

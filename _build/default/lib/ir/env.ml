@@ -1,0 +1,20 @@
+type t = (string * int) list
+
+let empty = []
+
+let bind name value t = (name, value) :: List.remove_assoc name t
+
+let lookup t name = List.assoc_opt name t
+
+let get t name =
+  match lookup t name with
+  | Some v -> v
+  | None -> raise Not_found
+
+let of_list l = List.fold_left (fun acc (n, v) -> bind n v acc) empty l
+
+let to_list t = List.sort compare t
+
+let pp ppf t =
+  let pp_binding ppf (n, v) = Format.fprintf ppf "%s=%d" n v in
+  Format.fprintf ppf "{%a}" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_binding) (to_list t)

@@ -1,0 +1,20 @@
+(** Bindings of loop variables to concrete iteration values. *)
+
+type t
+
+val empty : t
+
+val bind : string -> int -> t -> t
+(** Shadows any previous binding of the same variable. *)
+
+val lookup : t -> string -> int option
+
+val get : t -> string -> int
+(** Raises [Not_found] when unbound. *)
+
+val of_list : (string * int) list -> t
+
+val to_list : t -> (string * int) list
+(** Sorted by variable name. *)
+
+val pp : Format.formatter -> t -> unit

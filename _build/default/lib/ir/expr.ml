@@ -1,0 +1,24 @@
+type t =
+  | Const of float
+  | Ref of Reference.t
+  | Binop of Op.t * t * t
+  | Group of t
+
+let rec refs = function
+  | Const _ -> []
+  | Ref r -> [ r ]
+  | Binop (_, a, b) -> refs a @ refs b
+  | Group e -> refs e
+
+let rec ops = function
+  | Const _ | Ref _ -> []
+  | Binop (op, a, b) -> ops a @ [ op ] @ ops b
+  | Group e -> ops e
+
+let op_count e = List.length (ops e)
+
+let rec to_string = function
+  | Const c -> if Float.is_integer c then string_of_int (int_of_float c) else string_of_float c
+  | Ref r -> Reference.to_string r
+  | Binop (op, a, b) -> Printf.sprintf "%s %s %s" (to_string a) (Op.to_string op) (to_string b)
+  | Group e -> Printf.sprintf "(%s)" (to_string e)

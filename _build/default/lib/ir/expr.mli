@@ -1,0 +1,17 @@
+(** Right-hand-side expressions of loop-body statements. *)
+
+type t =
+  | Const of float
+  | Ref of Reference.t
+  | Binop of Op.t * t * t
+  | Group of t  (** Explicit parentheses, forcing a nested-set boundary. *)
+
+val refs : t -> Reference.t list
+(** All array references, left-to-right. *)
+
+val ops : t -> Op.t list
+(** All operators, left-to-right. *)
+
+val op_count : t -> int
+
+val to_string : t -> string

@@ -1,0 +1,26 @@
+type t = { index_arrays : (string, int array) Hashtbl.t; mutable ran : bool }
+
+let create () = { index_arrays = Hashtbl.create 8; ran = false }
+
+let declare_index_array t name contents = Hashtbl.replace t.index_arrays name contents
+
+let run t = t.ran <- true
+
+let has_run t = t.ran
+
+let lookup t name i =
+  match Hashtbl.find_opt t.index_arrays name with
+  | None -> raise Not_found
+  | Some a ->
+    let n = Array.length a in
+    a.(((i mod n) + n) mod n)
+
+let resolve_exn t ~address_of (r : Reference.t) env =
+  let index = Subscript.eval ~lookup:(lookup t) env r.subscript in
+  address_of r.array index
+
+let runtime_resolver t ~address_of r env =
+  try Some (resolve_exn t ~address_of r env) with Not_found -> None
+
+let compiler_resolver t ~address_of r env =
+  if Reference.analyzable r || t.ran then runtime_resolver t ~address_of r env else None

@@ -1,0 +1,34 @@
+(** The nested variable sets of Algorithm 1 (line 5).
+
+    A statement's data accesses are classified into nested sets following
+    the paper's Section 4.2 example: [x = a*(b+c) + d*(e+f+g)] yields
+    [(a, (b,c), d, (e,f,g))] — each parenthesized group is a set of its
+    own, and the remaining operator chain forms one level. The splitter
+    processes sets innermost first, treating each completed set as a
+    single component at the next level, which preserves evaluation
+    priority: a group's partial result is complete before the enclosing
+    level consumes it. *)
+
+type item =
+  | Ref of Reference.t
+  | Const of float
+  | Sub of t
+
+and t = {
+  items : item list;
+  level_ops : Op.t list; (** operators joining the items; length = items-1 *)
+  reassociable : bool; (** all level operators commute/associate *)
+}
+
+val of_expr : Expr.t -> t
+
+val depth : t -> int
+(** 1 for a flat statement; grows with parenthesis nesting. *)
+
+val all_refs : t -> Reference.t list
+
+val count_sets : t -> int
+(** Total number of (sub)sets, the number of MST problems to solve. *)
+
+val to_string : t -> string
+(** [(a, (b, c), d)]-style rendering, mirroring the paper's notation. *)

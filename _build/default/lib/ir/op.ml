@@ -1,0 +1,37 @@
+type t = Add | Sub | Mul | Div | Shl | Shr | Band | Bor | Bxor
+
+type kind = Add_sub | Mul_div | Other
+
+let kind = function
+  | Add | Sub -> Add_sub
+  | Mul | Div -> Mul_div
+  | Shl | Shr | Band | Bor | Bxor -> Other
+
+let priority = function
+  | Mul | Div -> 5
+  | Add | Sub -> 4
+  | Shl | Shr -> 3
+  | Band -> 2
+  | Bxor -> 1
+  | Bor -> 0
+
+let cost = function
+  | Div -> 10
+  | Add | Sub | Mul | Shl | Shr | Band | Bor | Bxor -> 1
+
+let commutative_associative = function
+  | Add | Mul | Band | Bor | Bxor -> true
+  | Sub | Div | Shl | Shr -> false
+
+let to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+
+let all = [ Add; Sub; Mul; Div; Shl; Shr; Band; Bor; Bxor ]

@@ -1,0 +1,25 @@
+(** Binary operators appearing in loop-body statements. *)
+
+type t = Add | Sub | Mul | Div | Shl | Shr | Band | Bor | Bxor
+
+type kind = Add_sub | Mul_div | Other
+(** The three classes reported in Table 3 of the paper. *)
+
+val kind : t -> kind
+
+val priority : t -> int
+(** C-like precedence; higher binds tighter. Operators with equal priority
+    associate left-to-right and form one level of the nested variable set. *)
+
+val cost : t -> int
+(** Load-balancing cost: division is 10x an addition/multiplication
+    (Section 4.5, footnote 5). *)
+
+val commutative_associative : t -> bool
+(** Whether operands at this level may be regrouped freely by the MST
+    splitter. Non-reassociable levels are still placed, but keep their
+    evaluation order. *)
+
+val to_string : t -> string
+
+val all : t list

@@ -1,0 +1,171 @@
+exception Parse_error of string
+
+type token =
+  | Ident of string
+  | Int of int
+  | Lbracket
+  | Rbracket
+  | Lparen
+  | Rparen
+  | Equals
+  | Operator of Op.t
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let tokenize src =
+  let n = String.length src in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' -> go (i + 1) acc
+      | '[' -> go (i + 1) (Lbracket :: acc)
+      | ']' -> go (i + 1) (Rbracket :: acc)
+      | '(' -> go (i + 1) (Lparen :: acc)
+      | ')' -> go (i + 1) (Rparen :: acc)
+      | '=' -> go (i + 1) (Equals :: acc)
+      | '+' -> go (i + 1) (Operator Op.Add :: acc)
+      | '-' -> go (i + 1) (Operator Op.Sub :: acc)
+      | '*' -> go (i + 1) (Operator Op.Mul :: acc)
+      | '/' -> go (i + 1) (Operator Op.Div :: acc)
+      | '&' -> go (i + 1) (Operator Op.Band :: acc)
+      | '|' -> go (i + 1) (Operator Op.Bor :: acc)
+      | '^' -> go (i + 1) (Operator Op.Bxor :: acc)
+      | '<' when i + 1 < n && src.[i + 1] = '<' -> go (i + 2) (Operator Op.Shl :: acc)
+      | '>' when i + 1 < n && src.[i + 1] = '>' -> go (i + 2) (Operator Op.Shr :: acc)
+      | c when c = '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ->
+        let j = ref i in
+        while
+          !j < n
+          &&
+          let c = src.[!j] in
+          c = '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+        do
+          incr j
+        done;
+        go !j (Ident (String.sub src i (!j - i)) :: acc)
+      | c when c >= '0' && c <= '9' ->
+        let j = ref i in
+        while !j < n && src.[!j] >= '0' && src.[!j] <= '9' do
+          incr j
+        done;
+        go !j (Int (int_of_string (String.sub src i (!j - i))) :: acc)
+      | c -> fail "unexpected character %c" c
+  in
+  go 0 []
+
+(* A mutable token stream keeps the recursive-descent code readable. *)
+type stream = { mutable toks : token list }
+
+let peek s = match s.toks with [] -> None | t :: _ -> Some t
+
+let advance s = match s.toks with [] -> fail "unexpected end of input" | _ :: rest -> s.toks <- rest
+
+let expect s tok what =
+  match peek s with
+  | Some t when t = tok -> advance s
+  | _ -> fail "expected %s" what
+
+(* Subscripts: sums of terms over loop variables, or indirect refs. *)
+let rec parse_subscript s =
+  let merge_affine sign a b =
+    match (a, b) with
+    | ( Subscript.Affine { coeffs = ca; const = ka },
+        Subscript.Affine { coeffs = cb; const = kb } ) ->
+      let cb = List.map (fun (v, c) -> (v, sign * c)) cb in
+      Subscript.affine (ca @ cb) (ka + (sign * kb))
+    | _ -> fail "indirect subscripts cannot appear inside arithmetic"
+  in
+  let rec terms acc =
+    match peek s with
+    | Some (Operator Op.Add) ->
+      advance s;
+      terms (merge_affine 1 acc (parse_term s))
+    | Some (Operator Op.Sub) ->
+      advance s;
+      terms (merge_affine (-1) acc (parse_term s))
+    | _ -> acc
+  in
+  terms (parse_term s)
+
+and parse_term s =
+  match peek s with
+  | Some (Int k) -> (
+    advance s;
+    match peek s with
+    | Some (Operator Op.Mul) -> (
+      advance s;
+      match peek s with
+      | Some (Ident v) ->
+        advance s;
+        Subscript.affine [ (v, k) ] 0
+      | _ -> fail "expected loop variable after %d*" k)
+    | _ -> Subscript.const k)
+  | Some (Ident name) -> (
+    advance s;
+    match peek s with
+    | Some Lbracket ->
+      advance s;
+      let inner = parse_subscript s in
+      expect s Rbracket "]";
+      Subscript.indirect name inner
+    | _ -> Subscript.var name)
+  | _ -> fail "malformed subscript"
+
+let parse_reference s name =
+  expect s Lbracket "[";
+  let sub = parse_subscript s in
+  expect s Rbracket "]";
+  Reference.make name sub
+
+(* Expressions: precedence climbing over Op.priority. *)
+let rec parse_expr s min_prio =
+  let lhs = parse_atom s in
+  let rec loop lhs =
+    match peek s with
+    | Some (Operator op) when Op.priority op >= min_prio ->
+      advance s;
+      let rhs = parse_expr s (Op.priority op + 1) in
+      loop (Expr.Binop (op, lhs, rhs))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_atom s =
+  match peek s with
+  | Some Lparen ->
+    advance s;
+    let e = parse_expr s 0 in
+    expect s Rparen ")";
+    Expr.Group e
+  | Some (Int k) ->
+    advance s;
+    Expr.Const (float_of_int k)
+  | Some (Ident name) -> (
+    advance s;
+    match peek s with
+    | Some Lbracket -> Expr.Ref (parse_reference s name)
+    | _ -> fail "bare identifier %s: array references need a subscript" name)
+  | _ -> fail "malformed expression"
+
+let expr src =
+  let s = { toks = tokenize src } in
+  let e = parse_expr s 0 in
+  if s.toks <> [] then fail "trailing tokens after expression";
+  e
+
+let statement src =
+  let s = { toks = tokenize src } in
+  let lhs =
+    match peek s with
+    | Some (Ident name) ->
+      advance s;
+      parse_reference s name
+    | _ -> fail "statement must start with an array reference"
+  in
+  expect s Equals "=";
+  let rhs = parse_expr s 0 in
+  if s.toks <> [] then fail "trailing tokens after statement";
+  Stmt.make lhs rhs
+
+let statements srcs = List.map statement srcs

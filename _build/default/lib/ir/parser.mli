@@ -1,0 +1,16 @@
+(** Textual front end for statements, e.g.
+    ["A[i] = B[i] + C[i] * (D[i] + E[i+1])"] or ["X[Y[i]] = X[Y[i]] + W[i]"].
+
+    Subscripts are affine forms over loop variables ([2*i+j+3]) or nested
+    array references (indirect accesses). Operators: [+ - * / << >> & | ^]
+    with C precedence; parentheses group. *)
+
+exception Parse_error of string
+
+val statement : string -> Stmt.t
+(** Raises [Parse_error] on malformed input. *)
+
+val expr : string -> Expr.t
+
+val statements : string list -> Stmt.t list
+(** Convenience: parse a whole loop body. *)

@@ -1,0 +1,11 @@
+type t = { array : string; subscript : Subscript.t }
+
+let make array subscript = { array; subscript }
+
+let analyzable t = Subscript.analyzable t.subscript
+
+let vars t = Subscript.vars t.subscript
+
+let to_string t = Printf.sprintf "%s[%s]" t.array (Subscript.to_string t.subscript)
+
+let equal a b = a = b

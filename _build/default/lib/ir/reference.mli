@@ -1,0 +1,14 @@
+(** A reference to one array element, e.g. [B\[i+1\]] or [X\[Y\[i\]\]]. *)
+
+type t = { array : string; subscript : Subscript.t }
+
+val make : string -> Subscript.t -> t
+
+val analyzable : t -> bool
+(** Compile-time analyzable: the subscript is affine (Table 1). *)
+
+val vars : t -> string list
+
+val to_string : t -> string
+
+val equal : t -> t -> bool

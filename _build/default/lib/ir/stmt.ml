@@ -1,0 +1,14 @@
+type t = { lhs : Reference.t; rhs : Expr.t }
+
+let make lhs rhs = { lhs; rhs }
+
+let inputs t = Expr.refs t.rhs
+
+let output t = t.lhs
+
+let to_string t = Printf.sprintf "%s = %s" (Reference.to_string t.lhs) (Expr.to_string t.rhs)
+
+let analyzable_fraction t =
+  let all = t.lhs :: inputs t in
+  let ok = List.filter Reference.analyzable all in
+  (float_of_int (List.length ok), float_of_int (List.length all))

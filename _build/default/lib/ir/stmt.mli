@@ -1,0 +1,15 @@
+(** A loop-body statement [lhs = rhs]. *)
+
+type t = { lhs : Reference.t; rhs : Expr.t }
+
+val make : Reference.t -> Expr.t -> t
+
+val inputs : t -> Reference.t list
+(** References read by the statement (the [V_i] of Equation 1). *)
+
+val output : t -> Reference.t
+
+val to_string : t -> string
+
+val analyzable_fraction : t -> float * float
+(** [(analyzable, total)] reference counts including the output. *)

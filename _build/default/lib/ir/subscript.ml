@@ -1,0 +1,40 @@
+type t =
+  | Affine of { coeffs : (string * int) list; const : int }
+  | Indirect of { index_array : string; inner : t }
+
+let const c = Affine { coeffs = []; const = c }
+
+let var name = Affine { coeffs = [ (name, 1) ]; const = 0 }
+
+let affine coeffs const = Affine { coeffs; const }
+
+let indirect index_array inner = Indirect { index_array; inner }
+
+let rec analyzable = function
+  | Affine _ -> true
+  | Indirect _ -> false
+
+and vars = function
+  | Affine { coeffs; _ } -> List.sort_uniq compare (List.map fst coeffs)
+  | Indirect { inner; _ } -> vars inner
+
+let rec eval ~lookup env = function
+  | Affine { coeffs; const } ->
+    List.fold_left (fun acc (v, c) -> acc + (c * Env.get env v)) const coeffs
+  | Indirect { index_array; inner } -> lookup index_array (eval ~lookup env inner)
+
+let eval_affine env = function
+  | Affine { coeffs; const } ->
+    let add acc (v, c) =
+      Option.bind acc (fun sum -> Option.map (fun value -> sum + (c * value)) (Env.lookup env v))
+    in
+    List.fold_left add (Some const) coeffs
+  | Indirect _ -> None
+
+let rec to_string = function
+  | Affine { coeffs; const } ->
+    let term (v, c) = if c = 1 then v else Printf.sprintf "%d*%s" c v in
+    let terms = List.map term coeffs in
+    let terms = if const <> 0 || terms = [] then terms @ [ string_of_int const ] else terms in
+    String.concat "+" terms
+  | Indirect { index_array; inner } -> Printf.sprintf "%s[%s]" index_array (to_string inner)

@@ -1,0 +1,37 @@
+(** Array subscripts.
+
+    Affine subscripts ([2*i + j + 3]) are compile-time analyzable: with the
+    page-coloring OS support the compiler can resolve them to on-chip
+    locations (Table 1). Indirect subscripts ([Y[i]]) are may-dependences;
+    they resolve only through the inspector-executor mechanism
+    (Section 4.5). *)
+
+type t =
+  | Affine of { coeffs : (string * int) list; const : int }
+  | Indirect of { index_array : string; inner : t }
+
+val const : int -> t
+
+val var : string -> t
+(** [var "i"] is the subscript [i]. *)
+
+val affine : (string * int) list -> int -> t
+
+val indirect : string -> t -> t
+(** [indirect "Y" s] is [Y\[s\]]. *)
+
+val analyzable : t -> bool
+(** [true] exactly for affine subscripts. *)
+
+val vars : t -> string list
+(** Loop variables appearing anywhere in the subscript, sorted, unique. *)
+
+val eval : lookup:(string -> int -> int) -> Env.t -> t -> int
+(** Concrete index under an iteration environment. [lookup a i] reads
+    element [i] of index array [a] (inspector data). Raises [Not_found] for
+    unbound loop variables. *)
+
+val eval_affine : Env.t -> t -> int option
+(** [Some index] for affine subscripts only — the compiler's static view. *)
+
+val to_string : t -> string

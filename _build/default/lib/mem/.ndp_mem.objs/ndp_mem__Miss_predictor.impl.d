@@ -1,0 +1,1 @@
+lib/mem/miss_predictor.ml: Addr_map Hashtbl

@@ -1,0 +1,1 @@
+lib/mem/miss_predictor.mli: Addr_map

@@ -1,0 +1,1 @@
+lib/mem/page_alloc.ml: Addr_map Hashtbl Ndp_prelude

@@ -1,0 +1,1 @@
+lib/mem/page_alloc.mli: Addr_map

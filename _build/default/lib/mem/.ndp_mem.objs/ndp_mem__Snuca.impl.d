@@ -1,0 +1,1 @@
+lib/mem/snuca.ml: Addr_map List Ndp_noc

@@ -1,0 +1,1 @@
+lib/mem/snuca.mli: Addr_map Ndp_noc

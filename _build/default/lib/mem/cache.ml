@@ -1,0 +1,112 @@
+type t = {
+  num_sets : int;
+  assoc : int;
+  line_bits : int;
+  tags : int array; (* num_sets * assoc, -1 = invalid *)
+  stamps : int array; (* LRU recency stamps *)
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let log2_exact n =
+  let rec go acc v = if v = 1 then acc else go (acc + 1) (v / 2) in
+  if n <= 0 || n land (n - 1) <> 0 then invalid_arg "Cache: size must be a power of two"
+  else go 0 n
+
+let create ~size_bytes ~assoc ~line_bytes =
+  if assoc <= 0 then invalid_arg "Cache.create: assoc must be positive";
+  let lines = size_bytes / line_bytes in
+  if lines < assoc || lines mod assoc <> 0 then
+    invalid_arg "Cache.create: size / line_bytes must be a positive multiple of assoc";
+  let num_sets = lines / assoc in
+  ignore (log2_exact num_sets);
+  {
+    num_sets;
+    assoc;
+    line_bits = log2_exact line_bytes;
+    tags = Array.make (num_sets * assoc) (-1);
+    stamps = Array.make (num_sets * assoc) 0;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let set_of t block = block land (t.num_sets - 1)
+
+let find_way t block =
+  let s = set_of t block in
+  let base = s * t.assoc in
+  let rec go i =
+    if i = t.assoc then None
+    else if t.tags.(base + i) = block then Some (base + i)
+    else go (i + 1)
+  in
+  go 0
+
+let touch t slot =
+  t.clock <- t.clock + 1;
+  t.stamps.(slot) <- t.clock
+
+let victim_slot t block =
+  let base = set_of t block * t.assoc in
+  let rec go best i =
+    if i = t.assoc then best
+    else if t.tags.(base + i) = -1 then base + i
+    else
+      let best = if t.stamps.(base + i) < t.stamps.(best) then base + i else best in
+      go best (i + 1)
+  in
+  go base 0
+
+let insert t addr =
+  let block = addr lsr t.line_bits in
+  match find_way t block with
+  | Some slot -> touch t slot
+  | None ->
+    let slot = victim_slot t block in
+    t.tags.(slot) <- block;
+    touch t slot
+
+let invalidate t addr =
+  match find_way t (addr lsr t.line_bits) with
+  | Some slot ->
+    t.tags.(slot) <- -1;
+    t.stamps.(slot) <- 0
+  | None -> ()
+
+let access t addr =
+  let block = addr lsr t.line_bits in
+  match find_way t block with
+  | Some slot ->
+    touch t slot;
+    t.hits <- t.hits + 1;
+    true
+  | None ->
+    t.misses <- t.misses + 1;
+    let slot = victim_slot t block in
+    t.tags.(slot) <- block;
+    touch t slot;
+    false
+
+let probe t addr = find_way t (addr lsr t.line_bits) <> None
+
+let hits t = t.hits
+let misses t = t.misses
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0
+
+let clear t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0;
+  t.clock <- 0;
+  reset_stats t
+
+let num_sets t = t.num_sets
+let assoc t = t.assoc

@@ -1,0 +1,32 @@
+type t = {
+  capacity_blocks : int;
+  map : Addr_map.t;
+  last_seen : (int, int) Hashtbl.t; (* block -> sequence number *)
+  mutable seq : int;
+  mutable correct : int;
+  mutable total : int;
+}
+
+let create ~capacity_blocks map =
+  if capacity_blocks <= 0 then invalid_arg "Miss_predictor.create: capacity must be positive";
+  { capacity_blocks; map; last_seen = Hashtbl.create 4096; seq = 0; correct = 0; total = 0 }
+
+let predict t addr =
+  let block = Addr_map.line_of_addr t.map addr in
+  match Hashtbl.find_opt t.last_seen block with
+  | None -> false
+  | Some s -> t.seq - s < t.capacity_blocks
+
+let note_access t addr =
+  let block = Addr_map.line_of_addr t.map addr in
+  t.seq <- t.seq + 1;
+  Hashtbl.replace t.last_seen block t.seq
+
+let confirm t ~addr ~predicted ~hit =
+  t.total <- t.total + 1;
+  if predicted = hit then t.correct <- t.correct + 1;
+  note_access t addr
+
+let accuracy t = if t.total = 0 then 0.0 else float_of_int t.correct /. float_of_int t.total
+
+let observations t = t.total

@@ -1,0 +1,29 @@
+(** Compile-time L2 hit/miss prediction (Section 4.1, Table 2).
+
+    When the predictor believes a reference misses in the shared L2, the
+    partitioner uses the servicing memory controller, rather than the home
+    bank, as the data's location. The predictor approximates stack reuse
+    distance: a block is predicted to hit if it was touched within the last
+    [capacity_blocks] accesses.
+
+    Protocol: the compiler calls [predict] while partitioning; when the
+    access actually executes, the runtime calls [confirm] with the earlier
+    prediction and the ground-truth outcome, which both scores accuracy
+    (Table 2) and advances the predictor's reuse state. Accesses that were
+    never predicted still advance the state via [note_access]. *)
+
+type t
+
+val create : capacity_blocks:int -> Addr_map.t -> t
+
+val predict : t -> int -> bool
+(** [predict t addr]: [true] means "expected to hit in L2". *)
+
+val confirm : t -> addr:int -> predicted:bool -> hit:bool -> unit
+
+val note_access : t -> int -> unit
+
+val accuracy : t -> float
+(** Fraction of confirmed predictions that were correct. *)
+
+val observations : t -> int

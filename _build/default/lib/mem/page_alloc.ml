@@ -1,0 +1,38 @@
+type policy = Coloring | Scrambled
+
+type t = {
+  policy : policy;
+  map : Addr_map.t;
+  frames : (int, int) Hashtbl.t; (* virtual page -> physical page *)
+  rng : Ndp_prelude.Rng.t;
+}
+
+let create ?(seed = 0x5eed) ~policy map =
+  { policy; map; frames = Hashtbl.create 1024; rng = Ndp_prelude.Rng.create seed }
+
+let policy t = t.policy
+
+let frame_of t vpage =
+  match Hashtbl.find_opt t.frames vpage with
+  | Some p -> p
+  | None ->
+    let p =
+      match t.policy with
+      | Coloring -> vpage
+      | Scrambled ->
+        (* A fresh random frame per page, deterministic in allocation order. *)
+        let r = Ndp_prelude.Rng.int t.rng (1 lsl 20) in
+        (r lsl 2) lor (Ndp_prelude.Rng.int t.rng 4)
+    in
+    Hashtbl.replace t.frames vpage p;
+    p
+
+let translate t va =
+  let bits = Addr_map.page_bits t.map in
+  let offset = va land ((1 lsl bits) - 1) in
+  (frame_of t (va lsr bits) lsl bits) lor offset
+
+let compiler_view t va =
+  match t.policy with
+  | Coloring -> translate t va
+  | Scrambled -> va

@@ -1,0 +1,27 @@
+(** Virtual-to-physical page allocation.
+
+    The paper relies on an OS page-coloring API that preserves the cache-bank
+    and memory-channel bits of the virtual address during VA-to-PA
+    translation, which is what lets the compiler infer on-chip data location
+    from virtual addresses (Section 4.1). [Coloring] models that API;
+    [Scrambled] models a stock allocator that randomizes page frames, used to
+    ablate the OS support. *)
+
+type policy = Coloring | Scrambled
+
+type t
+
+val create : ?seed:int -> policy:policy -> Addr_map.t -> t
+
+val policy : t -> policy
+
+val translate : t -> int -> int
+(** [translate t va] is the physical address of [va]. The translation is a
+    function: repeated calls agree. Under [Coloring] the channel bits of the
+    page number are preserved; page-offset bits are always preserved. *)
+
+val compiler_view : t -> int -> int
+(** The physical address the {e compiler} believes [va] maps to. Under
+    [Coloring] this equals [translate]; under [Scrambled] the compiler can
+    only assume an identity mapping, so its view diverges from reality —
+    exactly the imprecision the paper's OS support removes. *)

@@ -1,0 +1,23 @@
+type t = { mesh : Ndp_noc.Mesh.t; cluster : Ndp_noc.Cluster.t; map : Addr_map.t }
+
+let create mesh cluster map = { mesh; cluster; map }
+
+let home_node t addr =
+  let line = Addr_map.line_of_addr t.map addr in
+  match t.cluster with
+  | Ndp_noc.Cluster.All_to_all | Ndp_noc.Cluster.Quadrant ->
+    line mod Ndp_noc.Mesh.size t.mesh
+  | Ndp_noc.Cluster.Snc4 ->
+    (* Lines interleave over the nodes of the quadrant owning the page. *)
+    let quadrant = Addr_map.channel t.map addr mod 4 in
+    let nodes = Ndp_noc.Mesh.nodes_in_quadrant t.mesh quadrant in
+    List.nth nodes (line mod List.length nodes)
+
+let mc_node t addr =
+  let home_bank = home_node t addr in
+  let channel = Addr_map.channel t.map addr in
+  Ndp_noc.Cluster.mc_for t.cluster t.mesh ~home_bank ~channel
+
+let mesh t = t.mesh
+let cluster t = t.cluster
+let addr_map t = t.map

@@ -1,0 +1,21 @@
+(** Static NUCA address-to-node homing.
+
+    In SNUCA each cache line is statically mapped to an L2 bank (its home
+    bank) from its physical address; the bank index is then a node of the
+    mesh. Under the SNC-4 cluster mode the home bank is additionally
+    constrained to the quadrant selected by the page's channel bits, which
+    models KNL's quadrant-local address affinity. *)
+
+type t
+
+val create : Ndp_noc.Mesh.t -> Ndp_noc.Cluster.t -> Addr_map.t -> t
+
+val home_node : t -> int -> int
+(** Node id of the home L2 bank for a physical address. *)
+
+val mc_node : t -> int -> int
+(** Node id of the memory controller servicing an L2 miss on the address. *)
+
+val mesh : t -> Ndp_noc.Mesh.t
+val cluster : t -> Ndp_noc.Cluster.t
+val addr_map : t -> Addr_map.t

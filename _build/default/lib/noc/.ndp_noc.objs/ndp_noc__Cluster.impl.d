@@ -1,0 +1,1 @@
+lib/noc/cluster.ml: List Mesh Printf

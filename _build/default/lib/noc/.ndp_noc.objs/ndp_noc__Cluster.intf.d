@@ -1,0 +1,1 @@
+lib/noc/cluster.mli: Mesh

@@ -1,0 +1,31 @@
+type t = All_to_all | Quadrant | Snc4
+
+let all = [ All_to_all; Quadrant; Snc4 ]
+
+let to_string = function
+  | All_to_all -> "all-to-all"
+  | Quadrant -> "quadrant"
+  | Snc4 -> "snc-4"
+
+let of_string = function
+  | "all-to-all" | "a2a" -> Ok All_to_all
+  | "quadrant" -> Ok Quadrant
+  | "snc-4" | "snc4" -> Ok Snc4
+  | s -> Error (Printf.sprintf "unknown cluster mode %S" s)
+
+let letter = function
+  | All_to_all -> "A"
+  | Quadrant -> "B"
+  | Snc4 -> "C"
+
+let mc_for mode mesh ~home_bank ~channel =
+  match mode with
+  | All_to_all ->
+    (* Addresses hash uniformly over the controllers regardless of bank. *)
+    let mcs = Mesh.memory_controllers mesh in
+    List.nth mcs (channel mod List.length mcs)
+  | Quadrant | Snc4 ->
+    (* The controller shares the quadrant of the home L2 bank; in SNC-4 the
+       requester is additionally constrained to that quadrant, which the
+       address-mapping layer enforces when allocating pages. *)
+    Mesh.mc_of_quadrant mesh (Mesh.quadrant_of_node mesh home_bank)

@@ -1,0 +1,25 @@
+(** KNL-style cluster-of-mesh operating modes (Section 6.1).
+
+    The modes differ in which memory controller services an L2 miss for a
+    given address and requester:
+    - {b All_to_all}: addresses hash uniformly over all controllers; a miss
+      can travel to any corner.
+    - {b Quadrant}: the home L2 bank and the servicing controller share a
+      quadrant, but the requester may be anywhere.
+    - {b Snc4}: requester, home bank and controller are all constrained to
+      one quadrant (software-visible NUMA). *)
+
+type t = All_to_all | Quadrant | Snc4
+
+val all : t list
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+
+val letter : t -> string
+(** Paper legend letter: A, B or C (Figure 22). *)
+
+val mc_for : t -> Mesh.t -> home_bank:int -> channel:int -> int
+(** Memory controller node that services an L2 miss whose home bank is
+    [home_bank] and whose physical address selects [channel]. *)

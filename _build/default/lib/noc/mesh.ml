@@ -1,0 +1,90 @@
+type t = { cols : int; rows : int }
+
+type link = { from_node : int; to_node : int }
+
+let create ~cols ~rows =
+  if cols < 2 || rows < 2 then invalid_arg "Mesh.create: need at least a 2x2 mesh";
+  { cols; rows }
+
+let cols t = t.cols
+let rows t = t.rows
+let size t = t.cols * t.rows
+
+let coord_of_node t id =
+  if id < 0 || id >= size t then invalid_arg "Mesh.coord_of_node: bad node id";
+  Coord.make (id mod t.cols) (id / t.cols)
+
+let node_of_coord t (c : Coord.t) =
+  if c.x < 0 || c.x >= t.cols || c.y < 0 || c.y >= t.rows then
+    invalid_arg "Mesh.node_of_coord: coordinate off-mesh";
+  (c.y * t.cols) + c.x
+
+let distance t a b = Coord.manhattan (coord_of_node t a) (coord_of_node t b)
+
+let memory_controllers t =
+  let corner x y = node_of_coord t (Coord.make x y) in
+  [ corner 0 0; corner (t.cols - 1) 0; corner 0 (t.rows - 1); corner (t.cols - 1) (t.rows - 1) ]
+
+let nearest_mc t node =
+  let best (bn, bd) mc =
+    let d = distance t node mc in
+    if d < bd || (d = bd && mc < bn) then (mc, d) else (bn, bd)
+  in
+  fst (List.fold_left best (max_int, max_int) (memory_controllers t))
+
+let xy_route t ~src ~dst =
+  let s = coord_of_node t src and d = coord_of_node t dst in
+  let step_x x = if d.x > x then x + 1 else x - 1 in
+  let step_y y = if d.y > y then y + 1 else y - 1 in
+  let rec go (c : Coord.t) acc =
+    if c.x <> d.x then
+      let next = Coord.make (step_x c.x) c.y in
+      go next ({ from_node = node_of_coord t c; to_node = node_of_coord t next } :: acc)
+    else if c.y <> d.y then
+      let next = Coord.make c.x (step_y c.y) in
+      go next ({ from_node = node_of_coord t c; to_node = node_of_coord t next } :: acc)
+    else List.rev acc
+  in
+  go s []
+
+let links t =
+  let acc = ref [] in
+  for id = size t - 1 downto 0 do
+    let c = coord_of_node t id in
+    let neighbor dx dy =
+      let nx = c.x + dx and ny = c.y + dy in
+      if nx >= 0 && nx < t.cols && ny >= 0 && ny < t.rows then
+        acc := { from_node = id; to_node = node_of_coord t (Coord.make nx ny) } :: !acc
+    in
+    neighbor 1 0; neighbor (-1) 0; neighbor 0 1; neighbor 0 (-1)
+  done;
+  !acc
+
+(* Each node has at most 4 outgoing links, indexed by direction. *)
+let direction_index t l =
+  let a = coord_of_node t l.from_node and b = coord_of_node t l.to_node in
+  match (b.x - a.x, b.y - a.y) with
+  | 1, 0 -> 0
+  | -1, 0 -> 1
+  | 0, 1 -> 2
+  | 0, -1 -> 3
+  | _ -> invalid_arg "Mesh.link_index: nodes are not adjacent"
+
+let link_index t l = (l.from_node * 4) + direction_index t l
+
+let num_links t = size t * 4
+
+let quadrant_of_node t node =
+  let c = coord_of_node t node in
+  let qx = if c.x * 2 >= t.cols then 1 else 0 in
+  let qy = if c.y * 2 >= t.rows then 1 else 0 in
+  (qy * 2) + qx
+
+let nodes_in_quadrant t q =
+  List.filter (fun n -> quadrant_of_node t n = q) (List.init (size t) Fun.id)
+
+let mc_of_quadrant t q =
+  let in_q mc = quadrant_of_node t mc = q in
+  match List.filter in_q (memory_controllers t) with
+  | mc :: _ -> mc
+  | [] -> invalid_arg "Mesh.mc_of_quadrant: no controller in quadrant"

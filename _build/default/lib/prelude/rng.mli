@@ -1,0 +1,36 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    All randomized behaviour in the repository flows through this module so
+    that every experiment is reproducible from a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Two generators created from the
+    same seed produce identical streams. *)
+
+val copy : t -> t
+(** Independent copy that continues from the current state. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is [true] with probability [p]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val split : t -> t
+(** Derive an independent generator; the parent stream advances once. *)

@@ -1,0 +1,35 @@
+type t = { header : string list; mutable rows : string list list }
+
+let create ~header = { header; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let cell_f v = Printf.sprintf "%.2f" v
+
+let cell_pct v = Printf.sprintf "%.2f%%" v
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols =
+    List.fold_left (fun acc r -> max acc (List.length r)) (List.length t.header) rows
+  in
+  let pad row = row @ List.init (ncols - List.length row) (fun _ -> "") in
+  let all = List.map pad (t.header :: rows) in
+  let widths = Array.make ncols 0 in
+  let note_widths row =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) row
+  in
+  List.iter note_widths all;
+  let render_row row =
+    let cells = List.mapi (fun i c -> Printf.sprintf "%-*s" widths.(i) c) row in
+    String.concat "  " cells
+  in
+  let sep =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  match all with
+  | header :: body ->
+    String.concat "\n" ((render_row header :: sep :: List.map render_row body) @ [ "" ])
+  | [] -> ""
+
+let print t = print_string (render t)

@@ -1,0 +1,19 @@
+(** Plain-text table rendering for experiment output. *)
+
+type t
+
+val create : header:string list -> t
+
+val add_row : t -> string list -> unit
+(** Rows may be shorter than the header; missing cells render empty. *)
+
+val render : t -> string
+(** Column-aligned rendering with a separator under the header. *)
+
+val print : t -> unit
+
+val cell_f : float -> string
+(** Fixed 2-decimal rendering used for all numeric cells. *)
+
+val cell_pct : float -> string
+(** Like [cell_f] with a ["%"] suffix. *)

@@ -1,0 +1,1 @@
+lib/sim/config.ml: Ndp_mem Ndp_noc Printf

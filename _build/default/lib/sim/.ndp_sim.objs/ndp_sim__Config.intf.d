@@ -1,0 +1,1 @@
+lib/sim/config.mli: Ndp_mem Ndp_noc

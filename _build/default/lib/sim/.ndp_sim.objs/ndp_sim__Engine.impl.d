@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Config Hashtbl List Machine Ndp_noc Network Option Stats Task

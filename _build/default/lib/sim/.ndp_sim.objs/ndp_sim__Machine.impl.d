@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Array Config Hashtbl List Ndp_mem Ndp_noc Ndp_prelude Network Option Stats

@@ -1,0 +1,1 @@
+lib/sim/machine.mli: Config Ndp_noc Network Stats

@@ -1,0 +1,1 @@
+lib/sim/network.ml: Config Float Hashtbl List Ndp_noc Option Stats

@@ -1,0 +1,1 @@
+lib/sim/task.ml: List Ndp_ir

@@ -1,0 +1,1 @@
+lib/sim/task.mli: Ndp_ir

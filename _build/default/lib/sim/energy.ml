@@ -1,0 +1,35 @@
+type breakdown = {
+  network : float;
+  l1 : float;
+  l2 : float;
+  dram : float;
+  compute : float;
+  sync : float;
+}
+
+(* pJ per event: flit-hop, L1 access, L2 bank access, MCDRAM/DDR access,
+   operation unit, synchronization handshake. *)
+let hop_pj = 1.2
+let l1_pj = 0.6
+let l2_pj = 3.0
+let mcdram_pj = 60.0
+let ddr_pj = 110.0
+let op_pj = 1.0
+let sync_pj = 4.0
+
+let of_stats (s : Stats.t) =
+  {
+    network = float_of_int s.hops *. hop_pj;
+    l1 = float_of_int (s.l1_hits + s.l1_misses) *. l1_pj;
+    l2 = float_of_int (s.l2_hits + s.l2_misses) *. l2_pj;
+    dram =
+      (float_of_int s.mcdram_accesses *. mcdram_pj) +. (float_of_int s.ddr_accesses *. ddr_pj);
+    compute = float_of_int s.ops *. op_pj;
+    sync = float_of_int s.syncs *. sync_pj;
+  }
+
+let total b = b.network +. b.l1 +. b.l2 +. b.dram +. b.compute +. b.sync
+
+let pp ppf b =
+  Format.fprintf ppf "net %.0f l1 %.0f l2 %.0f dram %.0f compute %.0f sync %.0f (total %.0f pJ)"
+    b.network b.l1 b.l2 b.dram b.compute b.sync (total b)

@@ -1,0 +1,20 @@
+(** Event-proportional energy model (Figure 24).
+
+    Constants are in picojoules per event, chosen in the CACTI/McPAT
+    ballpark for a 14nm manycore; the reported results are relative
+    savings, so only ratios matter. *)
+
+type breakdown = {
+  network : float;
+  l1 : float;
+  l2 : float;
+  dram : float;
+  compute : float;
+  sync : float;
+}
+
+val of_stats : Stats.t -> breakdown
+
+val total : breakdown -> float
+
+val pp : Format.formatter -> breakdown -> unit

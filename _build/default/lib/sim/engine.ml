@@ -1,0 +1,135 @@
+type exec_record = { node : int; start : int; finish : int; group : int }
+
+type t = {
+  machine : Machine.t;
+  stats : Stats.t;
+  node_free : int array;
+  finished : (int, exec_record) Hashtbl.t; (* task id -> execution record *)
+  group_hops : (int, int) Hashtbl.t;
+  group_latency : (int, int * int) Hashtbl.t;
+  group_spans : (int, (int * int) list) Hashtbl.t; (* group -> (start, finish) *)
+  node_busy : int array;
+}
+
+let create machine =
+  {
+    machine;
+    stats = Stats.create ();
+    node_free = Array.make (Ndp_noc.Mesh.size (Machine.mesh machine)) 0;
+    finished = Hashtbl.create 1024;
+    group_hops = Hashtbl.create 256;
+    group_latency = Hashtbl.create 256;
+    group_spans = Hashtbl.create 256;
+    node_busy = Array.make (Ndp_noc.Mesh.size (Machine.mesh machine)) 0;
+  }
+
+let machine t = t.machine
+
+let stats t = t.stats
+
+let bump tbl key v =
+  Hashtbl.replace tbl key (Option.value (Hashtbl.find_opt tbl key) ~default:0 + v)
+
+let attribute_group t group ~hops_before ~lat_before ~msgs_before =
+  let s = t.stats in
+  bump t.group_hops group (s.Stats.hops - hops_before);
+  let sum, count = Option.value (Hashtbl.find_opt t.group_latency group) ~default:(0, 0) in
+  Hashtbl.replace t.group_latency group
+    (sum + (s.Stats.latency_sum - lat_before), count + (s.Stats.messages - msgs_before))
+
+let run ?(on_load = fun ~va:_ ~l1_hit:_ ~l2_hit:_ -> ()) t tasks =
+  let config = Machine.config t.machine in
+  let exec (task : Task.t) =
+    let hops_before = t.stats.Stats.hops in
+    let lat_before = t.stats.Stats.latency_sum in
+    let msgs_before = t.stats.Stats.messages in
+    let issue = t.node_free.(task.node) in
+    let operand_arrival = function
+      | Task.Load { va; bytes } ->
+        let outcome = Machine.load t.machine ~node:task.node ~va ~bytes ~time:issue ~stats:t.stats in
+        on_load ~va ~l1_hit:outcome.Machine.l1_hit ~l2_hit:outcome.Machine.l2_hit;
+        outcome.Machine.arrival
+      | Task.Result { producer; bytes } -> (
+        match Hashtbl.find_opt t.finished producer with
+        | None -> invalid_arg "Engine.run: tasks not in producer-before-consumer order"
+        | Some r ->
+          if r.node = task.node then r.finish
+          else
+            Network.send (Machine.network t.machine) ~time:r.finish ~src:r.node ~dst:task.node
+              ~bytes ~stats:t.stats)
+    in
+    let load_ops, result_ops =
+      List.partition (function Task.Load _ -> true | Task.Result _ -> false) task.operands
+    in
+    (* Loads overlap up to the MSHR bound: with [k] outstanding misses the
+       task's memory time is at least the longest access and at least the
+       summed latencies divided by [k]. *)
+    let load_ready =
+      let arrivals = List.map operand_arrival load_ops in
+      let longest = List.fold_left max issue arrivals in
+      let total_latency = List.fold_left (fun acc a -> acc + (a - issue)) 0 arrivals in
+      max longest (issue + (total_latency / max 1 config.Config.outstanding_loads))
+    in
+    let result_ready = List.fold_left max issue (List.map operand_arrival result_ops) in
+    let data_ready = max load_ready result_ready in
+    t.stats.Stats.load_wait <- t.stats.Stats.load_wait + (load_ready - issue);
+    t.stats.Stats.result_wait <- t.stats.Stats.result_wait + max 0 (result_ready - load_ready);
+    let start = data_ready + (task.syncs * config.Config.sync_cycles) in
+    let finish = start + (task.cost * config.Config.op_cycles) in
+    (match task.store with
+    | Some (va, bytes) ->
+      ignore (Machine.store t.machine ~node:task.node ~va ~bytes ~time:finish ~stats:t.stats)
+    | None -> ());
+    (* The core issues its loads, then overlaps part of the wait with the
+       next tasks in its queue (outstanding-miss parallelism); the
+       unhidden fraction plus sync and compute time occupies the core. *)
+    (* Waiting on a remote partial result does not occupy the core: the
+       generated per-node program runs other ready subcomputations in the
+       meantime, and the synchronization handshake itself is charged via
+       [sync_cycles]. The wait still delays this task's [finish], so
+       dependence chains pay full latency. *)
+    let occupancy =
+      (List.length load_ops * config.Config.load_issue_cycles)
+      + (task.syncs * config.Config.sync_cycles)
+      + (task.cost * config.Config.op_cycles)
+      + int_of_float ((1.0 -. config.Config.mlp_overlap) *. float_of_int (load_ready - issue))
+    in
+    t.node_free.(task.node) <- issue + occupancy;
+    t.node_busy.(task.node) <- t.node_busy.(task.node) + occupancy;
+    Hashtbl.replace t.finished task.id { node = task.node; start; finish; group = task.group };
+    let spans = Option.value (Hashtbl.find_opt t.group_spans task.group) ~default:[] in
+    Hashtbl.replace t.group_spans task.group ((start, finish) :: spans);
+    t.stats.Stats.tasks <- t.stats.Stats.tasks + 1;
+    t.stats.Stats.ops <- t.stats.Stats.ops + task.cost;
+    t.stats.Stats.syncs <- t.stats.Stats.syncs + task.syncs;
+    if finish > t.stats.Stats.finish_time then t.stats.Stats.finish_time <- finish;
+    attribute_group t task.group ~hops_before ~lat_before ~msgs_before
+  in
+  List.iter exec tasks
+
+let group_hops t group = Option.value (Hashtbl.find_opt t.group_hops group) ~default:0
+
+let group_latency t group =
+  Option.value (Hashtbl.find_opt t.group_latency group) ~default:(0, 0)
+
+let finish_of t id = Option.map (fun r -> r.finish) (Hashtbl.find_opt t.finished id)
+
+let group_parallelism t group =
+  match Hashtbl.find_opt t.group_spans group with
+  | None -> 0
+  | Some spans ->
+    (* Sweep over span endpoints counting maximum overlap. *)
+    let events =
+      List.concat_map (fun (s, f) -> [ (s, 1); (max (s + 1) f, -1) ]) spans
+    in
+    let sorted = List.sort compare events in
+    let _, peak =
+      List.fold_left (fun (cur, peak) (_, d) -> let cur = cur + d in (cur, max peak cur)) (0, 0) sorted
+    in
+    peak
+
+let elapsed t = Array.fold_left max 0 t.node_free
+
+let node_clocks t = Array.copy t.node_free
+
+let node_busy t = Array.copy t.node_busy

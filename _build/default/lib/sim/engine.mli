@@ -1,0 +1,43 @@
+(** Event-driven execution of task graphs on the simulated machine.
+
+    The engine keeps per-node clocks and the network's link occupancy
+    across calls, so windows compiled and executed in program order see
+    realistic contention. Tasks must arrive producer-before-consumer. *)
+
+type t
+
+val create : Machine.t -> t
+
+val machine : t -> Machine.t
+
+val stats : t -> Stats.t
+
+val run :
+  ?on_load:(va:int -> l1_hit:bool -> l2_hit:bool option -> unit) ->
+  t ->
+  Task.t list ->
+  unit
+(** Execute the tasks. [on_load] observes every [Load] operand's actual
+    cache outcome (used to confirm compile-time predictions). *)
+
+val group_hops : t -> int -> int
+(** Flit-hops attributed to a statement-instance group so far. *)
+
+val group_latency : t -> int -> int * int
+(** [(sum, count)] of network latencies attributed to a group. *)
+
+val finish_of : t -> int -> int option
+(** Finish time of a task id, if it has executed. *)
+
+val group_parallelism : t -> int -> int
+(** Maximum number of that group's tasks whose executions overlapped in
+    simulated time — the realized degree of subcomputation parallelism. *)
+
+val elapsed : t -> int
+(** Latest completion time across all nodes. *)
+
+val node_clocks : t -> int array
+(** Copy of each node's busy-until time. *)
+
+val node_busy : t -> int array
+(** Total busy cycles per node (sum of task spans). *)

@@ -1,0 +1,238 @@
+module Mesh = Ndp_noc.Mesh
+module Cache = Ndp_mem.Cache
+module Snuca = Ndp_mem.Snuca
+module Page_alloc = Ndp_mem.Page_alloc
+
+type t = {
+  config : Config.t;
+  mesh : Mesh.t;
+  snuca : Snuca.t;
+  pages : Page_alloc.t;
+  network : Network.t;
+  l1s : Cache.t array; (* one per node *)
+  l2s : Cache.t array; (* one bank per node *)
+  mcdram_cache : Cache.t option; (* memory-side cache: cache & hybrid modes *)
+  mutable hot_ranges : (int * int) list;
+  mutable l1_boost : float;
+  boost_rng : Ndp_prelude.Rng.t;
+  mc_overrides : (int, int) Hashtbl.t; (* virtual page -> mc node *)
+  sharers : (int, int list) Hashtbl.t; (* VA line -> nodes with an L1 copy *)
+}
+
+type outcome = { arrival : int; l1_hit : bool; l2_hit : bool option }
+
+let create (config : Config.t) =
+  let mesh = Config.mesh config in
+  let map = Config.addr_map config in
+  let n = Mesh.size mesh in
+  let l1 () =
+    Cache.create ~size_bytes:config.l1_size ~assoc:config.l1_assoc
+      ~line_bytes:config.line_bytes
+  in
+  let l2 () =
+    Cache.create ~size_bytes:config.l2_bank_size ~assoc:config.l2_assoc
+      ~line_bytes:config.line_bytes
+  in
+  let mcdram_cache =
+    match config.memory_mode with
+    | Config.Flat -> None
+    | Config.Cache_mode ->
+      Some
+        (Cache.create ~size_bytes:config.mcdram_capacity ~assoc:1
+           ~line_bytes:config.line_bytes)
+    | Config.Hybrid ->
+      Some
+        (Cache.create ~size_bytes:(config.mcdram_capacity / 2) ~assoc:1
+           ~line_bytes:config.line_bytes)
+  in
+  {
+    config;
+    mesh;
+    snuca = Snuca.create mesh config.cluster map;
+    pages = Page_alloc.create ~seed:config.seed ~policy:config.page_policy map;
+    network = Network.create config;
+    l1s = Array.init n (fun _ -> l1 ());
+    l2s = Array.init n (fun _ -> l2 ());
+    mcdram_cache;
+    hot_ranges = [];
+    l1_boost = 0.0;
+    boost_rng = Ndp_prelude.Rng.create (config.seed + 7);
+    mc_overrides = Hashtbl.create 64;
+    sharers = Hashtbl.create 4096;
+  }
+
+let set_hot_ranges t ranges = t.hot_ranges <- ranges
+
+let set_l1_boost t p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Machine.set_l1_boost: probability out of range";
+  t.l1_boost <- p
+
+let set_mc_overrides t pairs =
+  Hashtbl.reset t.mc_overrides;
+  List.iter (fun (page, mc) -> Hashtbl.replace t.mc_overrides page mc) pairs
+
+let is_hot t va = List.exists (fun (base, len) -> va >= base && va < base + len) t.hot_ranges
+
+let translate t va = Page_alloc.translate t.pages va
+
+let compiler_translate t va = Page_alloc.compiler_view t.pages va
+
+let home_node t ~va = Snuca.home_node t.snuca (translate t va)
+
+let compiler_home_node t ~va = Snuca.home_node t.snuca (compiler_translate t va)
+
+let compiler_mc_node t ~va = Snuca.mc_node t.snuca (compiler_translate t va)
+
+(* Latency of servicing a request at the backing memory, per memory mode.
+   Under flat/hybrid modes, arrays placed in MCDRAM are fast; under
+   cache/hybrid modes a direct-mapped memory-side cache filters DDR. *)
+let memory_latency t va pa stats =
+  let c = t.config in
+  let mcdram () =
+    stats.Stats.mcdram_accesses <- stats.Stats.mcdram_accesses + 1;
+    c.mcdram_cycles
+  in
+  let ddr () =
+    stats.Stats.ddr_accesses <- stats.Stats.ddr_accesses + 1;
+    c.ddr_cycles
+  in
+  let through_cache cache =
+    if Cache.access cache pa then mcdram () else mcdram () + ddr ()
+  in
+  match (c.memory_mode, t.mcdram_cache) with
+  | Config.Flat, _ -> if is_hot t va then mcdram () else ddr ()
+  | Config.Cache_mode, Some cache -> through_cache cache
+  | Config.Hybrid, Some cache -> if is_hot t va then mcdram () else through_cache cache
+  | (Config.Cache_mode | Config.Hybrid), None -> assert false
+
+(* A request header is small; replies carry the data payload. *)
+let request_bytes = 8
+
+let line_of t va = va / t.config.Config.line_bytes
+
+let note_sharer t ~node ~va =
+  let line = line_of t va in
+  let cur = Option.value (Hashtbl.find_opt t.sharers line) ~default:[] in
+  if not (List.mem node cur) then Hashtbl.replace t.sharers line (node :: cur)
+
+(* Write-invalidate coherence: a store kills every other node's L1 copy of
+   the line; each invalidation is a small message from the writer. *)
+let invalidate_sharers t ~writer ~va ~time ~stats =
+  if t.config.Config.coherence then begin
+    let line = line_of t va in
+    let holders = Option.value (Hashtbl.find_opt t.sharers line) ~default:[] in
+    List.iter
+      (fun node ->
+        if node <> writer && Cache.probe t.l1s.(node) va then begin
+          ignore (Network.send t.network ~time ~src:writer ~dst:node ~bytes:request_bytes ~stats);
+          (* Evict by filling the slot with a poison tag: reinsert of the
+             same line later will miss. *)
+          Cache.invalidate t.l1s.(node) va;
+          stats.Stats.invalidations <- stats.Stats.invalidations + 1
+        end)
+      holders;
+    Hashtbl.replace t.sharers line [ writer ]
+  end
+
+(* Next-line prefetch: on an L1 miss, also pull line+1 from its own home
+   bank into the requester's L1, off the critical path. *)
+let prefetch_next t ~node ~va ~time ~stats =
+  if t.config.Config.prefetch_next_line then begin
+    let next_va = ((line_of t va) + 1) * t.config.Config.line_bytes in
+    if not (Cache.probe t.l1s.(node) next_va) then begin
+      let pa = translate t next_va in
+      let home = Snuca.home_node t.snuca pa in
+      ignore (Network.send t.network ~time ~src:node ~dst:home ~bytes:request_bytes ~stats);
+      ignore
+        (Network.send t.network ~time ~src:home ~dst:node ~bytes:t.config.Config.line_bytes ~stats);
+      Cache.insert t.l2s.(home) pa;
+      Cache.insert t.l1s.(node) next_va;
+      note_sharer t ~node ~va:next_va;
+      stats.Stats.prefetches <- stats.Stats.prefetches + 1
+    end
+  end
+
+let mc_for t ~va ~pa =
+  let vpage = va lsr Ndp_mem.Addr_map.page_bits (Snuca.addr_map t.snuca) in
+  match Hashtbl.find_opt t.mc_overrides vpage with
+  | Some mc -> mc
+  | None -> Snuca.mc_node t.snuca pa
+
+let load t ~node ~va ~bytes ~time ~stats =
+  ignore bytes;
+  let c = t.config in
+  (* Data always moves at cache-line granularity on the mesh. *)
+  let fill_bytes = c.Config.line_bytes in
+  let l1_hit =
+    Cache.access t.l1s.(node) va
+    ||
+    (t.l1_boost > 0.0
+    &&
+    if Ndp_prelude.Rng.chance t.boost_rng t.l1_boost then begin
+      Cache.insert t.l1s.(node) va;
+      true
+    end
+    else false)
+  in
+  if l1_hit then begin
+    stats.Stats.l1_hits <- stats.Stats.l1_hits + 1;
+    { arrival = time + c.l1_hit_cycles; l1_hit = true; l2_hit = None }
+  end
+  else begin
+    stats.Stats.l1_misses <- stats.Stats.l1_misses + 1;
+    let pa = translate t va in
+    let home = Snuca.home_node t.snuca pa in
+    let at_home = Network.send t.network ~time ~src:node ~dst:home ~bytes:request_bytes ~stats in
+    let l2 = t.l2s.(home) in
+    if Cache.access l2 pa then begin
+      stats.Stats.l2_hits <- stats.Stats.l2_hits + 1;
+      let ready = at_home + c.l2_hit_cycles in
+      let arrival = Network.send t.network ~time:ready ~src:home ~dst:node ~bytes:fill_bytes ~stats in
+      Cache.insert t.l1s.(node) va;
+      note_sharer t ~node ~va;
+      prefetch_next t ~node ~va ~time:arrival ~stats;
+      { arrival = arrival + c.l1_hit_cycles; l1_hit = false; l2_hit = Some true }
+    end
+    else begin
+      stats.Stats.l2_misses <- stats.Stats.l2_misses + 1;
+      let mc = mc_for t ~va ~pa in
+      let tag_checked = at_home + c.l2_hit_cycles in
+      let at_mc =
+        Network.send t.network ~time:tag_checked ~src:home ~dst:mc ~bytes:request_bytes ~stats
+      in
+      let served = at_mc + memory_latency t va pa stats in
+      (* The memory reply returns directly to the requester (as on KNL);
+         the home bank receives its fill off the critical path. *)
+      ignore (Network.send t.network ~time:served ~src:mc ~dst:home ~bytes:c.line_bytes ~stats);
+      Cache.insert l2 pa;
+      let arrival = Network.send t.network ~time:served ~src:mc ~dst:node ~bytes:fill_bytes ~stats in
+      Cache.insert t.l1s.(node) va;
+      note_sharer t ~node ~va;
+      prefetch_next t ~node ~va ~time:arrival ~stats;
+      { arrival = arrival + c.l1_hit_cycles; l1_hit = false; l2_hit = Some false }
+    end
+  end
+
+let store t ~node ~va ~bytes ~time ~stats =
+  ignore bytes;
+  let pa = translate t va in
+  let home = Snuca.home_node t.snuca pa in
+  invalidate_sharers t ~writer:node ~va ~time ~stats;
+  Cache.insert t.l1s.(node) va;
+  note_sharer t ~node ~va;
+  let arrival = Network.send t.network ~time ~src:node ~dst:home ~bytes:t.config.Config.line_bytes ~stats in
+  Cache.insert t.l2s.(home) pa;
+  arrival
+
+let probe_l2 t ~va =
+  let pa = translate t va in
+  let home = Snuca.home_node t.snuca pa in
+  Cache.probe t.l2s.(home) pa
+
+let l1_probe t ~node ~va = Cache.probe t.l1s.(node) va
+
+let network t = t.network
+
+let config t = t.config
+
+let mesh t = t.mesh

@@ -1,0 +1,64 @@
+type t = {
+  mesh : Ndp_noc.Mesh.t;
+  config : Config.t;
+  (* Per-link utilization accumulated in fixed time epochs. The engine
+     replays tasks in program order while node clocks advance at different
+     rates, so sends are observed out of simulated-time order; bucketing
+     makes contention independent of processing order. *)
+  util : (int * int, int) Hashtbl.t; (* (link index, epoch) -> busy cycles *)
+  mutable distance_factor : float;
+}
+
+let epoch_bits = 8
+(* 256-cycle epochs: short enough to capture bursts, long enough that a
+   message's own service time fits. *)
+
+let epoch_span = 1 lsl epoch_bits
+
+let create (config : Config.t) =
+  let mesh = Config.mesh config in
+  { mesh; config; util = Hashtbl.create 4096; distance_factor = 1.0 }
+
+let set_distance_factor t f =
+  if f < 0.0 || f > 1.0 then invalid_arg "Network.set_distance_factor: factor must be in [0,1]";
+  t.distance_factor <- f
+
+(* Under a distance factor < 1 we traverse only a prefix of the route,
+   modelling a counterfactual where data had to travel proportionally
+   fewer links. *)
+let effective_route t route =
+  if t.distance_factor >= 1.0 then route
+  else begin
+    let n = List.length route in
+    let keep = int_of_float (Float.round (t.distance_factor *. float_of_int n)) in
+    List.filteri (fun i _ -> i < keep) route
+  end
+
+let send t ~time ~src ~dst ~bytes ~stats =
+  if src = dst then time
+  else begin
+    let flits = Config.flits_of_bytes t.config bytes in
+    let route = effective_route t (Ndp_noc.Mesh.xy_route t.mesh ~src ~dst) in
+    let service = flits * t.config.Config.link_service_cycles in
+    let traverse now link =
+      let idx = Ndp_noc.Mesh.link_index t.mesh link in
+      let key = (idx, now lsr epoch_bits) in
+      let load = Option.value (Hashtbl.find_opt t.util key) ~default:0 in
+      Hashtbl.replace t.util key (load + service);
+      (* Queueing: demand beyond the epoch's capacity waits. *)
+      let wait = max 0 (load + service - epoch_span) in
+      now + t.config.Config.hop_cycles + (service - 1) + wait
+    in
+    let arrival = List.fold_left traverse time route in
+    let hops = List.length route in
+    stats.Stats.hops <- stats.Stats.hops + (hops * flits);
+    stats.Stats.messages <- stats.Stats.messages + 1;
+    let latency = arrival - time in
+    stats.Stats.latency_sum <- stats.Stats.latency_sum + latency;
+    if latency > stats.Stats.latency_max then stats.Stats.latency_max <- latency;
+    arrival
+  end
+
+let reset t = Hashtbl.reset t.util
+
+let mesh t = t.mesh

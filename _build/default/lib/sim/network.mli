@@ -1,0 +1,28 @@
+(** 2D-mesh network with per-link contention.
+
+    Messages follow deterministic XY routes. Each directed link can accept
+    one flit per [link_service_cycles]; a message occupies each link on its
+    path for [flits * service] cycles, so overlapping transfers queue —
+    long routes both add latency and raise contention, the two effects the
+    paper's partitioner attacks. *)
+
+type t
+
+val create : Config.t -> t
+
+val send : t -> time:int -> src:int -> dst:int -> bytes:int -> stats:Stats.t -> int
+(** Inject a message; returns its arrival time at [dst]. A [src = dst]
+    message arrives immediately and touches no link. Updates hop, message
+    and latency counters in [stats]. *)
+
+val reset : t -> unit
+(** Clear all link occupancy (between independent experiment runs). *)
+
+val set_distance_factor : t -> float -> unit
+(** Scale every message's effective path length by a factor in (0, 1].
+    Used by the S2 isolation scheme (Figure 18) to impose the optimized
+    code's data-movement costs on the default placement, and with factor 0
+    by the ideal-network scenario (Section 6.4). Hop and latency statistics
+    are scaled accordingly. *)
+
+val mesh : t -> Ndp_noc.Mesh.t

@@ -1,0 +1,65 @@
+type t = {
+  mutable l1_hits : int;
+  mutable l1_misses : int;
+  mutable l2_hits : int;
+  mutable l2_misses : int;
+  mutable mcdram_accesses : int;
+  mutable ddr_accesses : int;
+  mutable hops : int;
+  mutable messages : int;
+  mutable latency_sum : int;
+  mutable latency_max : int;
+  mutable ops : int;
+  mutable syncs : int;
+  mutable tasks : int;
+  mutable finish_time : int;
+  mutable load_wait : int;
+  mutable result_wait : int;
+  mutable invalidations : int;
+  mutable prefetches : int;
+}
+
+let create () =
+  {
+    l1_hits = 0;
+    l1_misses = 0;
+    l2_hits = 0;
+    l2_misses = 0;
+    mcdram_accesses = 0;
+    ddr_accesses = 0;
+    hops = 0;
+    messages = 0;
+    latency_sum = 0;
+    latency_max = 0;
+    ops = 0;
+    syncs = 0;
+    tasks = 0;
+    finish_time = 0;
+    load_wait = 0;
+    result_wait = 0;
+    invalidations = 0;
+    prefetches = 0;
+  }
+
+let copy t = { t with l1_hits = t.l1_hits }
+
+let rate hits misses =
+  let total = hits + misses in
+  if total = 0 then 0.0 else float_of_int hits /. float_of_int total
+
+let l1_hit_rate t = rate t.l1_hits t.l1_misses
+
+let l2_hit_rate t = rate t.l2_hits t.l2_misses
+
+let avg_latency t =
+  if t.messages = 0 then 0.0 else float_of_int t.latency_sum /. float_of_int t.messages
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>L1 %d/%d (%.1f%%)@ L2 %d/%d (%.1f%%)@ hops %d, msgs %d, avg lat %.1f, max lat %d@ \
+     ops %d, syncs %d, tasks %d, finish %d@]"
+    t.l1_hits (t.l1_hits + t.l1_misses)
+    (100.0 *. l1_hit_rate t)
+    t.l2_hits (t.l2_hits + t.l2_misses)
+    (100.0 *. l2_hit_rate t)
+    t.hops t.messages (avg_latency t) t.latency_max t.ops t.syncs t.tasks t.finish_time

@@ -1,0 +1,34 @@
+(** Counters collected by the execution engine. *)
+
+type t = {
+  mutable l1_hits : int;
+  mutable l1_misses : int;
+  mutable l2_hits : int;
+  mutable l2_misses : int;
+  mutable mcdram_accesses : int;
+  mutable ddr_accesses : int;
+  mutable hops : int; (** total link traversals weighted by flits *)
+  mutable messages : int;
+  mutable latency_sum : int; (** network latency across all messages *)
+  mutable latency_max : int;
+  mutable ops : int; (** weighted operation units executed *)
+  mutable syncs : int; (** point-to-point synchronizations performed *)
+  mutable tasks : int;
+  mutable finish_time : int; (** simulated completion cycle *)
+  mutable load_wait : int; (** cycles tasks waited on memory operands *)
+  mutable result_wait : int; (** cycles tasks waited on partial results *)
+  mutable invalidations : int; (** L1 copies killed by remote stores *)
+  mutable prefetches : int; (** next-line prefetch fills issued *)
+}
+
+val create : unit -> t
+
+val copy : t -> t
+
+val l1_hit_rate : t -> float
+
+val l2_hit_rate : t -> float
+
+val avg_latency : t -> float
+
+val pp : Format.formatter -> t -> unit

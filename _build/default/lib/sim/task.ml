@@ -1,0 +1,38 @@
+type op_mix = { add_sub : int; mul_div : int; other : int }
+
+type operand =
+  | Load of { va : int; bytes : int }
+  | Result of { producer : int; bytes : int }
+
+type t = {
+  id : int;
+  group : int;
+  node : int;
+  cost : int;
+  mix : op_mix;
+  operands : operand list;
+  store : (int * int) option;
+  syncs : int;
+  label : string;
+}
+
+let zero_mix = { add_sub = 0; mul_div = 0; other = 0 }
+
+let mix_add a b =
+  { add_sub = a.add_sub + b.add_sub; mul_div = a.mul_div + b.mul_div; other = a.other + b.other }
+
+let mix_of_ops ops =
+  let count acc op =
+    match Ndp_ir.Op.kind op with
+    | Ndp_ir.Op.Add_sub -> { acc with add_sub = acc.add_sub + 1 }
+    | Ndp_ir.Op.Mul_div -> { acc with mul_div = acc.mul_div + 1 }
+    | Ndp_ir.Op.Other -> { acc with other = acc.other + 1 }
+  in
+  List.fold_left count zero_mix ops
+
+let mix_total m = m.add_sub + m.mul_div + m.other
+
+let cost_of_ops ops = List.fold_left (fun acc op -> acc + Ndp_ir.Op.cost op) 0 ops
+
+let make ~id ~group ~node ~ops ~operands ?store ?(syncs = 0) ~label () =
+  { id; group; node; cost = cost_of_ops ops; mix = mix_of_ops ops; operands; store; syncs; label }

@@ -1,0 +1,47 @@
+(** Schedulable subcomputations.
+
+    The partitioner compiles every statement instance into one or more
+    tasks; the default (iteration-granularity) placement compiles it into
+    exactly one. Tasks reference each other through [Result] operands,
+    which both carry the partial result over the network and order
+    execution. *)
+
+type op_mix = { add_sub : int; mul_div : int; other : int }
+
+type operand =
+  | Load of { va : int; bytes : int }
+  | Result of { producer : int; bytes : int } (** producer task id *)
+
+type t = {
+  id : int;
+  group : int; (** statement-instance id, for per-statement accounting *)
+  node : int;
+  cost : int; (** weighted operation units (division = 10) *)
+  mix : op_mix;
+  operands : operand list;
+  store : (int * int) option; (** (va, bytes) final result write-back *)
+  syncs : int; (** explicit synchronizations awaited before starting *)
+  label : string;
+}
+
+val zero_mix : op_mix
+
+val mix_add : op_mix -> op_mix -> op_mix
+
+val mix_of_ops : Ndp_ir.Op.t list -> op_mix
+
+val mix_total : op_mix -> int
+
+val cost_of_ops : Ndp_ir.Op.t list -> int
+
+val make :
+  id:int ->
+  group:int ->
+  node:int ->
+  ops:Ndp_ir.Op.t list ->
+  operands:operand list ->
+  ?store:int * int ->
+  ?syncs:int ->
+  label:string ->
+  unit ->
+  t

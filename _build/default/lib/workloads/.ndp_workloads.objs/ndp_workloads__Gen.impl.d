@@ -1,0 +1,1 @@
+lib/workloads/gen.ml: Array Fun Ndp_prelude

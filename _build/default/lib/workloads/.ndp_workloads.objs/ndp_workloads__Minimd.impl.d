@@ -1,0 +1,1 @@
+lib/workloads/minimd.ml: Gen Spec

@@ -1,0 +1,1 @@
+lib/workloads/minixyce.ml: Gen Spec

@@ -1,0 +1,1 @@
+lib/workloads/radiosity.ml: Gen Spec

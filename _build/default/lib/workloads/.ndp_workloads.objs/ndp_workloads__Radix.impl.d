@@ -1,0 +1,1 @@
+lib/workloads/radix.ml: Gen Spec

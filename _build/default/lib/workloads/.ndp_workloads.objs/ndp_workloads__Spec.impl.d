@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Array_decl List Loop Ndp_core Ndp_ir Parser

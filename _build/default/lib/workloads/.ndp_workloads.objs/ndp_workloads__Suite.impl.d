@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Barnes Cholesky Fft Fmm List Lu Minimd Minixyce Ocean Radiosity Radix Raytrace Water

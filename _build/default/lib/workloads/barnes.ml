@@ -1,0 +1,48 @@
+(** Barnes-Hut N-body (Splash-2): tree-walk force accumulation with
+    indirect neighbor references, followed by a regular position update.
+    Long statements give the partitioner many operands per MST; the
+    indirect tree references keep static analyzability near the paper's
+    68% (Table 1). *)
+
+let n = 24 * 1024
+let trips = 200
+
+let kernel () =
+  let nb1 = Gen.clustered ~seed:11 ~n:trips ~range:n ~spread:96 in
+  let nb2 = Gen.clustered ~seed:12 ~n:trips ~range:n ~spread:96 in
+  let nb3 = Gen.clustered ~seed:13 ~n:trips ~range:n ~spread:384 in
+  Spec.kernel ~name:"barnes" ~description:"Barnes-Hut N-body tree force computation"
+    ~arrays:
+      [
+        ("px", n, 8); ("py", n, 8); ("pz", n, 8); ("m", n, 8);
+        ("fx", n, 8); ("fy", n, 8); ("fz", n, 8); ("pot", n, 8);
+        ("vx", n, 8); ("vy", n, 8); ("vz", n, 8); ("dt", n, 8);
+        ("d", n, 8); ("cell", n, 4); ("ix", n, 4); ("iy", n, 4);
+        ("s1", n, 4); ("mask1", n, 4);
+        ("nb1", trips, 4); ("nb2", trips, 4); ("nb3", trips, 4);
+      ]
+    ~nests:
+      [
+        (Spec.nest "force"
+           [ ("i", 0, trips) ]
+           [
+              "fx[i] = fx[i] + m[nb1[i]] * (px[nb1[i]] - px[i]) + m[nb2[i]] * (px[nb2[i]] - px[i])";
+              "fy[i] = fy[i] + m[nb1[i]] * (py[nb1[i]] - py[i]) + m[nb2[i]] * (py[nb2[i]] - py[i])";
+              "fz[i] = fz[i] + m[nb3[i]] * (pz[nb3[i]] - pz[i]) + d[i] * pz[i]";
+              "pot[i] = pot[i] + m[nb1[i]] / d[i] + m[nb2[i]] / d[i]";
+            ]);
+        (Spec.nest "update"
+           [ ("i", 0, trips) ]
+           [
+              "vx[i] = vx[i] + fx[i] * dt[i]";
+              "vy[i] = vy[i] + fy[i] * dt[i]";
+              "vz[i] = vz[i] + fz[i] * dt[i]";
+              "px[i] = px[i] + vx[i] * dt[i]";
+            ]);
+        (Spec.nest "cellkey"
+           [ ("i", 0, trips) ]
+           [ "cell[i] = (ix[i] >> s1[i]) & mask1[i] | (iy[i] >> s1[i]) & mask1[i]" ]);
+      ]
+    ~index_arrays:[ ("nb1", nb1); ("nb2", nb2); ("nb3", nb3) ]
+    ~hot:[ "px"; "py"; "pz"; "m"; "fx"; "fy"; "fz" ]
+    ()

@@ -1,0 +1,26 @@
+(** Cholesky factorization (Splash-2): short update statements with few
+    operands and a heavy multiply/divide mix. The small per-statement
+    network footprint makes the partitioner's gains modest — the behaviour
+    the paper reports for this application. *)
+
+let n = 32 * 1024
+let trips = 240
+
+let kernel () =
+  Spec.kernel ~name:"cholesky" ~description:"Sparse Cholesky factorization updates"
+    ~arrays:[ ("a", n, 8); ("l", n, 8); ("u", n, 8); ("dinv", n, 8); ("col", n, 8) ]
+    ~nests:
+      [
+        (Spec.nest "cdiv"
+           [ ("i", 0, trips) ]
+           [ "l[i] = a[i] / dinv[i]"; "col[i] = l[i] * dinv[i]" ]);
+        (Spec.nest "cmod"
+           [ ("i", 0, trips) ]
+           [
+              "a[i] = a[i] - l[i] * u[i]";
+              "a[i+1] = a[i+1] - l[i] * u[i+1]";
+              "a[i+2] = a[i+2] - l[i] * u[i+2]";
+            ]);
+      ]
+    ~hot:[ "a"; "l"; "u" ]
+    ()

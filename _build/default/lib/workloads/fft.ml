@@ -1,0 +1,34 @@
+(** 1D FFT (Splash-2): radix-2 butterflies over real/imaginary planes plus
+    a bit-reversal permutation (the only indirect access). Butterfly
+    statements share twiddle factors across the real and imaginary
+    statements of one butterfly, which the window mechanism can reuse. *)
+
+let n = 24 * 1024
+let trips = 200
+
+let kernel () =
+  let rev = Gen.permutation ~seed:21 trips in
+  Spec.kernel ~name:"fft" ~description:"Radix-2 FFT butterflies and bit-reversal"
+    ~arrays:
+      [
+        ("ar", n, 8); ("ai", n, 8); ("br", n, 8); ("bi", n, 8);
+        ("wr", n, 8); ("wi", n, 8); ("xr", n, 8); ("xi", n, 8);
+        ("yr", n, 8); ("yi", n, 8); ("rev", trips, 4);
+      ]
+    ~nests:
+      [
+        (Spec.nest "butterfly"
+           [ ("i", 0, trips) ]
+           [
+              "xr[i] = ar[i] + wr[i] * br[i] - wi[i] * bi[i]";
+              "xi[i] = ai[i] + wr[i] * bi[i] + wi[i] * br[i]";
+              "yr[i] = ar[i] - wr[i] * br[i] + wi[i] * bi[i]";
+              "yi[i] = ai[i] - wr[i] * bi[i] - wi[i] * br[i]";
+            ]);
+        (Spec.nest "bitrev"
+           [ ("i", 0, trips) ]
+           [ "ar[i] = xr[rev[i]]  + yr[i] * wi[i]"; "ai[i] = xi[rev[i]] + yi[i] * wr[i]" ]);
+      ]
+    ~index_arrays:[ ("rev", rev) ]
+    ~hot:[ "ar"; "ai"; "br"; "bi"; "wr"; "wi" ]
+    ()

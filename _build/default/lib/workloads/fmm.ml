@@ -1,0 +1,37 @@
+(** Fast Multipole Method (Splash-2): multipole-to-local translations with
+    parenthesized sub-expressions (exercising the level-based splitter) and
+    interaction lists as indirect references (~74% analyzable, Table 1). *)
+
+let n = 24 * 1024
+let trips = 180
+
+let kernel () =
+  let il1 = Gen.clustered ~seed:31 ~n:trips ~range:n ~spread:768 in
+  let il2 = Gen.clustered ~seed:32 ~n:trips ~range:n ~spread:768 in
+  Spec.kernel ~name:"fmm" ~description:"FMM multipole-to-local translation"
+    ~arrays:
+      [
+        ("mre", n, 8); ("mim", n, 8); ("lre", n, 8); ("lim", n, 8);
+        ("cx", n, 8); ("cy", n, 8); ("pw", n, 8); ("q", n, 8);
+        ("il1", trips, 4); ("il2", trips, 4);
+      ]
+    ~nests:
+      [
+        (Spec.nest "m2l"
+           [ ("i", 0, trips) ]
+           [
+              "lre[i] = lre[i] + pw[i] * (mre[il1[i]] * cx[i] - mim[il1[i]] * cy[i])";
+              "lim[i] = lim[i] + pw[i] * (mre[il1[i]] * cy[i] + mim[il1[i]] * cx[i])";
+              "lre[i+1] = lre[i+1] + pw[i] * (mre[il2[i]] * cx[i] - mim[il2[i]] * cy[i])";
+              "lim[i+1] = lim[i+1] + pw[i] * (mre[il2[i]] * cy[i] + mim[il2[i]] * cx[i])";
+            ]);
+        (Spec.nest "l2p"
+           [ ("i", 0, trips) ]
+           [
+              "q[i] = q[i] + lre[i] * cx[i] + lim[i] * cy[i]";
+              "pw[i] = pw[i] * cx[i] / cy[i]";
+            ]);
+      ]
+    ~index_arrays:[ ("il1", il1); ("il2", il2) ]
+    ~hot:[ "mre"; "mim"; "lre"; "lim" ]
+    ()

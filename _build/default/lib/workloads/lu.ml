@@ -1,0 +1,25 @@
+(** Dense LU factorization (Splash-2): rank-1 trailing-matrix updates over
+    a 2D nest. Statements are short (three operands) and mul/div heavy, so
+    the original network footprint per statement is small — the paper
+    observes correspondingly modest movement reductions. *)
+
+let dim = 224
+let n = dim * dim
+
+let kernel () =
+  Spec.kernel ~name:"lu" ~description:"Dense LU trailing submatrix update"
+    ~arrays:[ ("a", n, 8); ("lcol", n, 8); ("urow", n, 8); ("piv", n, 8) ]
+    ~nests:
+      [
+        (Spec.nest "pivot"
+           [ ("i", 0, 200) ]
+           [ "lcol[i] = a[i] / piv[i]" ]);
+        Spec.nest "update"
+          [ ("i", 0, 14); ("j", 0, 14) ]
+          [
+            Printf.sprintf "a[%d*i+j] = a[%d*i+j] - lcol[i] * urow[j]" dim dim;
+            Printf.sprintf "a[%d*i+j+1] = a[%d*i+j+1] - lcol[i] * urow[j+1]" dim dim;
+          ];
+      ]
+    ~hot:[ "a"; "lcol"; "urow" ]
+    ()

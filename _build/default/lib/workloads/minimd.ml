@@ -1,0 +1,39 @@
+(** MiniMD (Mantevo): Lennard-Jones force kernel over explicit neighbor
+    lists. Very wide statements plus indirect neighbor gathers — one of
+    the paper's biggest data-movement winners. *)
+
+let n = 24 * 1024
+let trips = 190
+
+let kernel () =
+  let nb = Gen.clustered ~seed:71 ~n:trips ~range:n ~spread:64 in
+  let nb2 = Gen.clustered ~seed:72 ~n:trips ~range:n ~spread:64 in
+  Spec.kernel ~name:"minimd" ~description:"MiniMD Lennard-Jones force kernel"
+    ~arrays:
+      [
+        ("x", n, 8); ("y", n, 8); ("z", n, 8);
+        ("fx", n, 8); ("fy", n, 8); ("fz", n, 8);
+        ("sig", n, 8); ("eps", n, 8); ("en", n, 8);
+        ("nb", trips, 4); ("nb2", trips, 4);
+      ]
+    ~nests:
+      [
+        (Spec.nest "force"
+           [ ("i", 0, trips) ]
+           [
+              "fx[i] = fx[i] + eps[i] * (x[nb[i]] - x[i]) * sig[i] + eps[i] * (x[nb2[i]] - x[i])";
+              "fy[i] = fy[i] + eps[i] * (y[nb[i]] - y[i]) * sig[i] + eps[i] * (y[nb2[i]] - y[i])";
+              "fz[i] = fz[i] + eps[i] * (z[nb[i]] - z[i]) * sig[i] + eps[i] * (z[nb2[i]] - z[i])";
+              "en[i] = en[i] + sig[i] / eps[i] + sig[i] * eps[i]";
+            ]);
+        (Spec.nest "integrate"
+           [ ("i", 0, trips) ]
+           [
+              "x[i] = x[i] + fx[i] * sig[i]";
+              "y[i] = y[i] + fy[i] * sig[i]";
+              "z[i] = z[i] + fz[i] * sig[i]";
+            ]);
+      ]
+    ~index_arrays:[ ("nb", nb); ("nb2", nb2) ]
+    ~hot:[ "x"; "y"; "z"; "fx"; "fy"; "fz" ]
+    ()

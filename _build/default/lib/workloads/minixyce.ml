@@ -1,0 +1,34 @@
+(** MiniXyce (Mantevo): circuit transient simulation — a sparse
+    matrix-vector product in compressed form (indirect column indices)
+    plus a regular RHS update. Mostly affine (93.8% analyzable). *)
+
+let n = 24 * 1024
+let trips = 240
+
+let kernel () =
+  let colidx = Gen.clustered ~seed:81 ~n:trips ~range:n ~spread:512 in
+  Spec.kernel ~name:"minixyce" ~description:"MiniXyce sparse circuit solve step"
+    ~arrays:
+      [
+        ("aval", n, 8); ("xvec", n, 8); ("yvec", n, 8); ("rhs", n, 8);
+        ("gmat", n, 8); ("cvec", n, 8); ("dt0", n, 8);
+        ("colidx", trips, 4);
+      ]
+    ~nests:
+      [
+        (Spec.nest "spmv"
+           [ ("i", 0, trips) ]
+           [
+              "yvec[i] = yvec[i] + aval[i] * xvec[colidx[i]]";
+              "yvec[i] = yvec[i] + gmat[i] * xvec[i] + cvec[i] * xvec[i+1]";
+            ]);
+        (Spec.nest "update"
+           [ ("i", 0, trips) ]
+           [
+              "rhs[i] = rhs[i] + yvec[i] * dt0[i] - cvec[i] * dt0[i]";
+              "xvec[i] = xvec[i] + rhs[i] * dt0[i]";
+            ]);
+      ]
+    ~index_arrays:[ ("colidx", colidx) ]
+    ~hot:[ "aval"; "xvec"; "yvec" ]
+    ()

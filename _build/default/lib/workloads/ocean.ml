@@ -1,0 +1,37 @@
+(** Ocean simulation (Splash-2): 5-point stencil relaxations on a 2D grid.
+    Wide statements (five grid operands plus weights) whose neighbors live
+    in different L2 banks give the partitioner a large network footprint to
+    shrink — Ocean is among the paper's biggest winners (Figure 13). *)
+
+let dim = 192
+let n = dim * dim
+
+let kernel () =
+  Spec.kernel ~name:"ocean" ~description:"Red-black 5-point stencil relaxation"
+    ~arrays:
+      [
+        ("g", n, 8); ("gn", n, 8); ("w0", n, 8); ("w1", n, 8);
+        ("psi", n, 8); ("vor", n, 8); ("tmp", n, 8);
+      ]
+    ~nests:
+      [
+        Spec.nest "relax"
+          [ ("i", 1, 15); ("j", 1, 15) ]
+          [
+            Printf.sprintf
+              "gn[%d*i+j] = w0[%d*i+j] * (g[%d*i+j-1] + g[%d*i+j+1] + g[%d*i+j-%d] + g[%d*i+j+%d]) + w1[%d*i+j] * g[%d*i+j]"
+              dim dim dim dim dim dim dim dim dim dim;
+            Printf.sprintf
+              "tmp[%d*i+j] = gn[%d*i+j] - g[%d*i+j] + w1[%d*i+j] * psi[%d*i+j]"
+              dim dim dim dim dim;
+          ];
+        Spec.nest "vorticity"
+          [ ("i", 1, 15); ("j", 1, 15) ]
+          [
+            Printf.sprintf
+              "vor[%d*i+j] = (psi[%d*i+j-1] + psi[%d*i+j+1] + psi[%d*i+j-%d] + psi[%d*i+j+%d]) * w0[%d*i+j]"
+              dim dim dim dim dim dim dim dim;
+          ];
+      ]
+    ~hot:[ "g"; "gn"; "psi"; "w0"; "w1" ]
+    ()

@@ -1,0 +1,33 @@
+(** Radiosity (Splash-2): hierarchical light-transport gathering across
+    irregular patch interaction lists. Heavily indirect, mixing form-factor
+    multiplies with visibility shifts. *)
+
+let n = 24 * 1024
+let trips = 200
+
+let kernel () =
+  let el1 = Gen.uniform ~seed:41 ~n:trips ~range:n in
+  let el2 = Gen.clustered ~seed:42 ~n:trips ~range:n ~spread:1024 in
+  Spec.kernel ~name:"radiosity" ~description:"Hierarchical radiosity gathering"
+    ~arrays:
+      [
+        ("rad", n, 8); ("ff", n, 8); ("emit", n, 8); ("refl", n, 8);
+        ("area", n, 8); ("vis", n, 4); ("bits", n, 4); ("acc", n, 8);
+        ("el1", trips, 4); ("el2", trips, 4);
+      ]
+    ~nests:
+      [
+        (Spec.nest "gather"
+           [ ("i", 0, trips) ]
+           [
+              "acc[i] = acc[i] + ff[el1[i]] * rad[el1[i]] + ff[el2[i]] * rad[el2[i]]";
+              "rad[i] = emit[i] + refl[i] * acc[i]";
+              "vis[i] = (bits[i] >> vis[i]) & bits[i]";
+            ]);
+        (Spec.nest "normalize"
+           [ ("i", 0, trips) ]
+           [ "rad[i] = rad[i] / area[i]"; "acc[i] = acc[i] - rad[i] * area[i]" ]);
+      ]
+    ~index_arrays:[ ("el1", el1); ("el2", el2) ]
+    ~hot:[ "rad"; "ff"; "acc" ]
+    ()

@@ -1,0 +1,34 @@
+(** Radix sort (Splash-2): digit extraction (shift/mask heavy — the
+    largest "other" op fraction in Table 3) and histogram scatter through
+    an indirect key. *)
+
+let n = 24 * 1024
+let trips = 260
+
+let kernel () =
+  let key = Gen.clustered ~seed:51 ~n:trips ~range:n ~spread:512 in
+  Spec.kernel ~name:"radix" ~description:"Radix sort digit histogramming"
+    ~arrays:
+      [
+        ("k", n, 4); ("dig", n, 4); ("msk", n, 4); ("sh", n, 4);
+        ("hist", n, 4); ("one", n, 4); ("rank", n, 4); ("out", n, 4);
+        ("key", trips, 4);
+      ]
+    ~nests:
+      [
+        (Spec.nest "digits"
+           [ ("i", 0, trips) ]
+           [
+              "dig[i] = (k[i] >> sh[i]) & msk[i]";
+              "hist[key[i]] = hist[key[i]] + one[i]";
+            ]);
+        (Spec.nest "scatter"
+           [ ("i", 0, trips) ]
+           [
+              "rank[i] = hist[key[i]] + dig[i]";
+              "out[key[i]] = k[i] + rank[i] * one[i]";
+            ]);
+      ]
+    ~index_arrays:[ ("key", key) ]
+    ~hot:[ "k"; "hist"; "out" ]
+    ()

@@ -1,0 +1,34 @@
+(** Raytrace (Splash-2): ray-object intersection tests walking indirect
+    object lists; multiply/divide dominated (Table 3: 49.7%). *)
+
+let n = 24 * 1024
+let trips = 200
+
+let kernel () =
+  let obj = Gen.clustered ~seed:61 ~n:trips ~range:n ~spread:160 in
+  Spec.kernel ~name:"raytrace" ~description:"Ray-object intersection kernel"
+    ~arrays:
+      [
+        ("ox", n, 8); ("oy", n, 8); ("oz", n, 8); ("r2", n, 8);
+        ("dx", n, 8); ("dy", n, 8); ("dz", n, 8);
+        ("tmin", n, 8); ("hit", n, 8); ("shade", n, 8);
+        ("obj", trips, 4);
+      ]
+    ~nests:
+      [
+        (Spec.nest "intersect"
+           [ ("i", 0, trips) ]
+           [
+              "tmin[i] = (ox[obj[i]] * dx[i] + oy[obj[i]] * dy[i] + oz[obj[i]] * dz[i]) / r2[obj[i]]";
+              "hit[i] = hit[i] + tmin[i] * tmin[i] - r2[obj[i]]";
+            ]);
+        (Spec.nest "shade"
+           [ ("i", 0, trips) ]
+           [
+              "shade[i] = hit[i] * dx[i] + hit[i] * dy[i] + hit[i] * dz[i]";
+              "shade[i+1] = shade[i+1] + shade[i] / tmin[i]";
+            ]);
+      ]
+    ~index_arrays:[ ("obj", obj) ]
+    ~hot:[ "ox"; "oy"; "oz"; "hit" ]
+    ()

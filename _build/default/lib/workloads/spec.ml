@@ -1,0 +1,19 @@
+open Ndp_ir
+
+type nest_spec = {
+  label : string;
+  vars : (string * int * int) list;
+  body : string list;
+  sweeps : int;
+}
+
+let nest ?(sweeps = 3) label vars body = { label; vars; body; sweeps }
+
+let kernel ~name ~description ~arrays ~nests ?(index_arrays = []) ?(hot = []) () =
+  let arrays = Array_decl.layout arrays in
+  let build_nest spec =
+    let vars = List.map (fun (var, lo, hi) -> { Loop.var; lo; hi }) spec.vars in
+    Loop.nest ~sweeps:spec.sweeps spec.label vars (Parser.statements spec.body)
+  in
+  let program = Loop.program name ~arrays ~nests:(List.map build_nest nests) in
+  Ndp_core.Kernel.make ~name ~description ~program ~index_arrays ~hot_arrays:hot ()

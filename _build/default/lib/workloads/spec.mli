@@ -1,0 +1,20 @@
+(** Compact kernel builder used by all twelve application models. *)
+
+type nest_spec = {
+  label : string;
+  vars : (string * int * int) list; (** (name, lo, hi), outermost first *)
+  body : string list; (** statements in {!Ndp_ir.Parser} syntax *)
+  sweeps : int; (** outer timing-loop repetitions *)
+}
+
+val nest : ?sweeps:int -> string -> (string * int * int) list -> string list -> nest_spec
+
+val kernel :
+  name:string ->
+  description:string ->
+  arrays:(string * int * int) list ->
+  nests:nest_spec list ->
+  ?index_arrays:(string * int array) list ->
+  ?hot:string list ->
+  unit ->
+  Ndp_core.Kernel.t

@@ -1,0 +1,24 @@
+let builders =
+  [
+    ("barnes", Barnes.kernel);
+    ("cholesky", Cholesky.kernel);
+    ("fft", Fft.kernel);
+    ("fmm", Fmm.kernel);
+    ("lu", Lu.kernel);
+    ("ocean", Ocean.kernel);
+    ("radiosity", Radiosity.kernel);
+    ("radix", Radix.kernel);
+    ("raytrace", Raytrace.kernel);
+    ("water", Water.kernel);
+    ("minimd", Minimd.kernel);
+    ("minixyce", Minixyce.kernel);
+  ]
+
+let all () = List.map (fun (_, build) -> build ()) builders
+
+let names = List.map fst builders
+
+let find name =
+  match List.assoc_opt name builders with
+  | Some build -> build ()
+  | None -> raise Not_found

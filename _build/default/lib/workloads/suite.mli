@@ -1,0 +1,10 @@
+(** The twelve-application suite of the paper's evaluation (Table 1). *)
+
+val all : unit -> Ndp_core.Kernel.t list
+(** In the paper's order: Barnes, Cholesky, FFT, FMM, LU, Ocean,
+    Radiosity, Radix, Raytrace, Water, MiniMD, MiniXyce. *)
+
+val names : string list
+
+val find : string -> Ndp_core.Kernel.t
+(** Raises [Not_found] for unknown application names. *)

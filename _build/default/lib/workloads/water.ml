@@ -1,0 +1,33 @@
+(** Water-nsquared (Splash-2): intra/inter-molecular force accumulation.
+    Addition-dominated (Table 3: 58.1% add/sub) with moderate statement
+    width and strong cross-statement operand sharing. *)
+
+let n = 24 * 1024
+let trips = 220
+
+let kernel () =
+  Spec.kernel ~name:"water" ~description:"Water molecular dynamics forces"
+    ~arrays:
+      [
+        ("rx", n, 8); ("ry", n, 8); ("rz", n, 8);
+        ("gx", n, 8); ("gy", n, 8); ("gz", n, 8);
+        ("q", n, 8); ("cut", n, 8); ("pot", n, 8);
+      ]
+    ~nests:
+      [
+        (Spec.nest "intra"
+           [ ("i", 0, trips) ]
+           [
+              "gx[i] = gx[i] + q[i] * (rx[i] - rx[i+1]) + cut[i]";
+              "gy[i] = gy[i] + q[i] * (ry[i] - ry[i+1]) + cut[i]";
+              "gz[i] = gz[i] + q[i] * (rz[i] - rz[i+1]) + cut[i]";
+            ]);
+        (Spec.nest "potential"
+           [ ("i", 0, trips) ]
+           [
+              "pot[i] = pot[i] + gx[i] + gy[i] + gz[i]";
+              "q[i] = q[i] + pot[i] / cut[i]";
+            ]);
+      ]
+    ~hot:[ "rx"; "ry"; "rz"; "gx"; "gy"; "gz" ]
+    ()

@@ -1,0 +1,1 @@
+test/test_extra.ml: Alcotest Array Astring Env Gen List Ndp_core Ndp_experiments Ndp_ir Ndp_prelude Ndp_sim Ndp_workloads Printf QCheck QCheck_alcotest Subscript

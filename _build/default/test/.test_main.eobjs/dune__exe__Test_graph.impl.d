@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Kruskal List Ndp_graph Ndp_prelude Option QCheck QCheck_alcotest Rooted_tree Transitive Union_find

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array_decl Dependence Env Expr Fmt Inspector List Loop Ndp_ir Nested_set Op Parser QCheck QCheck_alcotest Reference Stmt Subscript

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_core Test_extra Test_graph Test_ir Test_mem Test_noc Test_pipeline Test_prelude Test_sim Test_workloads

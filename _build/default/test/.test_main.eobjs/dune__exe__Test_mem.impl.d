@@ -1,0 +1,1 @@
+test/test_mem.ml: Addr_map Alcotest Cache Gen List Miss_predictor Ndp_mem Ndp_noc Page_alloc QCheck QCheck_alcotest Snuca

@@ -1,0 +1,1 @@
+test/test_noc.ml: Alcotest Cluster Coord List Mesh Ndp_noc QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array List Ndp_core Ndp_mem Ndp_noc Ndp_sim Ndp_workloads Printf

@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Astring Fun Gen List Ndp_prelude QCheck QCheck_alcotest Rng Stats Table

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Config Energy Engine List Machine Ndp_ir Ndp_sim Network Option Stats

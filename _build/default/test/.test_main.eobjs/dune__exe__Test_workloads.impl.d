@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Fun List Ndp_core Ndp_ir Ndp_workloads Printf

@@ -1,0 +1,155 @@
+open Ndp_graph
+
+let uf_basics () =
+  let uf = Union_find.create 5 in
+  Alcotest.(check int) "five sets" 5 (Union_find.count uf);
+  Alcotest.(check bool) "union succeeds" true (Union_find.union uf 0 1);
+  Alcotest.(check bool) "repeat union fails" false (Union_find.union uf 1 0);
+  Alcotest.(check bool) "same" true (Union_find.same uf 0 1);
+  Alcotest.(check bool) "not same" false (Union_find.same uf 0 2);
+  Alcotest.(check int) "four sets" 4 (Union_find.count uf)
+
+let uf_transitive () =
+  let uf = Union_find.create 6 in
+  ignore (Union_find.union uf 0 1);
+  ignore (Union_find.union uf 1 2);
+  ignore (Union_find.union uf 3 4);
+  Alcotest.(check bool) "0~2" true (Union_find.same uf 0 2);
+  Alcotest.(check bool) "2!~3" false (Union_find.same uf 2 3);
+  ignore (Union_find.union uf 2 3);
+  Alcotest.(check bool) "0~4" true (Union_find.same uf 0 4)
+
+let edge u v weight = { Kruskal.u; v; weight }
+
+let kruskal_triangle () =
+  (* Triangle 0-1 (1), 1-2 (2), 0-2 (3): MST drops the heaviest edge. *)
+  let mst = Kruskal.mst ~n:3 [ edge 0 1 1; edge 1 2 2; edge 0 2 3 ] in
+  Alcotest.(check int) "two edges" 2 (List.length mst);
+  Alcotest.(check int) "weight 3" 3 (Kruskal.total_weight mst);
+  Alcotest.(check bool) "spanning" true (Kruskal.is_spanning ~n:3 mst)
+
+let kruskal_deterministic_ties () =
+  let edges = [ edge 0 1 1; edge 1 2 1; edge 0 2 1 ] in
+  let a = Kruskal.mst ~n:3 edges and b = Kruskal.mst ~n:3 (List.rev edges) in
+  Alcotest.(check bool) "tie-broken deterministically" true (a = b)
+
+let kruskal_forest () =
+  (* Two disconnected components give a forest, not a failure. *)
+  let mst = Kruskal.mst ~n:4 [ edge 0 1 1; edge 2 3 1 ] in
+  Alcotest.(check int) "two edges" 2 (List.length mst);
+  Alcotest.(check bool) "not spanning" false (Kruskal.is_spanning ~n:4 mst)
+
+(* Brute-force MST weight on tiny graphs for the property test. *)
+let brute_force_mst_weight ~n edges =
+  let rec subsets = function
+    | [] -> [ [] ]
+    | e :: rest ->
+      let s = subsets rest in
+      s @ List.map (fun sub -> e :: sub) s
+  in
+  let candidates =
+    List.filter
+      (fun sub -> List.length sub = n - 1 && Kruskal.is_spanning ~n sub)
+      (subsets edges)
+  in
+  List.fold_left (fun acc sub -> min acc (Kruskal.total_weight sub)) max_int candidates
+
+let qcheck_kruskal_minimal =
+  QCheck.Test.make ~name:"kruskal matches brute force on K4/K5" ~count:60
+    QCheck.(pair (2 -- 5) (small_int))
+    (fun (n, seed) ->
+      let rng = Ndp_prelude.Rng.create seed in
+      let edges = ref [] in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          edges := edge i j (1 + Ndp_prelude.Rng.int rng 9) :: !edges
+        done
+      done;
+      let mst = Kruskal.mst ~n !edges in
+      Kruskal.is_spanning ~n mst
+      && Kruskal.total_weight mst = brute_force_mst_weight ~n !edges)
+
+let tree_structure () =
+  let edges = [ edge 0 1 2; edge 1 2 3; edge 1 3 1 ] in
+  let t = Rooted_tree.of_edges ~root:0 edges in
+  Alcotest.(check int) "root" 0 (Rooted_tree.root t);
+  Alcotest.(check (list int)) "children of 1" [ 2; 3 ] (Rooted_tree.children t 1);
+  Alcotest.(check (option int)) "parent of 2" (Some 1) (Rooted_tree.parent t 2);
+  Alcotest.(check (option int)) "root has no parent" None (Rooted_tree.parent t 0);
+  Alcotest.(check (list int)) "leaves" [ 2; 3 ] (List.sort compare (Rooted_tree.leaves t));
+  Alcotest.(check int) "edge weight" 3 (Rooted_tree.edge_weight t 2);
+  Alcotest.(check int) "depth" 2 (Rooted_tree.depth t 3)
+
+let tree_postorder () =
+  let edges = [ edge 0 1 1; edge 1 2 1; edge 1 3 1 ] in
+  let t = Rooted_tree.of_edges ~root:0 edges in
+  let order = Rooted_tree.postorder t in
+  let pos v = Option.get (List.find_index (( = ) v) order) in
+  Alcotest.(check bool) "children before parent" true (pos 2 < pos 1 && pos 3 < pos 1);
+  Alcotest.(check bool) "root last" true (pos 0 = 3)
+
+let tree_rejects_cycle () =
+  Alcotest.check_raises "cycle rejected"
+    (Invalid_argument "Rooted_tree.of_edges: edge set contains a cycle")
+    (fun () -> ignore (Rooted_tree.of_edges ~root:0 [ edge 0 1 1; edge 1 2 1; edge 2 0 1 ]))
+
+let closure_reachability () =
+  let r = Transitive.closure ~n:4 [ (0, 1); (1, 2) ] in
+  Alcotest.(check bool) "0 reaches 2" true r.(0).(2);
+  Alcotest.(check bool) "2 does not reach 0" false r.(2).(0);
+  Alcotest.(check bool) "3 isolated" false r.(0).(3)
+
+let reduction_drops_redundant () =
+  (* The paper's example: a chain 0->1->2 plus a direct 0->2 sync. *)
+  let reduced = Transitive.reduction ~n:3 [ (0, 1); (1, 2); (0, 2) ] in
+  Alcotest.(check (list (pair int int))) "redundant arc dropped" [ (0, 1); (1, 2) ]
+    (List.sort compare reduced)
+
+let reduction_keeps_needed () =
+  let arcs = [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  let reduced = Transitive.reduction ~n:4 arcs in
+  Alcotest.(check (list (pair int int))) "diamond kept" (List.sort compare arcs)
+    (List.sort compare reduced)
+
+let reduction_rejects_cycle () =
+  Alcotest.check_raises "cycle rejected"
+    (Invalid_argument "Transitive.reduction: graph has a cycle")
+    (fun () -> ignore (Transitive.reduction ~n:2 [ (0, 1); (1, 0) ]))
+
+let qcheck_reduction_preserves_closure =
+  QCheck.Test.make ~name:"transitive reduction preserves reachability" ~count:100
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Ndp_prelude.Rng.create seed in
+      let n = 6 in
+      (* Random DAG: only forward arcs. *)
+      let arcs = ref [] in
+      for i = 0 to n - 2 do
+        for j = i + 1 to n - 1 do
+          if Ndp_prelude.Rng.chance rng 0.4 then arcs := (i, j) :: !arcs
+        done
+      done;
+      let before = Transitive.closure ~n !arcs in
+      let after = Transitive.closure ~n (Transitive.reduction ~n !arcs) in
+      before = after)
+
+let tests =
+  [
+    ( "graph",
+      [
+        Alcotest.test_case "union-find basics" `Quick uf_basics;
+        Alcotest.test_case "union-find transitive" `Quick uf_transitive;
+        Alcotest.test_case "kruskal triangle" `Quick kruskal_triangle;
+        Alcotest.test_case "kruskal deterministic ties" `Quick kruskal_deterministic_ties;
+        Alcotest.test_case "kruskal forest" `Quick kruskal_forest;
+        Alcotest.test_case "rooted tree structure" `Quick tree_structure;
+        Alcotest.test_case "rooted tree postorder" `Quick tree_postorder;
+        Alcotest.test_case "rooted tree rejects cycle" `Quick tree_rejects_cycle;
+        Alcotest.test_case "closure reachability" `Quick closure_reachability;
+        Alcotest.test_case "reduction drops redundant sync" `Quick reduction_drops_redundant;
+        Alcotest.test_case "reduction keeps diamond" `Quick reduction_keeps_needed;
+        Alcotest.test_case "reduction rejects cycle" `Quick reduction_rejects_cycle;
+        QCheck_alcotest.to_alcotest qcheck_kruskal_minimal;
+        QCheck_alcotest.to_alcotest qcheck_reduction_preserves_closure;
+      ] );
+  ]

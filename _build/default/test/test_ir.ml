@@ -1,0 +1,237 @@
+open Ndp_ir
+
+let stmt = Alcotest.testable (Fmt.of_to_string Stmt.to_string) ( = )
+
+let parse_simple () =
+  let s = Parser.statement "a[i] = b[i] + c[i+1]" in
+  Alcotest.(check string) "lhs" "a[i]" (Reference.to_string (Stmt.output s));
+  Alcotest.(check (list string)) "inputs" [ "b[i]"; "c[i+1]" ]
+    (List.map Reference.to_string (Stmt.inputs s))
+
+let parse_precedence () =
+  (* Multiplication binds tighter than addition. *)
+  let e = Parser.expr "a[i] + b[i] * c[i]" in
+  match e with
+  | Expr.Binop (Op.Add, Expr.Ref _, Expr.Binop (Op.Mul, _, _)) -> ()
+  | _ -> Alcotest.fail ("wrong tree: " ^ Expr.to_string e)
+
+let parse_parentheses () =
+  let e = Parser.expr "(a[i] + b[i]) * c[i]" in
+  match e with
+  | Expr.Binop (Op.Mul, Expr.Group _, Expr.Ref _) -> ()
+  | _ -> Alcotest.fail ("wrong tree: " ^ Expr.to_string e)
+
+let parse_affine_subscript () =
+  let s = Parser.statement "a[2*i+j+3] = b[i]" in
+  let sub = (Stmt.output s).Reference.subscript in
+  Alcotest.(check (option int)) "evaluates" (Some 13)
+    (Subscript.eval_affine (Env.of_list [ ("i", 4); ("j", 2) ]) sub)
+
+let parse_negative_offset () =
+  let s = Parser.statement "a[i-1] = b[i]" in
+  Alcotest.(check (option int)) "i-1 at i=5" (Some 4)
+    (Subscript.eval_affine (Env.of_list [ ("i", 5) ])
+       (Stmt.output s).Reference.subscript)
+
+let parse_indirect () =
+  let s = Parser.statement "x[y[i]] = x[y[i]] + w[i]" in
+  Alcotest.(check bool) "lhs not analyzable" false (Reference.analyzable (Stmt.output s));
+  Alcotest.(check bool) "w analyzable" true
+    (Reference.analyzable (List.nth (Stmt.inputs s) 1))
+
+let parse_shift_ops () =
+  let s = Parser.statement "d[i] = (k[i] >> s1[i]) & m[i]" in
+  Alcotest.(check int) "two ops" 2 (Expr.op_count s.Stmt.rhs)
+
+let parse_errors () =
+  List.iter
+    (fun src ->
+      match Parser.statement src with
+      | exception Parser.Parse_error _ -> ()
+      | _ -> Alcotest.fail ("should not parse: " ^ src))
+    [ "a[i] ="; "= b[i]"; "a[i] + b[i]"; "a[i] = b"; "a[i] = b[i] +"; "a[] = b[i]" ]
+
+let roundtrip () =
+  let src = "a[i] = b[i] + c[i] * (d[i] + e[i+1])" in
+  let s = Parser.statement src in
+  Alcotest.check stmt "parse(print(parse)) = parse" s (Parser.statement (Stmt.to_string s))
+
+(* The paper's nested-set example (Section 4.2):
+   x = a * (b + c) + d * (e + f + g)  =>  (a, (b, c), d, (e, f, g)). *)
+let nested_sets_paper_example () =
+  let s = Parser.statement "x[i] = a[i] * (b[i] + c[i]) + d[i] * (e[i] + f[i] + g[i])" in
+  let ns = Nested_set.of_expr s.Stmt.rhs in
+  Alcotest.(check string) "paper's nesting" "(a[i], (b[i], c[i]), d[i], (e[i], f[i], g[i]))"
+    (Nested_set.to_string ns);
+  Alcotest.(check int) "three sets" 3 (Nested_set.count_sets ns);
+  Alcotest.(check int) "depth 2" 2 (Nested_set.depth ns)
+
+let nested_sets_flat () =
+  let s = Parser.statement "a[i] = b[i] + c[i] + d[i] + e[i]" in
+  let ns = Nested_set.of_expr s.Stmt.rhs in
+  Alcotest.(check int) "one flat set" 1 (Nested_set.count_sets ns);
+  Alcotest.(check int) "four refs" 4 (List.length (Nested_set.all_refs ns));
+  Alcotest.(check bool) "reassociable" true ns.Nested_set.reassociable
+
+let nested_sets_subtraction_not_reassociable () =
+  let s = Parser.statement "a[i] = b[i] - c[i] - d[i]" in
+  let ns = Nested_set.of_expr s.Stmt.rhs in
+  Alcotest.(check bool) "not reassociable" false ns.Nested_set.reassociable
+
+let nested_sets_preserve_refs () =
+  let s = Parser.statement "x[i] = a[i] * (b[i] + c[i]) + d[i] / e[i]" in
+  let ns = Nested_set.of_expr s.Stmt.rhs in
+  Alcotest.(check (list string)) "all refs kept"
+    (List.map Reference.to_string (Expr.refs s.Stmt.rhs))
+    (List.map Reference.to_string (List.sort compare (Nested_set.all_refs ns))
+    |> List.sort compare)
+
+let array_layout () =
+  let decls = Array_decl.layout [ ("a", 100, 8); ("b", 10, 4) ] in
+  let a = Array_decl.find decls "a" and b = Array_decl.find decls "b" in
+  Alcotest.(check bool) "page aligned" true (a.Array_decl.base_va mod 4096 = 0);
+  Alcotest.(check bool) "disjoint" true
+    (b.Array_decl.base_va >= a.Array_decl.base_va + (100 * 8));
+  Alcotest.(check int) "element address" (a.Array_decl.base_va + 24) (Array_decl.address a 3);
+  Alcotest.(check int) "wraps" (Array_decl.address a 5) (Array_decl.address a 105)
+
+let loop_iterations () =
+  let n =
+    Loop.nest "n"
+      [ { Loop.var = "i"; lo = 0; hi = 2 }; { Loop.var = "j"; lo = 0; hi = 3 } ]
+      [ Parser.statement "a[i] = b[j]" ]
+  in
+  let envs = Loop.iterations n in
+  Alcotest.(check int) "6 iterations" 6 (List.length envs);
+  Alcotest.(check (list (pair string int))) "lexicographic first" [ ("i", 0); ("j", 0) ]
+    (Env.to_list (List.hd envs));
+  Alcotest.(check (list (pair string int))) "lexicographic last" [ ("i", 1); ("j", 2) ]
+    (Env.to_list (List.nth envs 5))
+
+let loop_sweeps () =
+  let n =
+    Loop.nest ~sweeps:3 "n" [ { Loop.var = "i"; lo = 0; hi = 4 } ] [ Parser.statement "a[i] = b[i]" ]
+  in
+  Alcotest.(check int) "base trips" 4 (Loop.base_trip_count n);
+  Alcotest.(check int) "total trips" 12 (Loop.trip_count n);
+  Alcotest.(check int) "iteration list length" 12 (List.length (Loop.iterations n))
+
+let resolver_of decls =
+  fun (r : Reference.t) env ->
+    match Subscript.eval_affine env r.Reference.subscript with
+    | Some i -> Some (Array_decl.address (Array_decl.find decls r.Reference.array) i)
+    | None -> None
+
+let dependence_flow () =
+  let decls = Array_decl.layout [ ("a", 64, 8); ("b", 64, 8) ] in
+  let s1 = Parser.statement "a[i] = b[i]" and s2 = Parser.statement "b[i] = a[i]" in
+  let env = Env.of_list [ ("i", 3) ] in
+  let deps =
+    Dependence.analyze (resolver_of decls)
+      [
+        { Dependence.stmt_idx = 0; stmt = s1; env };
+        { Dependence.stmt_idx = 1; stmt = s2; env };
+      ]
+  in
+  let kinds =
+    List.sort compare (List.map (fun d -> Dependence.kind_to_string d.Dependence.kind) deps)
+  in
+  (* s1 writes a[3] read by s2 (flow); s1 reads b[3] written by s2 (anti). *)
+  Alcotest.(check (list string)) "flow + anti" [ "anti"; "flow" ] kinds;
+  Alcotest.(check bool) "none may" true (List.for_all (fun d -> not d.Dependence.may) deps)
+
+let dependence_none_across_elements () =
+  let decls = Array_decl.layout [ ("a", 64, 8); ("b", 64, 8) ] in
+  let s = Parser.statement "a[i] = b[i]" in
+  let deps =
+    Dependence.analyze (resolver_of decls)
+      [
+        { Dependence.stmt_idx = 0; stmt = s; env = Env.of_list [ ("i", 1) ] };
+        { Dependence.stmt_idx = 0; stmt = s; env = Env.of_list [ ("i", 2) ] };
+      ]
+  in
+  Alcotest.(check int) "no deps" 0 (List.length deps)
+
+let dependence_may_on_indirect () =
+  let decls = Array_decl.layout [ ("x", 64, 8); ("y", 64, 4); ("w", 64, 8) ] in
+  let s1 = Parser.statement "x[i] = w[i]" and s2 = Parser.statement "w[i] = x[y[i]]" in
+  let env = Env.of_list [ ("i", 0) ] in
+  let deps =
+    Dependence.analyze (resolver_of decls)
+      [
+        { Dependence.stmt_idx = 0; stmt = s1; env };
+        { Dependence.stmt_idx = 1; stmt = s2; env = Env.of_list [ ("i", 1) ] };
+      ]
+  in
+  Alcotest.(check bool) "has a may dep" true (List.exists (fun d -> d.Dependence.may) deps)
+
+let inspector_resolution () =
+  let decls = Array_decl.layout [ ("x", 64, 8); ("y", 8, 4) ] in
+  let insp = Inspector.create () in
+  Inspector.declare_index_array insp "y" [| 5; 2; 7 |];
+  let address_of name i = Array_decl.address (Array_decl.find decls name) i in
+  let r = Reference.make "x" (Subscript.indirect "y" (Subscript.var "i")) in
+  let env = Env.of_list [ ("i", 1) ] in
+  let compiler = Inspector.compiler_resolver insp ~address_of in
+  let runtime = Inspector.runtime_resolver insp ~address_of in
+  Alcotest.(check (option int)) "compiler blind before inspection" None (compiler r env);
+  Alcotest.(check (option int)) "runtime resolves" (Some (address_of "x" 2)) (runtime r env);
+  Inspector.run insp;
+  Alcotest.(check (option int)) "compiler resolves after inspection"
+    (Some (address_of "x" 2)) (compiler r env)
+
+let op_properties () =
+  Alcotest.(check int) "div costs 10" 10 (Op.cost Op.Div);
+  Alcotest.(check int) "add costs 1" 1 (Op.cost Op.Add);
+  Alcotest.(check bool) "mul binds tighter than add" true (Op.priority Op.Mul > Op.priority Op.Add);
+  Alcotest.(check bool) "shift binds looser than add" true (Op.priority Op.Shl < Op.priority Op.Add);
+  List.iter
+    (fun op ->
+      let k = Op.kind op in
+      ignore k)
+    Op.all
+
+let qcheck_parser_roundtrip =
+  (* Generate random flat expressions over a fixed array alphabet and check
+     print -> parse is the identity. *)
+  let gen =
+    QCheck.Gen.(
+      let ref_ = oneofl [ "a[i]"; "b[i]"; "c[i+1]"; "d[2*i]"; "e[j]" ] in
+      let op = oneofl [ "+"; "-"; "*"; "/" ] in
+      let* n = 1 -- 6 in
+      let* first = ref_ in
+      let* rest = list_size (return n) (pair op ref_) in
+      return (List.fold_left (fun acc (o, r) -> acc ^ " " ^ o ^ " " ^ r) first rest))
+  in
+  QCheck.Test.make ~name:"parser/printer roundtrip" ~count:200 (QCheck.make gen) (fun src ->
+      let e = Parser.expr src in
+      Parser.expr (Expr.to_string e) = e)
+
+let tests =
+  [
+    ( "ir",
+      [
+        Alcotest.test_case "parse simple" `Quick parse_simple;
+        Alcotest.test_case "parse precedence" `Quick parse_precedence;
+        Alcotest.test_case "parse parentheses" `Quick parse_parentheses;
+        Alcotest.test_case "parse affine subscript" `Quick parse_affine_subscript;
+        Alcotest.test_case "parse negative offset" `Quick parse_negative_offset;
+        Alcotest.test_case "parse indirect" `Quick parse_indirect;
+        Alcotest.test_case "parse shift ops" `Quick parse_shift_ops;
+        Alcotest.test_case "parse errors" `Quick parse_errors;
+        Alcotest.test_case "roundtrip" `Quick roundtrip;
+        Alcotest.test_case "nested sets paper example" `Quick nested_sets_paper_example;
+        Alcotest.test_case "nested sets flat" `Quick nested_sets_flat;
+        Alcotest.test_case "nested sets subtraction" `Quick nested_sets_subtraction_not_reassociable;
+        Alcotest.test_case "nested sets preserve refs" `Quick nested_sets_preserve_refs;
+        Alcotest.test_case "array layout" `Quick array_layout;
+        Alcotest.test_case "loop iterations" `Quick loop_iterations;
+        Alcotest.test_case "loop sweeps" `Quick loop_sweeps;
+        Alcotest.test_case "dependence flow/anti" `Quick dependence_flow;
+        Alcotest.test_case "dependence distinct elements" `Quick dependence_none_across_elements;
+        Alcotest.test_case "dependence may on indirect" `Quick dependence_may_on_indirect;
+        Alcotest.test_case "inspector resolution" `Quick inspector_resolution;
+        Alcotest.test_case "op properties" `Quick op_properties;
+        QCheck_alcotest.to_alcotest qcheck_parser_roundtrip;
+      ] );
+  ]

@@ -1,0 +1,119 @@
+open Ndp_prelude
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let rng_distinct_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different streams" false (Rng.next_int64 a = Rng.next_int64 b)
+
+let rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10)
+  done
+
+let rng_float_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 3.0 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 3.0)
+  done
+
+let rng_shuffle_permutes () =
+  let rng = Rng.create 9 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let rng_split_independent () =
+  let parent = Rng.create 3 in
+  let child = Rng.split parent in
+  Alcotest.(check bool) "child differs" false (Rng.next_int64 child = Rng.next_int64 parent)
+
+let rng_copy () =
+  let a = Rng.create 5 in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next_int64 a) (Rng.next_int64 b)
+
+let stats_mean () =
+  check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "mean empty" 0.0 (Stats.mean [])
+
+let stats_geomean () =
+  check_float "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ]);
+  check_float "geomean singleton" 5.0 (Stats.geomean [ 5.0 ])
+
+let stats_stddev () =
+  check_float "stddev constant" 0.0 (Stats.stddev [ 4.0; 4.0; 4.0 ]);
+  check_float "stddev" (sqrt 2.0) (Stats.stddev [ 2.0; 6.0; 4.0; 4.0 ])
+
+let stats_min_max () =
+  Alcotest.(check (pair (float 0.0) (float 0.0))) "min max" (1.0, 9.0)
+    (Stats.min_max [ 3.0; 1.0; 9.0; 4.0 ])
+
+let stats_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  check_float "p50" 50.0 (Stats.percentile 50.0 xs);
+  check_float "p100" 100.0 (Stats.percentile 100.0 xs);
+  check_float "p1" 1.0 (Stats.percentile 1.0 xs)
+
+let stats_improvement () =
+  check_float "halving is 50%" 50.0 (Stats.improvement_pct 100.0 50.0);
+  check_float "zero base" 0.0 (Stats.improvement_pct 0.0 50.0)
+
+let table_renders () =
+  let t = Table.create ~header:[ "a"; "b" ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "longer" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "mentions all cells" true
+    (List.for_all (fun needle ->
+         Astring.String.is_infix ~affix:needle s)
+       [ "a"; "b"; "x"; "1"; "longer" ])
+
+let qcheck_percentile_within =
+  QCheck.Test.make ~name:"percentile lies within data bounds" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 40) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      QCheck.assume (xs <> []);
+      let p = Stats.percentile 50.0 xs in
+      let lo, hi = Stats.min_max xs in
+      p >= lo && p <= hi)
+
+let qcheck_geomean_le_mean =
+  QCheck.Test.make ~name:"geomean <= arithmetic mean (AM-GM)" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 40) (float_range 0.001 1000.0))
+    (fun xs -> Stats.geomean xs <= Stats.mean xs +. 1e-6)
+
+let tests =
+  [
+    ( "prelude",
+      [
+        Alcotest.test_case "rng deterministic" `Quick rng_deterministic;
+        Alcotest.test_case "rng distinct seeds" `Quick rng_distinct_seeds;
+        Alcotest.test_case "rng int bounds" `Quick rng_bounds;
+        Alcotest.test_case "rng float bounds" `Quick rng_float_bounds;
+        Alcotest.test_case "rng shuffle permutes" `Quick rng_shuffle_permutes;
+        Alcotest.test_case "rng split independent" `Quick rng_split_independent;
+        Alcotest.test_case "rng copy" `Quick rng_copy;
+        Alcotest.test_case "stats mean" `Quick stats_mean;
+        Alcotest.test_case "stats geomean" `Quick stats_geomean;
+        Alcotest.test_case "stats stddev" `Quick stats_stddev;
+        Alcotest.test_case "stats min_max" `Quick stats_min_max;
+        Alcotest.test_case "stats percentile" `Quick stats_percentile;
+        Alcotest.test_case "stats improvement" `Quick stats_improvement;
+        Alcotest.test_case "table renders" `Quick table_renders;
+        QCheck_alcotest.to_alcotest qcheck_percentile_within;
+        QCheck_alcotest.to_alcotest qcheck_geomean_le_mean;
+      ] );
+  ]

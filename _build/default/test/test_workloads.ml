@@ -1,0 +1,124 @@
+let suite_complete () =
+  Alcotest.(check int) "twelve applications" 12 (List.length Ndp_workloads.Suite.names);
+  Alcotest.(check (list string)) "paper order"
+    [ "barnes"; "cholesky"; "fft"; "fmm"; "lu"; "ocean"; "radiosity"; "radix"; "raytrace";
+      "water"; "minimd"; "minixyce" ]
+    Ndp_workloads.Suite.names
+
+let kernels_build () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "has nests" true (k.Ndp_core.Kernel.program.Ndp_ir.Loop.nests <> []);
+      Alcotest.(check bool) "has statements" true (Ndp_core.Kernel.total_statements k > 0))
+    (Ndp_workloads.Suite.all ())
+
+let find_unknown () =
+  Alcotest.check_raises "unknown app" Not_found (fun () ->
+      ignore (Ndp_workloads.Suite.find "nonesuch"))
+
+let index_arrays_cover_references () =
+  (* Every indirect subscript's index array must have declared contents. *)
+  List.iter
+    (fun (k : Ndp_core.Kernel.t) ->
+      let declared = List.map fst k.Ndp_core.Kernel.index_arrays in
+      List.iter
+        (fun nest ->
+          List.iter
+            (fun stmt ->
+              List.iter
+                (fun (r : Ndp_ir.Reference.t) ->
+                  let rec check = function
+                    | Ndp_ir.Subscript.Affine _ -> ()
+                    | Ndp_ir.Subscript.Indirect { index_array; inner } ->
+                      Alcotest.(check bool)
+                        (Printf.sprintf "%s: %s declared" k.Ndp_core.Kernel.name index_array)
+                        true (List.mem index_array declared);
+                      check inner
+                  in
+                  check r.Ndp_ir.Reference.subscript)
+                (Ndp_ir.Stmt.output stmt :: Ndp_ir.Stmt.inputs stmt))
+            nest.Ndp_ir.Loop.body)
+        k.Ndp_core.Kernel.program.Ndp_ir.Loop.nests)
+    (Ndp_workloads.Suite.all ())
+
+let arrays_declared () =
+  (* Every referenced array appears in the layout. *)
+  List.iter
+    (fun (k : Ndp_core.Kernel.t) ->
+      let declared =
+        List.map (fun d -> d.Ndp_ir.Array_decl.name) k.Ndp_core.Kernel.program.Ndp_ir.Loop.arrays
+      in
+      List.iter
+        (fun stmt ->
+          List.iter
+            (fun (r : Ndp_ir.Reference.t) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: array %s declared" k.Ndp_core.Kernel.name
+                   r.Ndp_ir.Reference.array)
+                true
+                (List.mem r.Ndp_ir.Reference.array declared))
+            (Ndp_ir.Stmt.output stmt :: Ndp_ir.Stmt.inputs stmt))
+        (Ndp_ir.Loop.all_statements k.Ndp_core.Kernel.program))
+    (Ndp_workloads.Suite.all ())
+
+let hot_arrays_fit () =
+  List.iter
+    (fun k ->
+      let ranges = Ndp_core.Kernel.hot_ranges k ~budget:(2 * 1024 * 1024) in
+      let total = List.fold_left (fun acc (_, len) -> acc + len) 0 ranges in
+      Alcotest.(check bool) "within budget" true (total <= 2 * 1024 * 1024))
+    (Ndp_workloads.Suite.all ())
+
+let analyzability_spread () =
+  (* Cholesky is fully affine; Barnes has a large indirect fraction —
+     the Table 1 contrast. *)
+  let frac name =
+    let k = Ndp_workloads.Suite.find name in
+    let refs =
+      List.concat_map
+        (fun s -> Ndp_ir.Stmt.output s :: Ndp_ir.Stmt.inputs s)
+        (Ndp_ir.Loop.all_statements k.Ndp_core.Kernel.program)
+    in
+    let ok = List.length (List.filter Ndp_ir.Reference.analyzable refs) in
+    float_of_int ok /. float_of_int (List.length refs)
+  in
+  Alcotest.(check bool) "cholesky fully analyzable" true (frac "cholesky" = 1.0);
+  Alcotest.(check bool) "barnes partially analyzable" true (frac "barnes" < 0.9)
+
+let gen_deterministic () =
+  let a = Ndp_workloads.Gen.uniform ~seed:5 ~n:100 ~range:1000 in
+  let b = Ndp_workloads.Gen.uniform ~seed:5 ~n:100 ~range:1000 in
+  Alcotest.(check (array int)) "same seed, same data" a b;
+  Array.iter (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 1000)) a
+
+let gen_clustered_local () =
+  let idx = Ndp_workloads.Gen.clustered ~seed:3 ~n:200 ~range:10000 ~spread:50 in
+  Array.iteri
+    (fun i v ->
+      let base = i * 10000 / 200 in
+      let dist = min (abs (v - base)) (10000 - abs (v - base)) in
+      Alcotest.(check bool) "near its base" true (dist <= 50))
+    idx
+
+let gen_permutation () =
+  let p = Ndp_workloads.Gen.permutation ~seed:11 64 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is permutation" (Array.init 64 Fun.id) sorted
+
+let tests =
+  [
+    ( "workloads",
+      [
+        Alcotest.test_case "suite complete" `Quick suite_complete;
+        Alcotest.test_case "kernels build" `Quick kernels_build;
+        Alcotest.test_case "find unknown" `Quick find_unknown;
+        Alcotest.test_case "index arrays declared" `Quick index_arrays_cover_references;
+        Alcotest.test_case "arrays declared" `Quick arrays_declared;
+        Alcotest.test_case "hot arrays fit budget" `Quick hot_arrays_fit;
+        Alcotest.test_case "analyzability spread" `Quick analyzability_spread;
+        Alcotest.test_case "gen deterministic" `Quick gen_deterministic;
+        Alcotest.test_case "gen clustered local" `Quick gen_clustered_local;
+        Alcotest.test_case "gen permutation" `Quick gen_permutation;
+      ] );
+  ]
