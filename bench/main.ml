@@ -52,9 +52,45 @@ let micro () =
                   Ndp_core.Pipeline.window = Ndp_core.Pipeline.Fixed 2 })
              kernel))
   in
+  (* Dependence analysis on a real instance stream: the bucketed analyze
+     against the O(n^2) naive oracle it replaced. *)
+  let module Dep = Ndp_ir.Dependence in
+  let dep_prog = kernel.Ndp_core.Kernel.program in
+  let dep_resolver (r : Ndp_ir.Reference.t) env =
+    match Ndp_ir.Subscript.eval_affine env r.Ndp_ir.Reference.subscript with
+    | Some i ->
+      Some
+        (Ndp_ir.Array_decl.address
+           (Ndp_ir.Array_decl.find dep_prog.Ndp_ir.Loop.arrays r.Ndp_ir.Reference.array)
+           i)
+    | None -> None
+  in
+  let dep_stream =
+    let nest = List.hd dep_prog.Ndp_ir.Loop.nests in
+    let insts =
+      List.concat_map
+        (fun env ->
+          List.mapi
+            (fun stmt_idx stmt -> { Dep.stmt_idx; stmt; env })
+            nest.Ndp_ir.Loop.body)
+        (Ndp_ir.Loop.iterations nest)
+    in
+    List.filteri (fun i _ -> i < 384) insts
+  in
+  let bench_dep_bucketed =
+    Test.make ~name:"dependence-analyze-bucketed-384"
+      (Staged.stage (fun () -> Dep.analyze dep_resolver dep_stream))
+  in
+  let bench_dep_naive =
+    Test.make ~name:"dependence-analyze-naive-384"
+      (Staged.stage (fun () -> Dep.analyze_naive dep_resolver dep_stream))
+  in
   let tests =
     Test.make_grouped ~name:"ndp"
-      [ bench_mst; bench_route; bench_nested; bench_parse; bench_pipeline ]
+      [
+        bench_mst; bench_route; bench_nested; bench_parse; bench_pipeline;
+        bench_dep_bucketed; bench_dep_naive;
+      ]
   in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in

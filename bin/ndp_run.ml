@@ -160,6 +160,42 @@ let codegen_cmd =
   Cmd.v (Cmd.info "codegen" ~doc:"Show the generated per-node subcomputation program for one window.")
     Term.(const act $ kernel_arg)
 
+let check_cmd =
+  let format_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("human", Ndp_analysis.Diagnostic.Human);
+               ("sexp", Ndp_analysis.Diagnostic.Sexp);
+               ("jsonl", Ndp_analysis.Diagnostic.Jsonl);
+             ])
+          Ndp_analysis.Diagnostic.Human
+      & info [ "format" ] ~doc:"Diagnostic output: human, sexp or jsonl.")
+  in
+  let kernel_opt =
+    Arg.(value & pos 0 (some kernel_conv) None & info [] ~docv:"APP" ~doc:"Check one application only (default: the whole suite).")
+  in
+  let act kernel cluster memory window format =
+    let config = config_of cluster memory in
+    let kernels =
+      match kernel with
+      | Some k -> [ k ]
+      | None -> List.map Ndp_workloads.Suite.find Ndp_workloads.Suite.names
+    in
+    let schemes = [ Ndp_core.Pipeline.Default; scheme_of `Partitioned window ] in
+    let reports = Ndp_analysis.Checker.check_suite ~config ?window ~schemes kernels in
+    print_endline (Ndp_analysis.Checker.render ~format reports);
+    if Ndp_analysis.Checker.has_errors reports then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Lint every kernel's IR and validate the compiled schedules (dependence race \
+          detection) under the default and partitioned schemes; exit nonzero on any error.")
+    Term.(const act $ kernel_opt $ cluster_arg $ memory_arg $ window_arg $ format_arg)
+
 let dot_cmd =
   let act kernel =
     let config = Ndp_sim.Config.default in
@@ -200,4 +236,4 @@ let dot_cmd =
 
 let () =
   let info = Cmd.info "ndp_run" ~doc:"Data-movement-aware computation partitioning playground." in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; compare_cmd; list_cmd; codegen_cmd; dot_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; compare_cmd; list_cmd; codegen_cmd; dot_cmd; check_cmd ]))

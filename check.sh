@@ -1,0 +1,10 @@
+#!/bin/sh
+# Repo verification gate: build, unit/property tests, then the static
+# analysis suite (IR lint + schedule race detection over all 12 workloads
+# under the default and partitioned schemes). Exits nonzero on the first
+# failure. See DESIGN.md "Analysis & validation" for the diagnostic codes.
+set -e
+
+dune build
+dune runtest
+dune exec bin/ndp_run.exe -- check

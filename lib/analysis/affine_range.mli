@@ -1,0 +1,23 @@
+(** Interval evaluation of affine subscripts over loop bounds.
+
+    An affine subscript [c0 + c1*v1 + ... + ck*vk] attains its extrema at
+    the corners of the iteration box, so the inclusive value range follows
+    directly from each variable's bounds and its coefficient's sign. *)
+
+type outcome =
+  | Range of int * int (** inclusive [min, max] over the iteration space *)
+  | Unbound of string (** a subscript variable no enclosing loop binds *)
+  | Non_affine (** indirect subscript: not statically boundable *)
+
+val of_subscript :
+  bounds:(string -> (int * int) option) -> Ndp_ir.Subscript.t -> outcome
+(** [bounds v] is the half-open iteration range of loop variable [v]
+    ([lo, hi)), or [None] when [v] is not bound. Variables of empty loops
+    contribute nothing (the statement never executes). *)
+
+val inner_of_indirect : Ndp_ir.Subscript.t -> (string * Ndp_ir.Subscript.t) option
+(** The innermost indirection of a subscript: the index array together with
+    the affine subscript indexing it; [None] for affine subscripts. *)
+
+val bounds_of_nest : Ndp_ir.Loop.nest -> string -> (int * int) option
+(** The [bounds] function of one loop nest. *)

@@ -1,0 +1,121 @@
+type severity = Error | Warning | Info
+
+type location = {
+  kernel : string;
+  nest : string option;
+  stmt : int option;
+  reference : string option;
+}
+
+type t = { code : string; severity : severity; loc : location; message : string }
+
+let location ?nest ?stmt ?reference kernel = { kernel; nest; stmt; reference }
+
+let make ~code ~severity ~loc message = { code; severity; loc; message }
+
+let makef ~code ~severity ~loc fmt =
+  Printf.ksprintf (fun message -> make ~code ~severity ~loc message) fmt
+
+let severity_to_string = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let is_error d = d.severity = Error
+
+let count severity diags = List.length (List.filter (fun d -> d.severity = severity) diags)
+
+let compare_diag a b =
+  let c = compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = compare a.code b.code in
+    if c <> 0 then c else compare (a.loc, a.message) (b.loc, b.message)
+
+let loc_to_string loc =
+  String.concat ""
+    [
+      loc.kernel;
+      (match loc.nest with Some n -> "/" ^ n | None -> "");
+      (match loc.stmt with Some i -> Printf.sprintf " stmt %d" i | None -> "");
+      (match loc.reference with Some r -> Printf.sprintf " ref %s" r | None -> "");
+    ]
+
+let to_string d =
+  Printf.sprintf "%s[%s] %s: %s" (severity_to_string d.severity) d.code (loc_to_string d.loc)
+    d.message
+
+(* S-expression atoms: quote anything beyond a bare symbol and escape the
+   quotes/backslashes inside, so the output parses back. *)
+let atom s =
+  let bare c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '-' || c = '_' || c = '.' || c = '/'
+  in
+  if s <> "" && String.for_all bare s then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+        Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let to_sexp d =
+  let field name value = Printf.sprintf "(%s %s)" name (atom value) in
+  let opt name = function Some v -> [ field name v ] | None -> [] in
+  String.concat " "
+    ([
+       "(diagnostic";
+       field "code" d.code;
+       field "severity" (severity_to_string d.severity);
+       field "kernel" d.loc.kernel;
+     ]
+    @ opt "nest" d.loc.nest
+    @ opt "stmt" (Option.map string_of_int d.loc.stmt)
+    @ opt "ref" d.loc.reference
+    @ [ field "message" d.message ^ ")" ])
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_json d =
+  let field name value = Printf.sprintf "%s:%s" (json_string name) value in
+  let opt name = function Some v -> [ field name (json_string v) ] | None -> [] in
+  "{"
+  ^ String.concat ","
+      ([
+         field "code" (json_string d.code);
+         field "severity" (json_string (severity_to_string d.severity));
+         field "kernel" (json_string d.loc.kernel);
+       ]
+      @ opt "nest" d.loc.nest
+      @ (match d.loc.stmt with Some i -> [ field "stmt" (string_of_int i) ] | None -> [])
+      @ opt "ref" d.loc.reference
+      @ [ field "message" (json_string d.message) ])
+  ^ "}"
+
+type format = Human | Sexp | Jsonl
+
+let render format d =
+  match format with Human -> to_string d | Sexp -> to_sexp d | Jsonl -> to_json d
+
+let summary diags =
+  Printf.sprintf "%d error(s), %d warning(s), %d info" (count Error diags) (count Warning diags)
+    (count Info diags)

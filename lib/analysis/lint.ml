@@ -1,0 +1,160 @@
+open Ndp_ir
+module D = Diagnostic
+
+let refs_of_stmt stmt = Stmt.output stmt :: Stmt.inputs stmt
+
+(* Every index array a subscript dereferences, innermost included. *)
+let rec index_arrays_of_subscript = function
+  | Subscript.Affine _ -> []
+  | Subscript.Indirect { index_array; inner } -> index_array :: index_arrays_of_subscript inner
+
+let outermost_index_array = function
+  | Subscript.Affine _ -> None
+  | Subscript.Indirect { index_array; _ } -> Some index_array
+
+let array_range contents =
+  match Array.length contents with
+  | 0 -> None
+  | n ->
+    let lo = ref contents.(0) and hi = ref contents.(0) in
+    for i = 1 to n - 1 do
+      if contents.(i) < !lo then lo := contents.(i);
+      if contents.(i) > !hi then hi := contents.(i)
+    done;
+    ignore n;
+    Some (!lo, !hi)
+
+let check_kernel ?window (kernel : Ndp_core.Kernel.t) =
+  let program = kernel.Ndp_core.Kernel.program in
+  let decls = program.Loop.arrays in
+  let index_data = kernel.Ndp_core.Kernel.index_arrays in
+  let decl_of name = List.find_opt (fun (d : Array_decl.t) -> d.Array_decl.name = name) decls in
+  let inspected name = List.mem_assoc name index_data in
+  let diags = ref [] in
+  let report d = diags := d :: !diags in
+  let kname = kernel.Ndp_core.Kernel.name in
+
+  let check_extent ~loc ~what name range =
+    match (decl_of name, range) with
+    | Some decl, Affine_range.Range (lo, hi) ->
+      if lo < 0 || hi >= decl.Array_decl.length then
+        report
+          (D.makef ~code:"E101" ~severity:D.Error ~loc
+             "%s of %s spans [%d, %d] but the declared extent is [0, %d)" what name lo hi
+             decl.Array_decl.length)
+    | None, _ | _, (Affine_range.Unbound _ | Affine_range.Non_affine) -> ()
+  in
+
+  let check_reference ~nest ~stmt_idx (r : Reference.t) =
+    let bounds = Affine_range.bounds_of_nest nest in
+    let loc =
+      D.location kname ~nest:nest.Loop.nest_name ~stmt:stmt_idx ~reference:(Reference.to_string r)
+    in
+    (* Unbound loop variables make the reference meaningless everywhere. *)
+    List.iter
+      (fun v ->
+        if bounds v = None then
+          report
+            (D.makef ~code:"E104" ~severity:D.Error ~loc
+               "subscript uses variable %s, which no enclosing loop binds" v))
+      (Reference.vars r);
+    (* The referenced array and every index array it goes through must be
+       resolvable: declared, or (for index arrays) inspector-covered. *)
+    (if decl_of r.Reference.array = None then
+       report
+         (D.makef ~code:"E102" ~severity:D.Error ~loc "array %s is not declared" r.Reference.array));
+    List.iter
+      (fun ia ->
+        if decl_of ia = None && not (inspected ia) then
+          report (D.makef ~code:"E102" ~severity:D.Error ~loc "index array %s is not declared" ia);
+        if not (inspected ia) then
+          report
+            (D.makef ~code:"W202" ~severity:D.Warning ~loc
+               "non-affine reference through %s has no inspector coverage: the compiler must \
+                assume may-dependences against every access to %s"
+               ia r.Reference.array))
+      (index_arrays_of_subscript r.Reference.subscript);
+    (* Bounds of the affine parts: the subscript itself against the
+       referenced array, and each indirection's inner subscript against its
+       index array. *)
+    check_extent ~loc ~what:"affine subscript" r.Reference.array
+      (Affine_range.of_subscript ~bounds r.Reference.subscript);
+    (match Affine_range.inner_of_indirect r.Reference.subscript with
+    | Some (ia, inner) ->
+      check_extent ~loc ~what:"index-array subscript" ia (Affine_range.of_subscript ~bounds inner)
+    | None -> ());
+    (* Ground-truth value bounds: an indirect subscript evaluates to an
+       element of its outermost index array, so when the inspector has the
+       contents the reachable index range is exactly their min/max. *)
+    (match outermost_index_array r.Reference.subscript with
+    | Some ia -> (
+      match (List.assoc_opt ia index_data, decl_of r.Reference.array) with
+      | Some contents, Some decl -> (
+        match array_range contents with
+        | Some (lo, hi) ->
+          if lo < 0 || hi >= decl.Array_decl.length then
+            report
+              (D.makef ~code:"E103" ~severity:D.Error ~loc
+                 "index array %s holds values in [%d, %d] but %s's extent is [0, %d)" ia lo hi
+                 r.Reference.array decl.Array_decl.length)
+        | None -> ())
+      | _ -> ())
+    | None -> ())
+  in
+
+  let check_nest (nest : Loop.nest) =
+    let nest_loc = D.location kname ~nest:nest.Loop.nest_name in
+    List.iter
+      (fun (v : Loop.loop_var) ->
+        if v.Loop.hi <= v.Loop.lo then
+          report
+            (D.makef ~code:"W203" ~severity:D.Warning ~loc:nest_loc
+               "loop %s iterates [%d, %d): the nest body never executes" v.Loop.var v.Loop.lo
+               v.Loop.hi))
+      nest.Loop.vars;
+    let empty = List.exists (fun (v : Loop.loop_var) -> v.Loop.hi <= v.Loop.lo) nest.Loop.vars in
+    if not empty then
+      List.iteri
+        (fun stmt_idx stmt -> List.iter (check_reference ~nest ~stmt_idx) (refs_of_stmt stmt))
+        nest.Loop.body;
+    (match window with
+    | Some w ->
+      let instances = Loop.trip_count nest * List.length nest.Loop.body in
+      if w > instances then
+        report
+          (D.makef ~code:"W204" ~severity:D.Warning ~loc:nest_loc
+             "window size %d exceeds the nest's %d statement instances: the whole nest is a \
+              single window"
+             w instances)
+    | None -> ())
+  in
+  List.iter check_nest program.Loop.nests;
+
+  (* Dead stores: arrays some statement writes but nothing ever reads.
+     Index arrays count as read wherever a subscript dereferences them. *)
+  let written =
+    List.concat_map
+      (fun (n : Loop.nest) -> List.map (fun s -> (Stmt.output s).Reference.array) n.Loop.body)
+      program.Loop.nests
+  in
+  let read =
+    List.concat_map
+      (fun (n : Loop.nest) ->
+        List.concat_map
+          (fun s ->
+            List.map (fun (r : Reference.t) -> r.Reference.array) (Stmt.inputs s)
+            @ List.concat_map
+                (fun (r : Reference.t) -> index_arrays_of_subscript r.Reference.subscript)
+                (refs_of_stmt s))
+          n.Loop.body)
+      program.Loop.nests
+  in
+  List.iter
+    (fun name ->
+      if not (List.mem name read) then
+        report
+          (D.makef ~code:"W201" ~severity:D.Warning
+             ~loc:(D.location kname ~reference:name)
+             "array %s is written but never read: every store to it is dead" name))
+    (List.sort_uniq compare written);
+  List.stable_sort D.compare_diag (List.rev !diags)

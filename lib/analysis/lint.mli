@@ -1,0 +1,23 @@
+(** Pass 1: static well-formedness checks over a kernel's loop-nest IR.
+
+    Algorithm 1 and everything downstream of it silently assume the IR is
+    sane — subscripts stay inside declared extents ([Array_decl.address]
+    wraps modulo the extent, so an out-of-bounds access is masked, not
+    trapped), every array is declared, loops actually iterate. This pass
+    makes those assumptions checkable.
+
+    Rules (see DESIGN.md for the full table):
+    - [E101] affine subscript (or an indirection's inner subscript) can
+      leave the declared array extent over the nest's iteration space
+    - [E102] reference to an undeclared array or index array
+    - [E103] inspector-known index-array values leave the target extent
+    - [E104] subscript uses a loop variable no enclosing loop binds
+    - [W201] array is written but never read (dead stores)
+    - [W202] non-affine reference without inspector coverage
+    - [W203] degenerate (empty) loop bounds
+    - [W204] window size exceeds a nest's statement-instance count *)
+
+val check_kernel : ?window:int -> Ndp_core.Kernel.t -> Diagnostic.t list
+(** Lint one kernel; [?window] additionally checks a fixed window size
+    against each nest's instance stream ([W204]). Diagnostics are sorted
+    errors-first. *)

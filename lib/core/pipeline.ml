@@ -41,6 +41,16 @@ type tweaks = {
 let no_tweaks =
   { l1_boost = 0.0; distance_factor = 1.0; mc_overrides = []; cost_scale = 1.0; extra_syncs = 0 }
 
+(* What the schedule validator needs to re-check a compiled schedule:
+   which statement instances ran, as which tasks, in which emission order,
+   under which ordering regime. Captured only under [~validate:true]. *)
+type schedule_trace =
+  | Serialized of { t_nest : string; t_metas : Window.meta list; t_tasks : Task.t list }
+      (** default scheme: one task per instance, emitted in global program
+          order (every task is a barrier for the next) *)
+  | Windowed of { t_nest : string; t_metas : Window.meta list; t_compiled : Window.compiled }
+      (** one compiled window of the partitioned scheme *)
+
 type result = {
   kernel_name : string;
   scheme_name : string;
@@ -61,6 +71,7 @@ type result = {
   tasks_emitted : int;
   node_finish : int array;
   node_busy : int array;
+  traces : schedule_trace list;
 }
 
 let scheme_name = function
@@ -152,8 +163,9 @@ let apply_tweaks tweaks (task : Task.t) =
 
 let line_of config va = va / config.Config.line_bytes
 
-let run ?(config = Config.default) ?(tweaks = no_tweaks) scheme kernel =
+let run ?(config = Config.default) ?(tweaks = no_tweaks) ?(validate = false) scheme kernel =
   let ctx = make_context ~config ~tweaks scheme kernel in
+  let traces = ref [] in
   let engine = Engine.create ctx.Context.machine in
   let streams, total_groups =
     List.fold_left
@@ -173,7 +185,8 @@ let run ?(config = Config.default) ?(tweaks = no_tweaks) scheme kernel =
   (match scheme with
   | Default ->
     List.iter
-      (fun (_, metas) ->
+      (fun ((nest : Loop.nest), metas) ->
+        let nest_tasks = ref [] in
         List.iter
           (fun (m : Window.meta) ->
             let task =
@@ -181,8 +194,14 @@ let run ?(config = Config.default) ?(tweaks = no_tweaks) scheme kernel =
                 m.Window.inst
             in
             incr tasks_emitted;
+            if validate then nest_tasks := task :: !nest_tasks;
             Engine.run engine [ apply_tweaks tweaks task ])
-          metas)
+          metas;
+        if validate then
+          traces :=
+            Serialized
+              { t_nest = nest.Loop.nest_name; t_metas = metas; t_tasks = List.rev !nest_tasks }
+            :: !traces)
       streams
   | Partitioned opts ->
     List.iter
@@ -227,6 +246,11 @@ let run ?(config = Config.default) ?(tweaks = no_tweaks) scheme kernel =
         List.iter
           (fun window_metas ->
             let compiled = Window.compile ctx window_metas in
+            if validate then
+              traces :=
+                Windowed
+                  { t_nest = nest.Loop.nest_name; t_metas = window_metas; t_compiled = compiled }
+                :: !traces;
             List.iter push_prediction compiled.Window.predictions;
             List.iter
               (fun (r : Window.stmt_report) ->
@@ -282,6 +306,7 @@ let run ?(config = Config.default) ?(tweaks = no_tweaks) scheme kernel =
     tasks_emitted = !tasks_emitted;
     node_finish = Engine.node_clocks engine;
     node_busy = Engine.node_busy engine;
+    traces = List.rev !traces;
   }
 
 let profile_page_accesses ?(config = Config.default) kernel =

@@ -25,6 +25,8 @@ val partitioned_defaults : part_options
 (** Adaptive window, reuse-aware, sync-minimized, level-based, inspector
     enabled — the paper's full scheme. *)
 
+val scheme_name : scheme -> string
+
 (** Counterfactual knobs for the isolation schemes (Figure 18) and the
     data-mapping comparison (Figure 23). *)
 type tweaks = {
@@ -36,6 +38,27 @@ type tweaks = {
 }
 
 val no_tweaks : tweaks
+
+(** Evidence the schedule validator ([Ndp_analysis.Validate]) checks
+    against: which instances were compiled into which tasks, in emission
+    order, and under which ordering regime. Captured only when [run] is
+    given [~validate:true]; empty otherwise. *)
+type schedule_trace =
+  | Serialized of {
+      t_nest : string;
+      t_metas : Window.meta list;
+      t_tasks : Ndp_sim.Task.t list;
+          (** default scheme: each task runs to completion before the next
+              is issued, so emission order is a total happens-before *)
+    }
+  | Windowed of {
+      t_nest : string;
+      t_metas : Window.meta list;
+      t_compiled : Window.compiled;
+          (** one window of the partitioned scheme; ordering comes from
+              result operands, surviving sync arcs and per-node program
+              order of the emitted task list *)
+    }
 
 type result = {
   kernel_name : string;
@@ -57,9 +80,14 @@ type result = {
   tasks_emitted : int;
   node_finish : int array; (** per-node completion times *)
   node_busy : int array; (** per-node busy cycles (occupancy) *)
+  traces : schedule_trace list; (** empty unless run with [~validate:true] *)
 }
 
-val run : ?config:Ndp_sim.Config.t -> ?tweaks:tweaks -> scheme -> Kernel.t -> result
+val run :
+  ?config:Ndp_sim.Config.t -> ?tweaks:tweaks -> ?validate:bool -> scheme -> Kernel.t -> result
+(** [~validate:true] additionally records a {!schedule_trace} per emitted
+    window (or per nest under the default scheme) so the schedule can be
+    re-checked against ground-truth dependences after the run. *)
 
 val profile_page_accesses :
   ?config:Ndp_sim.Config.t -> Kernel.t -> (int * int) list

@@ -18,6 +18,8 @@ type compiled = {
   reports : stmt_report list;
   sync_count : int;
   predictions : (int * bool) list;
+  roots : (int * int) list;
+  sync_arcs : (int * int) list;
 }
 
 (* The root of the statement MST is the node the default placement
@@ -100,6 +102,18 @@ let compile (ctx : Context.t) metas =
         s.Schedule.tasks)
     per_stmt;
   let cross_node (p, c) = Hashtbl.find_opt node_of_task p <> Hashtbl.find_opt node_of_task c in
+  (* Dropping a same-node arc is only sound if the node really does run the
+     producer first. The level-major emission below orders a node's program
+     by level, so the dropped arc must still raise the consumer's level
+     above the producer's — otherwise a consumer with a shallower task tree
+     would be emitted (and executed) before its producer. *)
+  let same_node_parents = Hashtbl.create 16 in
+  List.iter
+    (fun (p, c, _) ->
+      if not (cross_node (p, c)) then
+        Hashtbl.replace same_node_parents c
+          (p :: Option.value (Hashtbl.find_opt same_node_parents c) ~default:[]))
+    inter_arcs;
   let all_arcs =
     List.filter cross_node (join_arcs @ List.map (fun (p, c, _) -> (p, c)) inter_arcs)
   in
@@ -137,7 +151,18 @@ let compile (ctx : Context.t) metas =
           Option.value (Hashtbl.find_opt level_of producer) ~default:0
         | Task.Load _ -> 0
       in
-      let level = 1 + List.fold_left (fun acc op -> max acc (producer_level op)) 0 t.Task.operands in
+      let operand_floor =
+        List.fold_left (fun acc op -> max acc (producer_level op)) 0 t.Task.operands
+      in
+      (* Same-node arcs have no Result operand; their ordering obligation
+         lives entirely in this level assignment. *)
+      let parent_floor =
+        List.fold_left
+          (fun acc p -> max acc (Option.value (Hashtbl.find_opt level_of p) ~default:0))
+          0
+          (Option.value (Hashtbl.find_opt same_node_parents t.Task.id) ~default:[])
+      in
+      let level = 1 + max operand_floor parent_floor in
       Hashtbl.replace level_of t.Task.id level)
     tasks;
   let tasks =
@@ -170,7 +195,10 @@ let compile (ctx : Context.t) metas =
       per_stmt
   in
   let predictions = List.concat_map (fun (_, sp, _, _) -> sp.Splitter.predictions) per_stmt in
-  { tasks; reports; sync_count = List.length surviving; predictions }
+  let roots =
+    List.map (fun (meta, _, sched, _) -> (meta.group, sched.Schedule.root_task)) per_stmt
+  in
+  { tasks; reports; sync_count = List.length surviving; predictions; roots; sync_arcs = surviving }
 
 (* Preprocessing objective: estimated links traversed plus the cost of the
    synchronizations the window structure induces, expressed in links

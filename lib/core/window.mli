@@ -32,6 +32,12 @@ type compiled = {
   reports : stmt_report list;
   sync_count : int; (** surviving synchronization arcs *)
   predictions : (int * bool) list; (** (va, predicted hit) in issue order *)
+  roots : (int * int) list;
+      (** (statement group, final task id) per compiled instance — the
+          task that performs the output store *)
+  sync_arcs : (int * int) list;
+      (** the surviving cross-node synchronization arcs themselves, as
+          (producer task, consumer task); [sync_count] is their length *)
 }
 
 val store_node_of : Context.t -> meta -> int

@@ -26,9 +26,29 @@ type resolver = Reference.t -> Env.t -> int option
     element it touches; [None] when not compile-time analyzable. *)
 
 val analyze : resolver -> instance list -> dep list
-(** All pairwise dependences with [src < dst] in list order. *)
+(** All pairwise dependences with [src < dst] in list order. Accesses are
+    pre-bucketed by (array, resolved address) — unresolvable ones by array
+    name — so only pairs that can actually conflict are compared; affine
+    streams cost O(n * dependence-chain length) instead of O(n{^ 2}). The
+    result is identical to {!analyze_naive}. *)
+
+val analyze_naive : resolver -> instance list -> dep list
+(** Reference implementation comparing all O(n{^ 2}) instance pairs. Kept
+    as the oracle for equivalence tests and the baseline for the
+    [bench/main.exe micro] dependence benchmarks; use {!analyze}. *)
 
 val kind_to_string : kind -> string
 
-val must_serialize : dep list -> src:int -> dst:int -> bool
+type index
+(** Precomputed (src, dst) lookup over a dependence list. *)
+
+val index_deps : dep list -> index
+(** O(n) construction; queries through {!serialized} are O(1). *)
+
+val serialized : index -> src:int -> dst:int -> bool
 (** Whether any dependence orders the two instances. *)
+
+val must_serialize : dep list -> src:int -> dst:int -> bool
+(** Whether any dependence orders the two instances. Thin wrapper that
+    builds a throwaway {!index}; callers with repeated queries against one
+    dependence list should build the index once via {!index_deps}. *)
