@@ -7,11 +7,51 @@
      main.exe all        tables + figures + ablations + micro
      main.exe table1     one artifact (table1..table3, fig13..fig24, summary)
      main.exe ablation   the DESIGN.md ablations
-     main.exe micro      Bechamel micro-benchmarks *)
+     main.exe micro      Bechamel micro-benchmarks
+     main.exe micro --json
+                         also time the full validation gate and write the
+                         BENCH_micro.json trajectory file *)
 
 module E = Ndp_experiments
 
-let micro () =
+(* A 256-instance sample of cholesky's first nest, with a compile context,
+   for the window-size preprocessing benchmarks: the sliced path runs
+   [Dep.analyze] once per call, the reanalyze oracle once per (candidate,
+   chunk). *)
+let choose_size_fixture () =
+  let kernel = Ndp_workloads.Suite.find "cholesky" in
+  let config = Ndp_sim.Config.default in
+  let machine = Ndp_sim.Machine.create config in
+  let insp = Ndp_core.Kernel.inspector kernel in
+  Ndp_ir.Inspector.run insp;
+  let address_of = Ndp_core.Kernel.address_of kernel in
+  let ctx =
+    Ndp_core.Context.create ~machine
+      ~compiler_resolve:(Ndp_ir.Inspector.compiler_resolver insp ~address_of)
+      ~runtime_resolve:(Ndp_ir.Inspector.runtime_resolver insp ~address_of)
+      ~arrays:kernel.Ndp_core.Kernel.program.Ndp_ir.Loop.arrays
+      ~options:(Ndp_core.Context.default_options config)
+  in
+  let nest = List.hd kernel.Ndp_core.Kernel.program.Ndp_ir.Loop.nests in
+  let mesh_size = Ndp_noc.Mesh.size (Ndp_sim.Machine.mesh machine) in
+  let body_len = List.length nest.Ndp_ir.Loop.body in
+  let metas =
+    List.concat
+      (List.mapi
+         (fun ii env ->
+           List.mapi
+             (fun si stmt ->
+               {
+                 Ndp_core.Window.group = (ii * body_len) + si;
+                 default_node = ii mod mesh_size;
+                 inst = { Ndp_ir.Dependence.stmt_idx = si; stmt; env };
+               })
+             nest.Ndp_ir.Loop.body)
+         (Ndp_ir.Loop.iterations nest))
+  in
+  (ctx, List.filteri (fun i _ -> i < 256) metas)
+
+let micro ?(json = false) () =
   let open Bechamel in
   let open Toolkit in
   let mesh = Ndp_noc.Mesh.create ~cols:6 ~rows:6 in
@@ -85,11 +125,23 @@ let micro () =
     Test.make ~name:"dependence-analyze-naive-384"
       (Staged.stage (fun () -> Dep.analyze_naive dep_resolver dep_stream))
   in
+  (* Window-size preprocessing on a 256-instance sample: the sliced
+     implementation analyzes dependences once and slices per chunk; the
+     reanalyze oracle re-runs the analysis for every (candidate, chunk). *)
+  let cs_ctx, cs_metas = choose_size_fixture () in
+  let bench_choose_sliced =
+    Test.make ~name:"choose-size-sliced-256"
+      (Staged.stage (fun () -> Ndp_core.Window.choose_size cs_ctx cs_metas ~max:8))
+  in
+  let bench_choose_reanalyze =
+    Test.make ~name:"choose-size-reanalyze-256"
+      (Staged.stage (fun () -> Ndp_core.Window.choose_size_reanalyze cs_ctx cs_metas ~max:8))
+  in
   let tests =
     Test.make_grouped ~name:"ndp"
       [
         bench_mst; bench_route; bench_nested; bench_parse; bench_pipeline;
-        bench_dep_bucketed; bench_dep_naive;
+        bench_dep_bucketed; bench_dep_naive; bench_choose_sliced; bench_choose_reanalyze;
       ]
   in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
@@ -99,16 +151,48 @@ let micro () =
   let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
   let results = Analyze.merge ols instances results in
   print_endline "== Micro-benchmarks (ns per run, OLS estimate) ==";
+  let estimates = ref [] in
   Hashtbl.iter
     (fun measure tbl ->
       if measure = Measure.label Instance.monotonic_clock then
         Hashtbl.iter
           (fun test ols_result ->
             match Bechamel.Analyze.OLS.estimates ols_result with
-            | Some [ est ] -> Printf.printf "%-40s %12.1f ns\n" test est
+            | Some [ est ] ->
+              estimates := (test, est) :: !estimates;
+              Printf.printf "%-40s %12.1f ns\n" test est
             | _ -> Printf.printf "%-40s (no estimate)\n" test)
           tbl)
-    results
+    results;
+  if json then begin
+    (* The trajectory file: per-test estimates plus the wall-clock of the
+       full validation gate (the `ndp_run check` sweep), so later PRs can
+       show speedups against a recorded baseline. *)
+    let jobs = Ndp_prelude.Pool.default_jobs () in
+    let kernels = List.map Ndp_workloads.Suite.find Ndp_workloads.Suite.names in
+    let schemes =
+      [
+        Ndp_core.Pipeline.Default;
+        Ndp_core.Pipeline.Partitioned Ndp_core.Pipeline.partitioned_defaults;
+      ]
+    in
+    let t0 = Unix.gettimeofday () in
+    let reports = Ndp_analysis.Checker.check_suite ~jobs ~schemes kernels in
+    let gate_seconds = Unix.gettimeofday () -. t0 in
+    let gate_errors = Ndp_analysis.Checker.has_errors reports in
+    let oc = open_out "BENCH_micro.json" in
+    let tests =
+      List.sort compare !estimates
+      |> List.map (fun (test, est) -> Printf.sprintf "    {\"name\": %S, \"ns\": %.1f}" test est)
+    in
+    Printf.fprintf oc
+      "{\n  \"tests\": [\n%s\n  ],\n  \"full_gate\": {\"seconds\": %.3f, \"jobs\": %d, \
+       \"errors\": %b}\n}\n"
+      (String.concat ",\n" tests) gate_seconds jobs gate_errors;
+    close_out oc;
+    Printf.printf "full gate (check sweep, %d jobs): %.1f s -> BENCH_micro.json\n" jobs
+      gate_seconds
+  end
 
 let () =
   let common = E.Common.create () in
@@ -141,6 +225,7 @@ let () =
     micro ()
   | [| _; "ablation" |] -> E.Ablation.all common
   | [| _; "micro" |] -> micro ()
+  | [| _; "micro"; "--json" |] -> micro ~json:true ()
   | [| _; name |] -> (
     match List.assoc_opt name artifacts with
     | Some f -> f ()

@@ -177,15 +177,27 @@ let check_cmd =
   let kernel_opt =
     Arg.(value & pos 0 (some kernel_conv) None & info [] ~docv:"APP" ~doc:"Check one application only (default: the whole suite).")
   in
-  let act kernel cluster memory window format =
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ]
+          ~doc:
+            "Number of domains for the validation cells (default: \\$(b,NDP_JOBS) or the \
+             recommended domain count). Output is identical at any job count.")
+  in
+  let act kernel cluster memory window format jobs =
     let config = config_of cluster memory in
     let kernels =
       match kernel with
       | Some k -> [ k ]
       | None -> List.map Ndp_workloads.Suite.find Ndp_workloads.Suite.names
     in
+    let jobs =
+      match jobs with Some j -> max 1 j | None -> Ndp_prelude.Pool.default_jobs ()
+    in
     let schemes = [ Ndp_core.Pipeline.Default; scheme_of `Partitioned window ] in
-    let reports = Ndp_analysis.Checker.check_suite ~config ?window ~schemes kernels in
+    let reports = Ndp_analysis.Checker.check_suite ~config ?window ~jobs ~schemes kernels in
     print_endline (Ndp_analysis.Checker.render ~format reports);
     if Ndp_analysis.Checker.has_errors reports then exit 1
   in
@@ -194,7 +206,7 @@ let check_cmd =
        ~doc:
          "Lint every kernel's IR and validate the compiled schedules (dependence race \
           detection) under the default and partitioned schemes; exit nonzero on any error.")
-    Term.(const act $ kernel_opt $ cluster_arg $ memory_arg $ window_arg $ format_arg)
+    Term.(const act $ kernel_opt $ cluster_arg $ memory_arg $ window_arg $ format_arg $ jobs_arg)
 
 let dot_cmd =
   let act kernel =

@@ -3,8 +3,49 @@
 # analysis suite (IR lint + schedule race detection over all 12 workloads
 # under the default and partitioned schemes). Exits nonzero on the first
 # failure. See DESIGN.md "Analysis & validation" for the diagnostic codes.
+#
+#   ./check.sh [-j N]
+#
+# -j N fans the validation cells over N domains (default: nproc). The
+# diagnostics are identical at any job count. Each phase is timed, and
+# the serial baseline recorded by a `-j 1` run (.check_serial_seconds) is
+# compared against parallel runs so the speedup is visible.
 set -e
 
-dune build
-dune runtest
-dune exec bin/ndp_run.exe -- check
+jobs=$(nproc 2>/dev/null || echo 1)
+while getopts j: opt; do
+  case $opt in
+  j) jobs=$OPTARG ;;
+  *)
+    echo "usage: $0 [-j N]" >&2
+    exit 2
+    ;;
+  esac
+done
+
+now() { date +%s; }
+t_start=$(now)
+
+phase() {
+  _name=$1
+  shift
+  _t0=$(now)
+  "$@"
+  echo "phase $_name: $(($(now) - _t0))s"
+}
+
+phase build dune build
+phase runtest dune runtest
+phase check dune exec bin/ndp_run.exe -- check --jobs "$jobs"
+
+total=$(($(now) - t_start))
+baseline_file=.check_serial_seconds
+if [ "$jobs" -le 1 ]; then
+  echo "$total" >"$baseline_file"
+  echo "total (serial, -j $jobs): ${total}s (recorded as baseline)"
+elif [ -f "$baseline_file" ]; then
+  before=$(cat "$baseline_file")
+  echo "total: before (serial) ${before}s -> after (-j $jobs) ${total}s"
+else
+  echo "total (-j $jobs): ${total}s (no serial baseline; run ./check.sh -j 1 to record one)"
+fi

@@ -24,8 +24,21 @@ let validate_kernel ?config scheme kernel =
 let check_kernel ?config ?window ~schemes kernel =
   lint_kernel ?window kernel :: List.map (fun s -> validate_kernel ?config s kernel) schemes
 
-let check_suite ?config ?window ~schemes kernels =
-  List.concat_map (check_kernel ?config ?window ~schemes) kernels
+let check_suite ?config ?window ?(jobs = 1) ~schemes kernels =
+  (* One cell per (kernel, pass): flattened in the exact order the serial
+     concat_map produced, so the report list — and thus the rendered
+     output — is identical at any job count. *)
+  let cells =
+    List.concat_map
+      (fun kernel ->
+        (fun () -> lint_kernel ?window kernel)
+        :: List.map (fun s () -> validate_kernel ?config s kernel) schemes)
+      kernels
+  in
+  if jobs <= 1 then List.map (fun cell -> cell ()) cells
+  else
+    Ndp_prelude.Pool.with_pool ~jobs (fun pool ->
+        Ndp_prelude.Pool.parallel_map pool (fun cell -> cell ()) cells)
 
 let all_diagnostics reports = List.concat_map (fun r -> r.diagnostics) reports
 

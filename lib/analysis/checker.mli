@@ -24,9 +24,13 @@ val check_kernel :
 val check_suite :
   ?config:Ndp_sim.Config.t ->
   ?window:int ->
+  ?jobs:int ->
   schemes:Ndp_core.Pipeline.scheme list ->
   Ndp_core.Kernel.t list ->
   report list
+(** With [jobs > 1] the (kernel, pass) cells run concurrently on a domain
+    pool; the report list is identical to the serial one (cells are
+    independent: each builds its own inspector, machine and context). *)
 
 val all_diagnostics : report list -> Diagnostic.t list
 

@@ -81,28 +81,29 @@ let scheme_name = function
     | Adaptive -> "partitioned(adaptive)"
     | Fixed k -> Printf.sprintf "partitioned(w=%d)" k)
 
-(* Enumerate the statement-instance stream of a nest, in execution order. *)
+(* Enumerate the statement-instance stream of a nest, in execution order.
+   Built through one pre-sized array rather than nested [List.mapi] +
+   [List.concat]: nests reach hundreds of thousands of instances and the
+   intermediate per-iteration lists dominated allocation here. *)
 let instance_stream (ctx : Context.t) nest ~first_group =
   let iterations = Loop.iterations nest in
   let assignment = Baseline.assign_iterations ctx nest iterations in
-  let group = ref first_group in
+  let envs = Array.of_list iterations in
+  let body = Array.of_list nest.Loop.body in
+  let stmts_per_iter = Array.length body in
+  let n = Array.length envs * stmts_per_iter in
   let metas =
-    List.concat
-      (List.mapi
-         (fun iter_idx env ->
-           List.mapi
-             (fun stmt_idx stmt ->
-               let g = !group in
-               incr group;
-               {
-                 Window.group = g;
-                 default_node = assignment.(iter_idx);
-                 inst = { Dep.stmt_idx; stmt; env };
-               })
-             nest.Loop.body)
-         iterations)
+    Array.to_list
+      (Array.init n (fun i ->
+           let iter_idx = i / stmts_per_iter in
+           let stmt_idx = i mod stmts_per_iter in
+           {
+             Window.group = first_group + i;
+             default_node = assignment.(iter_idx);
+             inst = { Dep.stmt_idx; stmt = body.(stmt_idx); env = envs.(iter_idx) };
+           }))
   in
-  (metas, !group)
+  (metas, first_group + n)
 
 let analyzable_fraction metas =
   let count (ok, total) (m : Window.meta) =
@@ -163,7 +164,7 @@ let apply_tweaks tweaks (task : Task.t) =
 
 let line_of config va = va / config.Config.line_bytes
 
-let run ?(config = Config.default) ?(tweaks = no_tweaks) ?(validate = false) scheme kernel =
+let run ?(config = Config.default) ?(tweaks = no_tweaks) ?(validate = false) ?pool scheme kernel =
   let ctx = make_context ~config ~tweaks scheme kernel in
   let traces = ref [] in
   let engine = Engine.create ctx.Context.machine in
@@ -209,7 +210,7 @@ let run ?(config = Config.default) ?(tweaks = no_tweaks) ?(validate = false) sch
         let w =
           match opts.window with
           | Fixed k -> max 1 k
-          | Adaptive -> Window.choose_size ctx metas ~max:config.Config.max_window
+          | Adaptive -> Window.choose_size ?pool ctx metas ~max:config.Config.max_window
         in
         windows_chosen := (nest.Loop.nest_name, w) :: !windows_chosen;
         let pending : (int, bool Queue.t) Hashtbl.t = Hashtbl.create 64 in
@@ -272,11 +273,12 @@ let run ?(config = Config.default) ?(tweaks = no_tweaks) ?(validate = false) sch
            waits do not convoy. The stable sort keeps producers before
            consumers within a level chain. *)
         let ordered =
-          List.stable_sort
-            (fun ((_ : Task.t), la) ((_ : Task.t), lb) -> compare la lb)
-            (List.concat (List.rev !nest_tasks))
+          let arr = Array.of_list (List.concat (List.rev !nest_tasks)) in
+          Array.stable_sort (fun ((_ : Task.t), la) ((_ : Task.t), lb) -> compare la lb) arr;
+          arr
         in
-        Engine.run ~on_load engine (List.map (fun (t, _) -> apply_tweaks tweaks t) ordered))
+        Engine.run ~on_load engine
+          (List.map (fun (t, _) -> apply_tweaks tweaks t) (Array.to_list ordered)))
       streams);
   let stats = Ndp_sim.Stats.copy (Engine.stats engine) in
   let group_hops = Array.init total_groups (fun g -> Engine.group_hops engine g) in

@@ -84,10 +84,18 @@ type result = {
 }
 
 val run :
-  ?config:Ndp_sim.Config.t -> ?tweaks:tweaks -> ?validate:bool -> scheme -> Kernel.t -> result
+  ?config:Ndp_sim.Config.t ->
+  ?tweaks:tweaks ->
+  ?validate:bool ->
+  ?pool:Ndp_prelude.Pool.t ->
+  scheme ->
+  Kernel.t ->
+  result
 (** [~validate:true] additionally records a {!schedule_trace} per emitted
     window (or per nest under the default scheme) so the schedule can be
-    re-checked against ground-truth dependences after the run. *)
+    re-checked against ground-truth dependences after the run. [pool]
+    parallelizes the adaptive window-size preprocessing across candidate
+    sizes; the result is bit-identical with and without it. *)
 
 val profile_page_accesses :
   ?config:Ndp_sim.Config.t -> Kernel.t -> (int * int) list

@@ -41,8 +41,13 @@ let chunk list size =
   in
   go [] [] 0 list
 
-let compile (ctx : Context.t) metas =
+let compile ?deps (ctx : Context.t) metas =
   Context.clear_reuse ctx;
+  (* Task ids allocated during this compile form the dense range
+     [id_base, ctx.next_task); every per-task table below is an array
+     indexed by [id - id_base] instead of a hashtable — this function is
+     the compiler's hot path. *)
+  let id_base = ctx.Context.next_task in
   let per_stmt =
     List.map
       (fun meta ->
@@ -75,11 +80,18 @@ let compile (ctx : Context.t) metas =
         (meta, split, sched, default_est))
       metas
   in
+  let num_tasks = ctx.Context.next_task - id_base in
   (* Inter-statement dependences (flow/anti/output, including conservative
      may-deps) become arcs from the producer's final task to the consuming
-     statement's task graph. *)
-  let instances = List.map (fun m -> m.inst) metas in
-  let deps = Dep.analyze ctx.compiler_resolve instances in
+     statement's task graph. [deps], when provided, is the pre-computed
+     analysis of exactly these instances (indices local to [metas]) — the
+     window-size preprocessing derives it once per nest sample and slices
+     it per chunk instead of re-running the analysis per candidate. *)
+  let deps =
+    match deps with
+    | Some d -> d
+    | None -> Dep.analyze ctx.compiler_resolve (List.map (fun m -> m.inst) metas)
+  in
   let arr = Array.of_list per_stmt in
   let inter_arcs =
     List.filter_map
@@ -94,25 +106,24 @@ let compile (ctx : Context.t) metas =
   let join_arcs = List.concat_map (fun (_, _, s, _) -> s.Schedule.join_arcs) per_stmt in
   (* A producer and consumer on the same node are ordered by the node's
      program; only cross-node waits need a synchronization handshake. *)
-  let node_of_task = Hashtbl.create 64 in
+  let node_of_task = Array.make (max 1 num_tasks) (-1) in
   List.iter
     (fun (_, _, s, _) ->
       List.iter
-        (fun (t : Task.t) -> Hashtbl.replace node_of_task t.Task.id t.Task.node)
+        (fun (t : Task.t) -> node_of_task.(t.Task.id - id_base) <- t.Task.node)
         s.Schedule.tasks)
     per_stmt;
-  let cross_node (p, c) = Hashtbl.find_opt node_of_task p <> Hashtbl.find_opt node_of_task c in
+  let cross_node (p, c) = node_of_task.(p - id_base) <> node_of_task.(c - id_base) in
   (* Dropping a same-node arc is only sound if the node really does run the
      producer first. The level-major emission below orders a node's program
      by level, so the dropped arc must still raise the consumer's level
      above the producer's — otherwise a consumer with a shallower task tree
      would be emitted (and executed) before its producer. *)
-  let same_node_parents = Hashtbl.create 16 in
+  let same_node_parents = Array.make (max 1 num_tasks) [] in
   List.iter
     (fun (p, c, _) ->
       if not (cross_node (p, c)) then
-        Hashtbl.replace same_node_parents c
-          (p :: Option.value (Hashtbl.find_opt same_node_parents c) ~default:[]))
+        same_node_parents.(c - id_base) <- p :: same_node_parents.(c - id_base))
     inter_arcs;
   let all_arcs =
     List.filter cross_node (join_arcs @ List.map (fun (p, c, _) -> (p, c)) inter_arcs)
@@ -122,57 +133,56 @@ let compile (ctx : Context.t) metas =
   (* Inter-statement arcs that survive also order execution: attach them as
      Result operands (flow deps carry a cache line; anti/output deps carry
      a token). *)
-  let extra_operands = Hashtbl.create 16 in
+  let extra_operands = Array.make (max 1 num_tasks) [] in
   List.iter
     (fun (p, c, kind) ->
       if List.mem (p, c) surviving then begin
         let bytes = match kind with Dep.Flow | Dep.Anti | Dep.Output -> 8 in
-        let cur = Option.value (Hashtbl.find_opt extra_operands c) ~default:[] in
-        Hashtbl.replace extra_operands c (Task.Result { producer = p; bytes } :: cur)
+        extra_operands.(c - id_base) <-
+          Task.Result { producer = p; bytes } :: extra_operands.(c - id_base)
       end)
     inter_arcs;
   let finalize (task : Task.t) =
-    let extras = Option.value (Hashtbl.find_opt extra_operands task.Task.id) ~default:[] in
+    let extras = extra_operands.(task.Task.id - id_base) in
     let syncs = Option.value (Hashtbl.find_opt sync_of task.Task.id) ~default:0 in
     { task with Task.operands = task.Task.operands @ extras; Task.syncs }
   in
-  let tasks = List.concat_map (fun (_, _, s, _) -> List.map finalize s.Schedule.tasks) per_stmt in
+  let tasks =
+    Array.of_list
+      (List.concat_map (fun (_, _, s, _) -> List.map finalize s.Schedule.tasks) per_stmt)
+  in
   (* Emit the window level-by-level (all dependency-free subcomputations
      first), so a node's generated program never blocks a ready
      subcomputation behind one that is still waiting for remote partial
      results — the interleaving the paper's code generator produces
      (Figure 8). The sort is stable, preserving producer-before-consumer
      within a level chain. *)
-  let level_of = Hashtbl.create 64 in
-  List.iter
-    (fun (t : Task.t) ->
-      let producer_level = function
-        | Task.Result { producer; bytes = _ } ->
-          Option.value (Hashtbl.find_opt level_of producer) ~default:0
-        | Task.Load _ -> 0
-      in
-      let operand_floor =
-        List.fold_left (fun acc op -> max acc (producer_level op)) 0 t.Task.operands
-      in
-      (* Same-node arcs have no Result operand; their ordering obligation
-         lives entirely in this level assignment. *)
-      let parent_floor =
-        List.fold_left
-          (fun acc p -> max acc (Option.value (Hashtbl.find_opt level_of p) ~default:0))
-          0
-          (Option.value (Hashtbl.find_opt same_node_parents t.Task.id) ~default:[])
-      in
-      let level = 1 + max operand_floor parent_floor in
-      Hashtbl.replace level_of t.Task.id level)
-    tasks;
-  let tasks =
-    List.stable_sort
-      (fun (a, la) (b, lb) ->
-        ignore (a : Task.t);
-        ignore (b : Task.t);
-        compare la lb)
-      (List.map (fun (t : Task.t) -> (t, Hashtbl.find level_of t.Task.id)) tasks)
+  let level_of = Array.make (max 1 num_tasks) 0 in
+  let leveled =
+    Array.map
+      (fun (t : Task.t) ->
+        let producer_level = function
+          | Task.Result { producer; bytes = _ } -> level_of.(producer - id_base)
+          | Task.Load _ -> 0
+        in
+        let operand_floor =
+          List.fold_left (fun acc op -> max acc (producer_level op)) 0 t.Task.operands
+        in
+        (* Same-node arcs have no Result operand; their ordering obligation
+           lives entirely in this level assignment. *)
+        let parent_floor =
+          List.fold_left
+            (fun acc p -> max acc level_of.(p - id_base))
+            0
+            same_node_parents.(t.Task.id - id_base)
+        in
+        let level = 1 + max operand_floor parent_floor in
+        level_of.(t.Task.id - id_base) <- level;
+        (t, level))
+      tasks
   in
+  Array.stable_sort (fun ((_ : Task.t), la) ((_ : Task.t), lb) -> compare la lb) leveled;
+  let tasks = Array.to_list leveled in
   let group_syncs = Hashtbl.create 16 in
   List.iter
     (fun ((t : Task.t), _) ->
@@ -204,28 +214,84 @@ let compile (ctx : Context.t) metas =
    synchronizations the window structure induces, expressed in links
    (sync handshake cycles over per-link cycles). Movement alone is
    monotone in the window size; synchronizations are what push back. *)
+let sync_links_of (ctx : Context.t) =
+  let c = ctx.Context.config in
+  max 1 (c.Ndp_sim.Config.sync_cycles / c.Ndp_sim.Config.hop_cycles) + 2
+
+let estimate_of_compiled ~sync_links (compiled : compiled) =
+  let movement = List.fold_left (fun acc r -> acc + r.est_movement) 0 compiled.reports in
+  movement + (sync_links * compiled.sync_count)
+
 let movement_estimate (ctx : Context.t) metas ~window =
   let ctx = Context.fork_for_estimate ctx in
-  let sync_links =
-    let c = ctx.Context.config in
-    max 1 (c.Ndp_sim.Config.sync_cycles / c.Ndp_sim.Config.hop_cycles) + 2
-  in
+  let sync_links = sync_links_of ctx in
   let windows = chunk metas window in
   List.fold_left
-    (fun acc w ->
-      let compiled = compile ctx w in
-      let movement =
-        List.fold_left (fun acc r -> acc + r.est_movement) 0 compiled.reports
-      in
-      acc + movement + (sync_links * compiled.sync_count))
+    (fun acc w -> acc + estimate_of_compiled ~sync_links (compile ctx w))
     0 windows
+
+(* Like [movement_estimate], but against a forked context and with the
+   nest sample's dependence analysis computed once ([all_deps], indices
+   into [sample]) and sliced per chunk: a dependence whose endpoints both
+   fall inside a chunk is exactly what analyzing the chunk alone would
+   find (the analysis is pairwise), so re-deriving it per candidate
+   window size only repeats work. *)
+let estimate_sliced (ctx : Context.t) sample all_deps ~window =
+  let ctx = Context.fork_for_estimate ctx in
+  let sync_links = sync_links_of ctx in
+  let n = Array.length sample in
+  let rec go lo acc =
+    if lo >= n then acc
+    else begin
+      let hi = min n (lo + window) in
+      let metas = Array.to_list (Array.sub sample lo (hi - lo)) in
+      let deps =
+        List.filter_map
+          (fun (d : Dep.dep) ->
+            if d.Dep.src >= lo && d.Dep.dst < hi then
+              Some { d with Dep.src = d.Dep.src - lo; Dep.dst = d.Dep.dst - lo }
+            else None)
+          all_deps
+      in
+      go hi (acc + estimate_of_compiled ~sync_links (compile ~deps ctx metas))
+    end
+  in
+  go 0 0
 
 (* The preprocessing estimates movement on a prefix of the instance stream;
    loop iterations are statistically uniform, so a few hundred instances
    characterize the nest. *)
 let preprocessing_sample = 256
 
-let choose_size (ctx : Context.t) metas ~max:max_size =
+let choose_size ?pool (ctx : Context.t) metas ~max:max_size =
+  let sample = Array.of_list (List.filteri (fun i _ -> i < preprocessing_sample) metas) in
+  let all_deps =
+    Dep.analyze ctx.Context.compiler_resolve
+      (Array.to_list (Array.map (fun m -> m.inst) sample))
+  in
+  let estimate w = estimate_sliced ctx sample all_deps ~window:w in
+  if max_size < 1 then 1
+  else begin
+    (* Size 1 is evaluated first and serially: it resolves (and thereby
+       page-allocates) every address the sample can reach, so the
+       remaining candidates — possibly running concurrently on forked
+       contexts — only ever read the machine's page table and predictor. *)
+    let m1 = estimate 1 in
+    let rest = List.init (max 0 (max_size - 1)) (fun i -> i + 2) in
+    let estimates =
+      match pool with
+      | Some p -> Ndp_prelude.Pool.parallel_map p estimate rest
+      | None -> List.map estimate rest
+    in
+    let best_w, _ =
+      List.fold_left2
+        (fun (best_w, best_m) w m -> if m < best_m then (w, m) else (best_w, best_m))
+        (1, m1) rest estimates
+    in
+    best_w
+  end
+
+let choose_size_reanalyze (ctx : Context.t) metas ~max:max_size =
   let sample = List.filteri (fun i _ -> i < preprocessing_sample) metas in
   let rec best w best_w best_m =
     if w > max_size then best_w

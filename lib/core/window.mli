@@ -44,13 +44,27 @@ val store_node_of : Context.t -> meta -> int
 (** Home node of the statement's output under the compiler's view; falls
     back to the default node when the output is unanalyzable. *)
 
-val compile : Context.t -> meta list -> compiled
-(** Compile one window. Clears and then populates the variable2node map. *)
+val compile : ?deps:Ndp_ir.Dependence.dep list -> Context.t -> meta list -> compiled
+(** Compile one window. Clears and then populates the variable2node map.
+    [deps], when given, must be the dependence analysis of exactly these
+    instances (indices local to the list) and skips the per-window
+    re-analysis — the window-size preprocessing derives one analysis per
+    nest sample and slices it per chunk. *)
 
-val choose_size : Context.t -> meta list -> max:int -> int
+val choose_size : ?pool:Ndp_prelude.Pool.t -> Context.t -> meta list -> max:int -> int
 (** The preprocessing step of Section 4.4: pick the window size in
     [1..max] minimizing total estimated data movement over the instance
-    stream of one loop nest. *)
+    stream of one loop nest. The nest sample's dependences are analyzed
+    once and sliced per chunk; with [pool], candidate sizes 2..max are
+    evaluated concurrently over forked estimate contexts (size 1 runs
+    first, serially, warming the page table so the concurrent candidates
+    are read-only on shared machine state). The chosen size is
+    independent of [pool]. *)
+
+val choose_size_reanalyze : Context.t -> meta list -> max:int -> int
+(** The pre-optimization preprocessing loop: re-runs the full per-chunk
+    dependence analysis for every candidate size. Kept as the oracle for
+    tests and the [bench/main.exe micro] comparison; use {!choose_size}. *)
 
 val chunk : 'a list -> int -> 'a list list
 

@@ -20,44 +20,50 @@ let partitioned ?(window = Pipeline.Fixed 4) ?(reuse_aware = true) ?(sync_minimi
       balance_threshold;
     }
 
+(* Like the figures, each ablation computes per-app cells across the
+   common pool and renders rows serially in suite order. *)
+
 let reuse common =
   print_endline "== Ablation: reuse-aware vs reuse-agnostic windows (fixed w=4) ==";
   let t = Table.create ~header:[ "app"; "reuse-aware"; "reuse-agnostic" ] in
-  List.iter
-    (fun k ->
-      let def = exec (Common.default_of common k) in
-      let aware = Common.run common (partitioned ()) k in
-      let agnostic = Common.run common (partitioned ~reuse_aware:false ()) k in
-      Table.add_row t [ name k; Table.cell_pct (imp def aware); Table.cell_pct (imp def agnostic) ])
-    (Common.apps common);
+  let rows =
+    Common.map_apps common (fun k ->
+        let def = exec (Common.default_of common k) in
+        let aware = Common.run common (partitioned ()) k in
+        let agnostic = Common.run common (partitioned ~reuse_aware:false ()) k in
+        [ name k; Table.cell_pct (imp def aware); Table.cell_pct (imp def agnostic) ])
+  in
+  List.iter (Table.add_row t) rows;
   Table.print t
 
 let levels common =
   print_endline "== Ablation: level-based splitting vs flat splitting ==";
   let t = Table.create ~header:[ "app"; "level-based"; "flat" ] in
-  List.iter
-    (fun k ->
-      let def = exec (Common.default_of common k) in
-      let leveled = Common.ours_of common k in
-      let flat =
-        Common.run common (partitioned ~window:Pipeline.Adaptive ~level_based:false ()) k
-      in
-      Table.add_row t [ name k; Table.cell_pct (imp def leveled); Table.cell_pct (imp def flat) ])
-    (Common.apps common);
+  let rows =
+    Common.map_apps common (fun k ->
+        let def = exec (Common.default_of common k) in
+        let leveled = Common.ours_of common k in
+        let flat =
+          Common.run common (partitioned ~window:Pipeline.Adaptive ~level_based:false ()) k
+        in
+        [ name k; Table.cell_pct (imp def leveled); Table.cell_pct (imp def flat) ])
+  in
+  List.iter (Table.add_row t) rows;
   Table.print t
 
 let sync_minimization common =
   print_endline "== Ablation: transitive-closure sync minimization ==";
   let t = Table.create ~header:[ "app"; "on:syncs/stmt"; "off:syncs/stmt"; "on:impr"; "off:impr" ] in
-  List.iter
-    (fun k ->
-      let def = exec (Common.default_of common k) in
-      let on = Common.ours_of common k in
-      let off = Common.run common (partitioned ~window:Pipeline.Adaptive ~sync_minimize:false ()) k in
-      let per r =
-        float_of_int r.Pipeline.sync_arcs /. float_of_int (max 1 r.Pipeline.num_instances)
-      in
-      Table.add_row t
+  let rows =
+    Common.map_apps common (fun k ->
+        let def = exec (Common.default_of common k) in
+        let on = Common.ours_of common k in
+        let off =
+          Common.run common (partitioned ~window:Pipeline.Adaptive ~sync_minimize:false ()) k
+        in
+        let per r =
+          float_of_int r.Pipeline.sync_arcs /. float_of_int (max 1 r.Pipeline.num_instances)
+        in
         [
           name k;
           Table.cell_f (per on);
@@ -65,7 +71,8 @@ let sync_minimization common =
           Table.cell_pct (imp def on);
           Table.cell_pct (imp def off);
         ])
-    (Common.apps common);
+  in
+  List.iter (Table.add_row t) rows;
   Table.print t
 
 let balance common =
@@ -73,22 +80,23 @@ let balance common =
   let thresholds = [ 0.0; 0.05; 0.10; 0.30; 1.00 ] in
   let header = "app" :: List.map (fun b -> Printf.sprintf "b=%.2f" b) thresholds in
   let t = Table.create ~header in
-  List.iter
-    (fun k ->
-      let def = exec (Common.default_of common k) in
-      let cells =
-        List.map
-          (fun b ->
-            let r =
-              Common.run common
-                (partitioned ~window:Pipeline.Adaptive ~balance_threshold:b ())
-                k
-            in
-            Table.cell_pct (imp def r))
-          thresholds
-      in
-      Table.add_row t (name k :: cells))
-    (Common.apps common);
+  let rows =
+    Common.map_apps common (fun k ->
+        let def = exec (Common.default_of common k) in
+        let cells =
+          List.map
+            (fun b ->
+              let r =
+                Common.run common
+                  (partitioned ~window:Pipeline.Adaptive ~balance_threshold:b ())
+                  k
+              in
+              Table.cell_pct (imp def r))
+            thresholds
+        in
+        name k :: cells)
+  in
+  List.iter (Table.add_row t) rows;
   Table.print t
 
 let coloring common =
@@ -97,18 +105,19 @@ let coloring common =
   let scrambled_config =
     { Config.default with Config.page_policy = Ndp_mem.Page_alloc.Scrambled }
   in
-  List.iter
-    (fun k ->
-      let def = exec (Common.default_of common k) in
-      let colored = imp def (Common.ours_of common k) in
-      let def_scr = exec (Common.run common ~config:scrambled_config Pipeline.Default k) in
-      let ours_scr =
-        Common.run common ~config:scrambled_config
-          (Pipeline.Partitioned Pipeline.partitioned_defaults) k
-      in
-      let scrambled = Common.improvement ~base:def_scr ~opt:(exec ours_scr) in
-      Table.add_row t [ name k; Table.cell_pct colored; Table.cell_pct scrambled ])
-    (Common.apps common);
+  let rows =
+    Common.map_apps common (fun k ->
+        let def = exec (Common.default_of common k) in
+        let colored = imp def (Common.ours_of common k) in
+        let def_scr = exec (Common.run common ~config:scrambled_config Pipeline.Default k) in
+        let ours_scr =
+          Common.run common ~config:scrambled_config
+            (Pipeline.Partitioned Pipeline.partitioned_defaults) k
+        in
+        let scrambled = Common.improvement ~base:def_scr ~opt:(exec ours_scr) in
+        [ name k; Table.cell_pct colored; Table.cell_pct scrambled ])
+  in
+  List.iter (Table.add_row t) rows;
   Table.print t
 
 let all common =

@@ -1,33 +1,82 @@
 module Pipeline = Ndp_core.Pipeline
 module Config = Ndp_sim.Config
+module Pool = Ndp_prelude.Pool
 
 type t = {
   cache : (string, Pipeline.result) Hashtbl.t;
+  lock : Mutex.t;
+  pool : Pool.t;
   mutable kernels : Ndp_core.Kernel.t list option;
 }
 
-let create () = { cache = Hashtbl.create 64; kernels = None }
+let create ?jobs () =
+  { cache = Hashtbl.create 64; lock = Mutex.create (); pool = Pool.create ?jobs (); kernels = None }
+
+let pool t = t.pool
 
 let apps t =
-  match t.kernels with
-  | Some ks -> ks
-  | None ->
-    let ks = Ndp_workloads.Suite.all () in
-    t.kernels <- Some ks;
-    ks
+  Mutex.lock t.lock;
+  let ks =
+    match t.kernels with
+    | Some ks -> ks
+    | None ->
+      let ks = Ndp_workloads.Suite.all () in
+      t.kernels <- Some ks;
+      ks
+  in
+  Mutex.unlock t.lock;
+  ks
 
+(* Every [Config.t] field participates in the key: the original key kept
+   only cluster/memory/page-policy, so configs differing in (for example)
+   balance threshold, mesh dimensions, window bound or MCDRAM capacity
+   aliased each other's memoized results. Floats are rendered in hex
+   ([%h]) so distinct values can never round to the same key. *)
 let config_key (c : Config.t) =
-  Printf.sprintf "%s/%s/%s/l1b" (Ndp_noc.Cluster.letter c.Config.cluster)
-    (Config.memory_mode_letter c.Config.memory_mode)
-    (match c.Config.page_policy with
-    | Ndp_mem.Page_alloc.Coloring -> "col"
-    | Ndp_mem.Page_alloc.Scrambled -> "scr")
+  String.concat ","
+    [
+      string_of_int c.Config.mesh_cols;
+      string_of_int c.Config.mesh_rows;
+      Ndp_noc.Cluster.letter c.Config.cluster;
+      Config.memory_mode_letter c.Config.memory_mode;
+      string_of_int c.Config.line_bytes;
+      string_of_int c.Config.l1_size;
+      string_of_int c.Config.l1_assoc;
+      string_of_int c.Config.l2_bank_size;
+      string_of_int c.Config.l2_assoc;
+      string_of_int c.Config.mcdram_capacity;
+      string_of_int c.Config.hop_cycles;
+      string_of_int c.Config.link_service_cycles;
+      string_of_int c.Config.flit_bytes;
+      string_of_int c.Config.l1_hit_cycles;
+      string_of_int c.Config.l2_hit_cycles;
+      string_of_int c.Config.mcdram_cycles;
+      string_of_int c.Config.ddr_cycles;
+      string_of_int c.Config.op_cycles;
+      string_of_int c.Config.sync_cycles;
+      string_of_int c.Config.load_issue_cycles;
+      string_of_int c.Config.outstanding_loads;
+      string_of_bool c.Config.coherence;
+      string_of_bool c.Config.prefetch_next_line;
+      Printf.sprintf "%h" c.Config.mlp_overlap;
+      Printf.sprintf "%h" c.Config.balance_threshold;
+      string_of_int c.Config.max_window;
+      (match c.Config.page_policy with
+      | Ndp_mem.Page_alloc.Coloring -> "col"
+      | Ndp_mem.Page_alloc.Scrambled -> "scr");
+      string_of_int c.Config.predictor_capacity_blocks;
+      string_of_int c.Config.seed;
+    ]
 
 let tweaks_key (tw : Pipeline.tweaks) =
   if tw = Pipeline.no_tweaks then ""
   else
-    Printf.sprintf "|b%.3f d%.3f mc%d c%.2f s%d" tw.Pipeline.l1_boost tw.Pipeline.distance_factor
-      (List.length tw.Pipeline.mc_overrides) tw.Pipeline.cost_scale tw.Pipeline.extra_syncs
+    (* The override list is serialized pairwise: keying on its length alone
+       let two different page->MC maps of equal size collide. *)
+    Printf.sprintf "|b%h d%h mc[%s] c%h s%d" tw.Pipeline.l1_boost tw.Pipeline.distance_factor
+      (String.concat ";"
+         (List.map (fun (page, mc) -> Printf.sprintf "%d:%d" page mc) tw.Pipeline.mc_overrides))
+      tw.Pipeline.cost_scale tw.Pipeline.extra_syncs
 
 let scheme_key = function
   | Pipeline.Default -> "default"
@@ -35,7 +84,7 @@ let scheme_key = function
     Printf.sprintf "part(w=%s,r=%b,s=%b,l=%b,bt=%s,id=%b,insp=%b)"
       (match o.Pipeline.window with Pipeline.Adaptive -> "a" | Pipeline.Fixed k -> string_of_int k)
       o.Pipeline.reuse_aware o.Pipeline.sync_minimize o.Pipeline.level_based
-      (match o.Pipeline.balance_threshold with None -> "-" | Some f -> Printf.sprintf "%.2f" f)
+      (match o.Pipeline.balance_threshold with None -> "-" | Some f -> Printf.sprintf "%h" f)
       o.Pipeline.ideal_data o.Pipeline.use_inspector
 
 let run t ?(config = Config.default) ?(tweaks = Pipeline.no_tweaks) ?(key_suffix = "") scheme
@@ -47,12 +96,31 @@ let run t ?(config = Config.default) ?(tweaks = Pipeline.no_tweaks) ?(key_suffix
         key_suffix;
       ]
   in
+  Mutex.lock t.lock;
   match Hashtbl.find_opt t.cache key with
-  | Some r -> r
-  | None ->
-    let r = Pipeline.run ~config ~tweaks scheme kernel in
-    Hashtbl.replace t.cache key r;
+  | Some r ->
+    Mutex.unlock t.lock;
     r
+  | None ->
+    Mutex.unlock t.lock;
+    (* Simulate outside the lock; a concurrent cell computing the same key
+       produces a bit-identical result (runs are deterministic), and the
+       first writer wins so every reader sees one value. *)
+    let r = Pipeline.run ~config ~tweaks ~pool:t.pool scheme kernel in
+    Mutex.lock t.lock;
+    let r =
+      match Hashtbl.find_opt t.cache key with
+      | Some first -> first
+      | None ->
+        Hashtbl.replace t.cache key r;
+        r
+    in
+    Mutex.unlock t.lock;
+    r
+
+let parallel_map t f xs = Pool.parallel_map t.pool f xs
+
+let map_apps t f = parallel_map t f (apps t)
 
 let default_of t kernel = run t Pipeline.Default kernel
 

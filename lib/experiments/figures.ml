@@ -12,6 +12,12 @@ let exec (r : Pipeline.result) = r.Pipeline.exec_time
 
 let improvement base opt = Common.improvement ~base ~opt
 
+(* Every figure computes its per-app cells across the common pool
+   ({!Common.map_apps}), then renders rows serially in suite order.
+   Accumulator lists are rebuilt in the exact order the serial loops
+   produced them (including reversals) so geomean folds see the same
+   float sequence and the output stays byte-identical. *)
+
 (* Data-movement reduction between two runs of the same kernel (identical
    statement-instance numbering). The average is movement-weighted (total
    flit-hops saved over total default flit-hops): an unweighted mean over
@@ -36,61 +42,59 @@ let movement_reduction (def : Pipeline.result) (opt : Pipeline.result) =
 let fig13 common =
   print_endline "== Figure 13: data movement reduction over default placement ==";
   let t = Table.create ~header:[ "app"; "avg"; "max" ] in
-  let rows =
-    List.map
-      (fun k ->
+  let cells =
+    Common.map_apps common (fun k ->
         let def = Common.default_of common k and opt = Common.ours_of common k in
         let avg, mx = movement_reduction def opt in
-        Table.add_row t [ name k; pct avg; pct mx ];
-        (avg, k))
-      (Common.apps common)
+        ((avg, k), [ name k; pct avg; pct mx ]))
   in
+  List.iter (fun (_, row) -> Table.add_row t row) cells;
+  let rows = List.map fst cells in
   Table.add_row t [ "geomean(avg)"; pct (Common.geomean_improvement rows) ];
   Table.print t
 
 let fig14 common =
   print_endline "== Figure 14: degree of subcomputation parallelism per statement ==";
   let t = Table.create ~header:[ "app"; "avg"; "max" ] in
-  let avgs =
-    List.map
-      (fun k ->
+  let cells =
+    Common.map_apps common (fun k ->
         let r = Common.ours_of common k in
         let par = Array.to_list r.Pipeline.parallelism in
         let avg = Stats.mean par in
         let mx = if par = [] then 0.0 else snd (Stats.min_max par) in
-        Table.add_row t [ name k; Table.cell_f avg; Table.cell_f mx ];
-        avg)
-      (Common.apps common)
+        (avg, [ name k; Table.cell_f avg; Table.cell_f mx ]))
   in
+  List.iter (fun (_, row) -> Table.add_row t row) cells;
+  let avgs = List.map fst cells in
   Table.add_row t [ "mean(avg)"; Table.cell_f (Stats.mean avgs) ];
   Table.print t
 
 let fig15 common =
   print_endline "== Figure 15: synchronizations per statement ==";
   let t = Table.create ~header:[ "app"; "avg"; "max" ] in
-  List.iter
-    (fun k ->
-      let r = Common.ours_of common k in
-      let syncs = Array.to_list (Array.map float_of_int r.Pipeline.group_syncs) in
-      let avg = Stats.mean syncs in
-      let mx = if syncs = [] then 0.0 else snd (Stats.min_max syncs) in
-      Table.add_row t [ name k; Table.cell_f avg; Table.cell_f mx ])
-    (Common.apps common);
+  let rows =
+    Common.map_apps common (fun k ->
+        let r = Common.ours_of common k in
+        let syncs = Array.to_list (Array.map float_of_int r.Pipeline.group_syncs) in
+        let avg = Stats.mean syncs in
+        let mx = if syncs = [] then 0.0 else snd (Stats.min_max syncs) in
+        [ name k; Table.cell_f avg; Table.cell_f mx ])
+  in
+  List.iter (Table.add_row t) rows;
   Table.print t
 
 let fig16 common =
   print_endline "== Figure 16: L1 hit rate improvement (percentage points) ==";
   let t = Table.create ~header:[ "app"; "default"; "ours"; "improvement" ] in
-  let gains =
-    List.map
-      (fun k ->
+  let cells =
+    Common.map_apps common (fun k ->
         let def = Common.default_of common k and opt = Common.ours_of common k in
         let hd = 100.0 *. SimStats.l1_hit_rate def.Pipeline.stats in
         let ho = 100.0 *. SimStats.l1_hit_rate opt.Pipeline.stats in
-        Table.add_row t [ name k; pct hd; pct ho; pct (ho -. hd) ];
-        ho -. hd)
-      (Common.apps common)
+        (ho -. hd, [ name k; pct hd; pct ho; pct (ho -. hd) ]))
   in
+  List.iter (fun (_, row) -> Table.add_row t row) cells;
+  let gains = List.map fst cells in
   Table.add_row t [ "mean"; ""; ""; pct (Stats.mean gains) ];
   Table.print t
 
@@ -108,18 +112,21 @@ let ideal_data common k =
 let fig17 common =
   print_endline "== Figure 17: execution time reduction ==";
   let t = Table.create ~header:[ "app"; "ours"; "ideal-network"; "ideal-data" ] in
-  let acc = ref ([], [], []) in
-  List.iter
-    (fun k ->
-      let def = exec (Common.default_of common k) in
-      let ours = improvement def (exec (Common.ours_of common k)) in
-      let inet = improvement def (exec (ideal_network common k)) in
-      let idata = improvement def (exec (ideal_data common k)) in
-      let a, b, c = !acc in
-      acc := ((ours, k) :: a, (inet, k) :: b, (idata, k) :: c);
-      Table.add_row t [ name k; pct ours; pct inet; pct idata ])
-    (Common.apps common);
-  let a, b, c = !acc in
+  let cells =
+    Common.map_apps common (fun k ->
+        let def = exec (Common.default_of common k) in
+        let ours = improvement def (exec (Common.ours_of common k)) in
+        let inet = improvement def (exec (ideal_network common k)) in
+        let idata = improvement def (exec (ideal_data common k)) in
+        (ours, inet, idata, k, [ name k; pct ours; pct inet; pct idata ]))
+  in
+  List.iter (fun (_, _, _, _, row) -> Table.add_row t row) cells;
+  let a, b, c =
+    List.fold_left
+      (fun (a, b, c) (ours, inet, idata, k, _) ->
+        ((ours, k) :: a, (inet, k) :: b, (idata, k) :: c))
+      ([], [], []) cells
+  in
   Table.add_row t
     [
       "geomean";
@@ -132,41 +139,41 @@ let fig17 common =
 let fig18 common =
   print_endline "== Figure 18: contribution of each metric (normalized speedup over default) ==";
   let t = Table.create ~header:[ "app"; "S1:l1"; "S2:movement"; "S3:parallel"; "S4:syncs"; "ours" ] in
-  List.iter
-    (fun k ->
-      let def = Common.default_of common k and opt = Common.ours_of common k in
-      let tdef = float_of_int (exec def) in
-      let speedup r = tdef /. float_of_int (exec r) in
-      let hd = SimStats.l1_hit_rate def.Pipeline.stats in
-      let ho = SimStats.l1_hit_rate opt.Pipeline.stats in
-      let boost = if ho > hd && hd < 1.0 then (ho -. hd) /. (1.0 -. hd) else 0.0 in
-      let s1 =
-        Common.run common ~tweaks:{ Pipeline.no_tweaks with Pipeline.l1_boost = boost }
-          Pipeline.Default k
-      in
-      let factor =
-        let dh = def.Pipeline.stats.SimStats.hops and oh = opt.Pipeline.stats.SimStats.hops in
-        if dh = 0 then 1.0 else min 1.0 (float_of_int oh /. float_of_int dh)
-      in
-      let s2 =
-        Common.run common ~tweaks:{ Pipeline.no_tweaks with Pipeline.distance_factor = factor }
-          Pipeline.Default k
-      in
-      let par = max 1.0 (Stats.mean (Array.to_list opt.Pipeline.parallelism)) in
-      let s3 =
-        Common.run common ~tweaks:{ Pipeline.no_tweaks with Pipeline.cost_scale = par }
-          Pipeline.Default k
-      in
-      let extra =
-        int_of_float
-          (Float.round
-             (float_of_int opt.Pipeline.sync_arcs /. float_of_int (max 1 opt.Pipeline.num_instances)))
-      in
-      let s4 =
-        Common.run common ~tweaks:{ Pipeline.no_tweaks with Pipeline.extra_syncs = extra }
-          Pipeline.Default k
-      in
-      Table.add_row t
+  let rows =
+    Common.map_apps common (fun k ->
+        let def = Common.default_of common k and opt = Common.ours_of common k in
+        let tdef = float_of_int (exec def) in
+        let speedup r = tdef /. float_of_int (exec r) in
+        let hd = SimStats.l1_hit_rate def.Pipeline.stats in
+        let ho = SimStats.l1_hit_rate opt.Pipeline.stats in
+        let boost = if ho > hd && hd < 1.0 then (ho -. hd) /. (1.0 -. hd) else 0.0 in
+        let s1 =
+          Common.run common ~tweaks:{ Pipeline.no_tweaks with Pipeline.l1_boost = boost }
+            Pipeline.Default k
+        in
+        let factor =
+          let dh = def.Pipeline.stats.SimStats.hops and oh = opt.Pipeline.stats.SimStats.hops in
+          if dh = 0 then 1.0 else min 1.0 (float_of_int oh /. float_of_int dh)
+        in
+        let s2 =
+          Common.run common ~tweaks:{ Pipeline.no_tweaks with Pipeline.distance_factor = factor }
+            Pipeline.Default k
+        in
+        let par = max 1.0 (Stats.mean (Array.to_list opt.Pipeline.parallelism)) in
+        let s3 =
+          Common.run common ~tweaks:{ Pipeline.no_tweaks with Pipeline.cost_scale = par }
+            Pipeline.Default k
+        in
+        let extra =
+          int_of_float
+            (Float.round
+               (float_of_int opt.Pipeline.sync_arcs
+               /. float_of_int (max 1 opt.Pipeline.num_instances)))
+        in
+        let s4 =
+          Common.run common ~tweaks:{ Pipeline.no_tweaks with Pipeline.extra_syncs = extra }
+            Pipeline.Default k
+        in
         [
           name k;
           Table.cell_f (speedup s1);
@@ -175,7 +182,8 @@ let fig18 common =
           Table.cell_f (speedup s4);
           Table.cell_f (speedup opt);
         ])
-    (Common.apps common);
+  in
+  List.iter (Table.add_row t) rows;
   Table.print t
 
 let fig19 common =
@@ -184,18 +192,19 @@ let fig19 common =
      congestion measure; the single worst message is a cold-phase fill
      burst common to both schemes. *)
   let t = Table.create ~header:[ "app"; "avg-latency"; "max-latency" ] in
-  List.iter
-    (fun k ->
-      let def = Common.default_of common k and opt = Common.ours_of common k in
-      let avg_red =
-        Stats.improvement_pct
-          (SimStats.avg_latency def.Pipeline.stats)
-          (SimStats.avg_latency opt.Pipeline.stats)
-      in
-      let worst r = Array.fold_left max 0.0 r.Pipeline.group_avg_latency in
-      let max_red = Stats.improvement_pct (worst def) (worst opt) in
-      Table.add_row t [ name k; pct avg_red; pct max_red ])
-    (Common.apps common);
+  let rows =
+    Common.map_apps common (fun k ->
+        let def = Common.default_of common k and opt = Common.ours_of common k in
+        let avg_red =
+          Stats.improvement_pct
+            (SimStats.avg_latency def.Pipeline.stats)
+            (SimStats.avg_latency opt.Pipeline.stats)
+        in
+        let worst r = Array.fold_left max 0.0 r.Pipeline.group_avg_latency in
+        let max_red = Stats.improvement_pct (worst def) (worst opt) in
+        [ name k; pct avg_red; pct max_red ])
+  in
+  List.iter (Table.add_row t) rows;
   Table.print t
 
 let fixed_window common k w =
@@ -207,25 +216,29 @@ let fig20 common =
   print_endline "== Figure 20: execution time improvement vs (fixed) window size ==";
   let header = "app" :: List.init 8 (fun i -> Printf.sprintf "w=%d" (i + 1)) @ [ "adaptive" ] in
   let t = Table.create ~header in
-  List.iter
-    (fun k ->
-      let def = exec (Common.default_of common k) in
-      let fixed = List.init 8 (fun i -> pct (improvement def (exec (fixed_window common k (i + 1))))) in
-      let adaptive = pct (improvement def (exec (Common.ours_of common k))) in
-      Table.add_row t ((name k :: fixed) @ [ adaptive ]))
-    (Common.apps common);
+  let rows =
+    Common.map_apps common (fun k ->
+        let def = exec (Common.default_of common k) in
+        let fixed =
+          List.init 8 (fun i -> pct (improvement def (exec (fixed_window common k (i + 1)))))
+        in
+        let adaptive = pct (improvement def (exec (Common.ours_of common k))) in
+        (name k :: fixed) @ [ adaptive ])
+  in
+  List.iter (Table.add_row t) rows;
   Table.print t
 
 let fig21 common =
   print_endline "== Figure 21: L1 hit rates vs (fixed) window size ==";
   let header = "app" :: List.init 8 (fun i -> Printf.sprintf "w=%d" (i + 1)) @ [ "adaptive" ] in
   let t = Table.create ~header in
-  List.iter
-    (fun k ->
-      let rate r = pct (100.0 *. SimStats.l1_hit_rate r.Pipeline.stats) in
-      let fixed = List.init 8 (fun i -> rate (fixed_window common k (i + 1))) in
-      Table.add_row t ((name k :: fixed) @ [ rate (Common.ours_of common k) ]))
-    (Common.apps common);
+  let rows =
+    Common.map_apps common (fun k ->
+        let rate r = pct (100.0 *. SimStats.l1_hit_rate r.Pipeline.stats) in
+        let fixed = List.init 8 (fun i -> rate (fixed_window common k (i + 1))) in
+        (name k :: fixed) @ [ rate (Common.ours_of common k) ])
+  in
+  List.iter (Table.add_row t) rows;
   Table.print t
 
 let fig22 common =
@@ -236,22 +249,21 @@ let fig22 common =
     Table.create
       ~header:[ "app"; "cluster"; "X,1"; "X,2"; "Y,1"; "Y,2"; "Z,1"; "Z,2" ]
   in
-  List.iter
-    (fun k ->
-      let base = exec (Common.default_of common k) in
-      let cell cluster mem scheme =
-        let config = Config.with_modes Config.default cluster mem in
-        let r =
-          match scheme with
-          | `Orig -> Common.run common ~config Pipeline.Default k
-          | `Opt ->
-            Common.run common ~config (Pipeline.Partitioned Pipeline.partitioned_defaults) k
+  let row_groups =
+    Common.map_apps common (fun k ->
+        let base = exec (Common.default_of common k) in
+        let cell cluster mem scheme =
+          let config = Config.with_modes Config.default cluster mem in
+          let r =
+            match scheme with
+            | `Orig -> Common.run common ~config Pipeline.Default k
+            | `Opt ->
+              Common.run common ~config (Pipeline.Partitioned Pipeline.partitioned_defaults) k
+          in
+          Table.cell_f (float_of_int base /. float_of_int (exec r))
         in
-        Table.cell_f (float_of_int base /. float_of_int (exec r))
-      in
-      List.iter
-        (fun cluster ->
-          Table.add_row t
+        List.map
+          (fun cluster ->
             [
               name k;
               Ndp_noc.Cluster.letter cluster;
@@ -262,42 +274,46 @@ let fig22 common =
               cell cluster Config.Hybrid `Orig;
               cell cluster Config.Hybrid `Opt;
             ])
-        Ndp_noc.Cluster.all)
-    (Common.apps common);
+          Ndp_noc.Cluster.all)
+  in
+  List.iter (List.iter (Table.add_row t)) row_groups;
   Table.print t
 
 let fig23 common =
   print_endline "== Figure 23: computation mapping vs profile-based data-to-MC mapping ==";
   let t = Table.create ~header:[ "app"; "ours"; "data-mapping"; "combined" ] in
-  let acc = ref ([], [], []) in
-  List.iter
-    (fun k ->
-      let def = exec (Common.default_of common k) in
-      let overrides =
-        let accesses = Pipeline.profile_page_accesses k in
-        let machine = Ndp_sim.Machine.create Config.default in
-        let ctx =
-          Ndp_core.Context.create ~machine
-            ~compiler_resolve:(fun _ _ -> None)
-            ~runtime_resolve:(fun _ _ -> None)
-            ~arrays:k.Ndp_core.Kernel.program.Ndp_ir.Loop.arrays
-            ~options:(Ndp_core.Context.default_options Config.default)
+  let cells =
+    Common.map_apps common (fun k ->
+        let def = exec (Common.default_of common k) in
+        let overrides =
+          let accesses = Pipeline.profile_page_accesses k in
+          let machine = Ndp_sim.Machine.create Config.default in
+          let ctx =
+            Ndp_core.Context.create ~machine
+              ~compiler_resolve:(fun _ _ -> None)
+              ~runtime_resolve:(fun _ _ -> None)
+              ~arrays:k.Ndp_core.Kernel.program.Ndp_ir.Loop.arrays
+              ~options:(Ndp_core.Context.default_options Config.default)
+          in
+          Ndp_core.Data_mapping.profile ctx ~accesses
         in
-        Ndp_core.Data_mapping.profile ctx ~accesses
-      in
-      let tweaks = { Pipeline.no_tweaks with Pipeline.mc_overrides = overrides } in
-      let ours = improvement def (exec (Common.ours_of common k)) in
-      let dmap = improvement def (exec (Common.run common ~tweaks Pipeline.Default k)) in
-      let comb =
-        improvement def
-          (exec
-             (Common.run common ~tweaks (Pipeline.Partitioned Pipeline.partitioned_defaults) k))
-      in
-      let a, b, c = !acc in
-      acc := ((ours, k) :: a, (dmap, k) :: b, (comb, k) :: c);
-      Table.add_row t [ name k; pct ours; pct dmap; pct comb ])
-    (Common.apps common);
-  let a, b, c = !acc in
+        let tweaks = { Pipeline.no_tweaks with Pipeline.mc_overrides = overrides } in
+        let ours = improvement def (exec (Common.ours_of common k)) in
+        let dmap = improvement def (exec (Common.run common ~tweaks Pipeline.Default k)) in
+        let comb =
+          improvement def
+            (exec
+               (Common.run common ~tweaks (Pipeline.Partitioned Pipeline.partitioned_defaults) k))
+        in
+        (ours, dmap, comb, k, [ name k; pct ours; pct dmap; pct comb ]))
+  in
+  List.iter (fun (_, _, _, _, row) -> Table.add_row t row) cells;
+  let a, b, c =
+    List.fold_left
+      (fun (a, b, c) (ours, dmap, comb, k, _) ->
+        ((ours, k) :: a, (dmap, k) :: b, (comb, k) :: c))
+      ([], [], []) cells
+  in
   Table.add_row t
     [
       "geomean";
@@ -310,46 +326,47 @@ let fig23 common =
 let fig24 common =
   print_endline "== Figure 24: energy savings over default placement ==";
   let t = Table.create ~header:[ "app"; "ours"; "ideal-network"; "ideal-data" ] in
-  let acc = ref [] in
-  List.iter
-    (fun k ->
-      let energy r = Ndp_sim.Energy.total r.Pipeline.energy in
-      let def = energy (Common.default_of common k) in
-      let saving r = Stats.improvement_pct def (energy r) in
-      let ours = saving (Common.ours_of common k) in
-      acc := (ours, k) :: !acc;
-      Table.add_row t
-        [
-          name k;
-          pct ours;
-          pct (saving (ideal_network common k));
-          pct (saving (ideal_data common k));
-        ])
-    (Common.apps common);
-  Table.add_row t [ "geomean(ours)"; pct (Common.geomean_improvement !acc) ];
+  let cells =
+    Common.map_apps common (fun k ->
+        let energy r = Ndp_sim.Energy.total r.Pipeline.energy in
+        let def = energy (Common.default_of common k) in
+        let saving r = Stats.improvement_pct def (energy r) in
+        let ours = saving (Common.ours_of common k) in
+        ( (ours, k),
+          [
+            name k;
+            pct ours;
+            pct (saving (ideal_network common k));
+            pct (saving (ideal_data common k));
+          ] ))
+  in
+  List.iter (fun (_, row) -> Table.add_row t row) cells;
+  let acc = List.fold_left (fun acc (cell, _) -> cell :: acc) [] cells in
+  Table.add_row t [ "geomean(ours)"; pct (Common.geomean_improvement acc) ];
   Table.print t
 
 let summary common =
   print_endline "== Summary: partitioned vs default placement ==";
   let t = Table.create ~header:[ "app"; "exec"; "movement"; "L1 (pp)"; "energy" ] in
-  let acc = ref [] in
-  List.iter
-    (fun k ->
-      let def = Common.default_of common k and opt = Common.ours_of common k in
-      let e = improvement (exec def) (exec opt) in
-      let mov, _ = movement_reduction def opt in
-      let l1 =
-        100.0 *. (SimStats.l1_hit_rate opt.Pipeline.stats -. SimStats.l1_hit_rate def.Pipeline.stats)
-      in
-      let energy =
-        Stats.improvement_pct
-          (Ndp_sim.Energy.total def.Pipeline.energy)
-          (Ndp_sim.Energy.total opt.Pipeline.energy)
-      in
-      acc := (e, k) :: !acc;
-      Table.add_row t [ name k; pct e; pct mov; pct l1; pct energy ])
-    (Common.apps common);
-  Table.add_row t [ "geomean(exec)"; pct (Common.geomean_improvement !acc) ];
+  let cells =
+    Common.map_apps common (fun k ->
+        let def = Common.default_of common k and opt = Common.ours_of common k in
+        let e = improvement (exec def) (exec opt) in
+        let mov, _ = movement_reduction def opt in
+        let l1 =
+          100.0
+          *. (SimStats.l1_hit_rate opt.Pipeline.stats -. SimStats.l1_hit_rate def.Pipeline.stats)
+        in
+        let energy =
+          Stats.improvement_pct
+            (Ndp_sim.Energy.total def.Pipeline.energy)
+            (Ndp_sim.Energy.total opt.Pipeline.energy)
+        in
+        ((e, k), [ name k; pct e; pct mov; pct l1; pct energy ]))
+  in
+  List.iter (fun (_, row) -> Table.add_row t row) cells;
+  let acc = List.fold_left (fun acc (cell, _) -> cell :: acc) [] cells in
+  Table.add_row t [ "geomean(exec)"; pct (Common.geomean_improvement acc) ];
   Table.print t
 
 let all common =

@@ -1,43 +1,47 @@
 module Table = Ndp_prelude.Table
 module Task = Ndp_sim.Task
 
+(* Each table computes its per-app cells across the common pool, then
+   renders the rows serially in suite order — output is byte-identical
+   to the serial driver. *)
+
 let table1 common =
   print_endline "== Table 1: fraction of compile-time analyzable data references ==";
   let t = Table.create ~header:[ "app"; "analyzable" ] in
-  List.iter
-    (fun k ->
-      let r = Common.ours_of common k in
-      Table.add_row t
+  let rows =
+    Common.map_apps common (fun k ->
+        let r = Common.ours_of common k in
         [ k.Ndp_core.Kernel.name; Table.cell_pct (100.0 *. r.Ndp_core.Pipeline.analyzable_fraction) ])
-    (Common.apps common);
+  in
+  List.iter (Table.add_row t) rows;
   Table.print t
 
 let table2 common =
   print_endline "== Table 2: cache hit/miss predictor accuracy ==";
   let t = Table.create ~header:[ "app"; "accuracy" ] in
-  List.iter
-    (fun k ->
-      let r = Common.ours_of common k in
-      Table.add_row t
+  let rows =
+    Common.map_apps common (fun k ->
+        let r = Common.ours_of common k in
         [ k.Ndp_core.Kernel.name; Table.cell_pct (100.0 *. r.Ndp_core.Pipeline.predictor_accuracy) ])
-    (Common.apps common);
+  in
+  List.iter (Table.add_row t) rows;
   Table.print t
 
 let table3 common =
   print_endline "== Table 3: op mix of re-mapped (offloaded) computations ==";
   let t = Table.create ~header:[ "app"; "add/sub"; "mul/div"; "others" ] in
-  List.iter
-    (fun k ->
-      let r = Common.ours_of common k in
-      let mix = r.Ndp_core.Pipeline.offload_mix in
-      let total = float_of_int (max 1 (Task.mix_total mix)) in
-      let pct part = Table.cell_pct (100.0 *. float_of_int part /. total) in
-      Table.add_row t
+  let rows =
+    Common.map_apps common (fun k ->
+        let r = Common.ours_of common k in
+        let mix = r.Ndp_core.Pipeline.offload_mix in
+        let total = float_of_int (max 1 (Task.mix_total mix)) in
+        let pct part = Table.cell_pct (100.0 *. float_of_int part /. total) in
         [
           k.Ndp_core.Kernel.name;
           pct mix.Task.add_sub;
           pct mix.Task.mul_div;
           pct mix.Task.other;
         ])
-    (Common.apps common);
+  in
+  List.iter (Table.add_row t) rows;
   Table.print t

@@ -1,13 +1,41 @@
 type exec_record = { node : int; start : int; finish : int; group : int }
 
+(* Task and group ids are dense small integers (allocated by counters in
+   the compiler context / instance streamer), so per-task bookkeeping
+   lives in growable arrays instead of hashtables: [Engine.run] performs
+   several lookups per operand and this is the simulator's hottest loop. *)
+module Slots = struct
+  type 'a t = { mutable data : 'a array; absent : 'a }
+
+  let create absent = { data = Array.make 256 absent; absent }
+
+  let ensure t i =
+    let n = Array.length t.data in
+    if i >= n then begin
+      let n' = ref (n * 2) in
+      while i >= !n' do
+        n' := !n' * 2
+      done;
+      let grown = Array.make !n' t.absent in
+      Array.blit t.data 0 grown 0 n;
+      t.data <- grown
+    end
+
+  let set t i v =
+    ensure t i;
+    t.data.(i) <- v
+
+  let get t i = if i >= 0 && i < Array.length t.data then t.data.(i) else t.absent
+end
+
 type t = {
   machine : Machine.t;
   stats : Stats.t;
   node_free : int array;
-  finished : (int, exec_record) Hashtbl.t; (* task id -> execution record *)
-  group_hops : (int, int) Hashtbl.t;
-  group_latency : (int, int * int) Hashtbl.t;
-  group_spans : (int, (int * int) list) Hashtbl.t; (* group -> (start, finish) *)
+  finished : exec_record option Slots.t; (* task id -> execution record *)
+  group_hops : int Slots.t;
+  group_latency : (int * int) Slots.t;
+  group_spans : (int * int) list Slots.t; (* group -> (start, finish) *)
   node_busy : int array;
 }
 
@@ -16,10 +44,10 @@ let create machine =
     machine;
     stats = Stats.create ();
     node_free = Array.make (Ndp_noc.Mesh.size (Machine.mesh machine)) 0;
-    finished = Hashtbl.create 1024;
-    group_hops = Hashtbl.create 256;
-    group_latency = Hashtbl.create 256;
-    group_spans = Hashtbl.create 256;
+    finished = Slots.create None;
+    group_hops = Slots.create 0;
+    group_latency = Slots.create (0, 0);
+    group_spans = Slots.create [];
     node_busy = Array.make (Ndp_noc.Mesh.size (Machine.mesh machine)) 0;
   }
 
@@ -27,14 +55,11 @@ let machine t = t.machine
 
 let stats t = t.stats
 
-let bump tbl key v =
-  Hashtbl.replace tbl key (Option.value (Hashtbl.find_opt tbl key) ~default:0 + v)
-
 let attribute_group t group ~hops_before ~lat_before ~msgs_before =
   let s = t.stats in
-  bump t.group_hops group (s.Stats.hops - hops_before);
-  let sum, count = Option.value (Hashtbl.find_opt t.group_latency group) ~default:(0, 0) in
-  Hashtbl.replace t.group_latency group
+  Slots.set t.group_hops group (Slots.get t.group_hops group + (s.Stats.hops - hops_before));
+  let sum, count = Slots.get t.group_latency group in
+  Slots.set t.group_latency group
     (sum + (s.Stats.latency_sum - lat_before), count + (s.Stats.messages - msgs_before))
 
 let run ?(on_load = fun ~va:_ ~l1_hit:_ ~l2_hit:_ -> ()) t tasks =
@@ -50,7 +75,7 @@ let run ?(on_load = fun ~va:_ ~l1_hit:_ ~l2_hit:_ -> ()) t tasks =
         on_load ~va ~l1_hit:outcome.Machine.l1_hit ~l2_hit:outcome.Machine.l2_hit;
         outcome.Machine.arrival
       | Task.Result { producer; bytes } -> (
-        match Hashtbl.find_opt t.finished producer with
+        match Slots.get t.finished producer with
         | None -> invalid_arg "Engine.run: tasks not in producer-before-consumer order"
         | Some r ->
           if r.node = task.node then r.finish
@@ -96,9 +121,8 @@ let run ?(on_load = fun ~va:_ ~l1_hit:_ ~l2_hit:_ -> ()) t tasks =
     in
     t.node_free.(task.node) <- issue + occupancy;
     t.node_busy.(task.node) <- t.node_busy.(task.node) + occupancy;
-    Hashtbl.replace t.finished task.id { node = task.node; start; finish; group = task.group };
-    let spans = Option.value (Hashtbl.find_opt t.group_spans task.group) ~default:[] in
-    Hashtbl.replace t.group_spans task.group ((start, finish) :: spans);
+    Slots.set t.finished task.id (Some { node = task.node; start; finish; group = task.group });
+    Slots.set t.group_spans task.group ((start, finish) :: Slots.get t.group_spans task.group);
     t.stats.Stats.tasks <- t.stats.Stats.tasks + 1;
     t.stats.Stats.ops <- t.stats.Stats.ops + task.cost;
     t.stats.Stats.syncs <- t.stats.Stats.syncs + task.syncs;
@@ -107,17 +131,16 @@ let run ?(on_load = fun ~va:_ ~l1_hit:_ ~l2_hit:_ -> ()) t tasks =
   in
   List.iter exec tasks
 
-let group_hops t group = Option.value (Hashtbl.find_opt t.group_hops group) ~default:0
+let group_hops t group = Slots.get t.group_hops group
 
-let group_latency t group =
-  Option.value (Hashtbl.find_opt t.group_latency group) ~default:(0, 0)
+let group_latency t group = Slots.get t.group_latency group
 
-let finish_of t id = Option.map (fun r -> r.finish) (Hashtbl.find_opt t.finished id)
+let finish_of t id = Option.map (fun r -> r.finish) (Slots.get t.finished id)
 
 let group_parallelism t group =
-  match Hashtbl.find_opt t.group_spans group with
-  | None -> 0
-  | Some spans ->
+  match Slots.get t.group_spans group with
+  | [] -> 0
+  | spans ->
     (* Sweep over span endpoints counting maximum overlap. *)
     let events =
       List.concat_map (fun (s, f) -> [ (s, 1); (max (s + 1) f, -1) ]) spans
