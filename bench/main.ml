@@ -2,12 +2,17 @@
    evaluation (Section 6) on the simulated manycore, plus Bechamel
    micro-benchmarks of the compiler itself.
 
+   Subcommands live in the declarative [commands] table at the bottom
+   (name, summary, run function); usage is generated from it.
+
    Usage:
      main.exe            run all tables + figures
      main.exe all        tables + figures + ablations + micro
-     main.exe table1     one artifact (table1..table3, fig13..fig24, summary)
+     main.exe table1     one artifact (table1..table3, fig13..fig24,
+                         heatmap, summary)
      main.exe ablation   the DESIGN.md ablations
-     main.exe micro      Bechamel micro-benchmarks
+     main.exe micro      Bechamel micro-benchmarks (incl. observability
+                         overhead, enabled vs disabled)
      main.exe micro --json
                          also time the full validation gate and write the
                          BENCH_micro.json trajectory file *)
@@ -92,6 +97,36 @@ let micro ?(json = false) () =
                   Ndp_core.Pipeline.window = Ndp_core.Pipeline.Fixed 2 })
              kernel))
   in
+  (* Observability overhead: a disabled-registry bump must be a single
+     predictable branch, and a fully observed pipeline run should cost a
+     few percent over the unobserved one above. *)
+  let bench_metrics_disabled =
+    let c = Ndp_obs.Metrics.counter Ndp_obs.Metrics.disabled "bench.dead" in
+    Test.make ~name:"metrics-incr-x1000-disabled"
+      (Staged.stage (fun () ->
+           for _ = 1 to 1000 do
+             Ndp_obs.Metrics.incr c
+           done))
+  in
+  let bench_metrics_enabled =
+    let reg = Ndp_obs.Metrics.create () in
+    let c = Ndp_obs.Metrics.counter reg "bench.live" in
+    Test.make ~name:"metrics-incr-x1000-enabled"
+      (Staged.stage (fun () ->
+           for _ = 1 to 1000 do
+             Ndp_obs.Metrics.incr c
+           done))
+  in
+  let bench_pipeline_obs =
+    Test.make ~name:"compile+simulate-cholesky-observed"
+      (Staged.stage (fun () ->
+           let obs = Ndp_obs.Sink.create ~metrics:true ~trace:true () in
+           Ndp_core.Pipeline.run ~obs
+             (Ndp_core.Pipeline.Partitioned
+                { Ndp_core.Pipeline.partitioned_defaults with
+                  Ndp_core.Pipeline.window = Ndp_core.Pipeline.Fixed 2 })
+             kernel))
+  in
   (* Dependence analysis on a real instance stream: the bucketed analyze
      against the O(n^2) naive oracle it replaced. *)
   let module Dep = Ndp_ir.Dependence in
@@ -141,6 +176,7 @@ let micro ?(json = false) () =
     Test.make_grouped ~name:"ndp"
       [
         bench_mst; bench_route; bench_nested; bench_parse; bench_pipeline;
+        bench_metrics_disabled; bench_metrics_enabled; bench_pipeline_obs;
         bench_dep_bucketed; bench_dep_naive; bench_choose_sliced; bench_choose_reanalyze;
       ]
   in
@@ -194,6 +230,10 @@ let micro ?(json = false) () =
       gate_seconds
   end
 
+(* The declarative subcommand table: name, one-line summary, run function
+   over the remaining argv words. Usage is generated from the table. *)
+type command = { name : string; summary : string; run : string list -> unit }
+
 let () =
   let common = E.Common.create () in
   let artifacts =
@@ -208,6 +248,7 @@ let () =
       ("fig17", fun () -> E.Figures.fig17 common);
       ("fig18", fun () -> E.Figures.fig18 common);
       ("fig19", fun () -> E.Figures.fig19 common);
+      ("heatmap", fun () -> E.Figures.link_heatmap common);
       ("fig20", fun () -> E.Figures.fig20 common);
       ("fig21", fun () -> E.Figures.fig21 common);
       ("fig22", fun () -> E.Figures.fig22 common);
@@ -217,21 +258,40 @@ let () =
     ]
   in
   let run_paper () = List.iter (fun (_, f) -> f ()) artifacts in
-  match Sys.argv with
-  | [| _ |] -> run_paper ()
-  | [| _; "all" |] ->
-    run_paper ();
-    E.Ablation.all common;
-    micro ()
-  | [| _; "ablation" |] -> E.Ablation.all common
-  | [| _; "micro" |] -> micro ()
-  | [| _; "micro"; "--json" |] -> micro ~json:true ()
-  | [| _; name |] -> (
-    match List.assoc_opt name artifacts with
-    | Some f -> f ()
+  let commands =
+    [
+      { name = "paper"; summary = "every table and figure (the default)"; run = (fun _ -> run_paper ()) };
+      {
+        name = "all";
+        summary = "tables + figures + ablations + micro-benchmarks";
+        run =
+          (fun _ ->
+            run_paper ();
+            E.Ablation.all common;
+            micro ());
+      };
+      { name = "ablation"; summary = "the DESIGN.md ablations"; run = (fun _ -> E.Ablation.all common) };
+      {
+        name = "micro";
+        summary = "Bechamel micro-benchmarks; --json also writes BENCH_micro.json";
+        run = (fun args -> micro ~json:(List.mem "--json" args) ());
+      };
+    ]
+    @ List.map
+        (fun (n, f) -> { name = n; summary = "the " ^ n ^ " artifact only"; run = (fun _ -> f ()) })
+        artifacts
+  in
+  let usage oc =
+    Printf.fprintf oc "usage: main.exe [COMMAND]\n\ncommands:\n";
+    List.iter (fun c -> Printf.fprintf oc "  %-10s %s\n" c.name c.summary) commands
+  in
+  match Array.to_list Sys.argv with
+  | [] | [ _ ] -> run_paper ()
+  | _ :: ("help" | "--help" | "-h") :: _ -> usage stdout
+  | _ :: name :: rest -> (
+    match List.find_opt (fun c -> c.name = name) commands with
+    | Some c -> c.run rest
     | None ->
-      Printf.eprintf "unknown artifact %s\n" name;
+      Printf.eprintf "unknown command %s\n\n" name;
+      usage stderr;
       exit 1)
-  | _ ->
-    prerr_endline "usage: main.exe [all|ablation|micro|table1..3|fig13..24]";
-    exit 1

@@ -4,248 +4,543 @@
      ndp_run list
      ndp_run run barnes --scheme partitioned --cluster quadrant --memory flat
      ndp_run compare water --window 4
-     ndp_run codegen fft *)
+     ndp_run stats ocean --format json
+     ndp_run trace mg -o trace.json
+     ndp_run codegen fft
+
+   Every subcommand is an entry in the declarative [commands] table below:
+   name, one-line summary, and a term built from the shared flag specs in
+   [Args]. Help output is generated from the table. *)
 
 open Cmdliner
+module Render = Ndp_obs.Render
+module Metrics = Ndp_obs.Metrics
+module Trace = Ndp_obs.Trace
+module Stats = Ndp_sim.Stats
+module Pipeline = Ndp_core.Pipeline
 
-let kernel_conv =
-  let parse name =
-    match Ndp_workloads.Suite.find name with
-    | k -> Ok k
-    | exception Not_found ->
-      Error (`Msg (Printf.sprintf "unknown application %S (try `ndp_run list')" name))
-  in
-  Arg.conv (parse, fun ppf k -> Format.pp_print_string ppf k.Ndp_core.Kernel.name)
+(* ------------------------------------------------------------------ *)
+(* Shared flag specs                                                   *)
 
-let cluster_conv =
-  let parse s = Result.map_error (fun m -> `Msg m) (Ndp_noc.Cluster.of_string s) in
-  Arg.conv (parse, fun ppf c -> Format.pp_print_string ppf (Ndp_noc.Cluster.to_string c))
-
-let memory_conv =
-  let parse s = Result.map_error (fun m -> `Msg m) (Ndp_sim.Config.memory_mode_of_string s) in
-  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Ndp_sim.Config.memory_mode_to_string m))
-
-let kernel_arg =
-  Arg.(required & pos 0 (some kernel_conv) None & info [] ~docv:"APP" ~doc:"Application kernel name.")
-
-let cluster_arg =
-  Arg.(value & opt cluster_conv Ndp_noc.Cluster.Quadrant & info [ "cluster" ] ~doc:"Cluster mode: all-to-all, quadrant or snc-4.")
-
-let memory_arg =
-  Arg.(value & opt memory_conv Ndp_sim.Config.Flat & info [ "memory" ] ~doc:"Memory mode: flat, cache or hybrid.")
-
-let window_arg =
-  Arg.(value & opt (some int) None & info [ "window" ] ~doc:"Fixed window size (default: adaptive per nest).")
-
-let scheme_arg =
-  Arg.(value & opt (enum [ ("default", `Default); ("partitioned", `Partitioned) ]) `Partitioned
-       & info [ "scheme" ] ~doc:"Computation placement: default or partitioned.")
-
-let config_of cluster memory = Ndp_sim.Config.with_modes Ndp_sim.Config.default cluster memory
-
-let scheme_of scheme window =
-  match scheme with
-  | `Default -> Ndp_core.Pipeline.Default
-  | `Partitioned ->
-    let w =
-      match window with
-      | None -> Ndp_core.Pipeline.Adaptive
-      | Some k -> Ndp_core.Pipeline.Fixed k
+module Args = struct
+  let kernel_conv =
+    let parse name =
+      match Ndp_workloads.Suite.find name with
+      | k -> Ok k
+      | exception Not_found ->
+        Error (`Msg (Printf.sprintf "unknown application %S (try `ndp_run list')" name))
     in
-    Ndp_core.Pipeline.Partitioned { Ndp_core.Pipeline.partitioned_defaults with Ndp_core.Pipeline.window = w }
+    Arg.conv (parse, fun ppf k -> Format.pp_print_string ppf k.Ndp_core.Kernel.name)
 
-let print_result (r : Ndp_core.Pipeline.result) =
-  let s = r.Ndp_core.Pipeline.stats in
-  Printf.printf "%s / %s\n" r.Ndp_core.Pipeline.kernel_name r.Ndp_core.Pipeline.scheme_name;
-  Printf.printf "  execution time     %d cycles\n" r.Ndp_core.Pipeline.exec_time;
-  Printf.printf "  data movement      %d flit-hops over %d messages\n" s.Ndp_sim.Stats.hops
-    s.Ndp_sim.Stats.messages;
-  Printf.printf "  network latency    avg %.1f, max %d cycles\n" (Ndp_sim.Stats.avg_latency s)
-    s.Ndp_sim.Stats.latency_max;
-  Printf.printf "  L1 hit rate        %.1f%%   L2 hit rate %.1f%%\n"
-    (100.0 *. Ndp_sim.Stats.l1_hit_rate s)
-    (100.0 *. Ndp_sim.Stats.l2_hit_rate s);
-  Printf.printf "  tasks              %d (%d statement instances)\n" r.Ndp_core.Pipeline.tasks_emitted
-    r.Ndp_core.Pipeline.num_instances;
-  Printf.printf "  synchronizations   %d\n" r.Ndp_core.Pipeline.sync_arcs;
-  Printf.printf "  energy             %.0f pJ (%s)\n"
-    (Ndp_sim.Energy.total r.Ndp_core.Pipeline.energy)
-    (Format.asprintf "%a" Ndp_sim.Energy.pp r.Ndp_core.Pipeline.energy);
-  (match r.Ndp_core.Pipeline.windows_chosen with
-  | [] -> ()
-  | ws ->
-    Printf.printf "  windows            %s\n"
-      (String.concat ", " (List.map (fun (n, w) -> Printf.sprintf "%s=%d" n w) ws)));
-  Printf.printf "  predictor accuracy %.1f%%\n" (100.0 *. r.Ndp_core.Pipeline.predictor_accuracy)
+  let cluster_conv =
+    let parse s = Result.map_error (fun m -> `Msg m) (Ndp_noc.Cluster.of_string s) in
+    Arg.conv (parse, fun ppf c -> Format.pp_print_string ppf (Ndp_noc.Cluster.to_string c))
 
-let run_cmd =
-  let act kernel cluster memory scheme window =
-    let r = Ndp_core.Pipeline.run ~config:(config_of cluster memory) (scheme_of scheme window) kernel in
-    print_result r
-  in
-  Cmd.v (Cmd.info "run" ~doc:"Compile and simulate one application.")
-    Term.(const act $ kernel_arg $ cluster_arg $ memory_arg $ scheme_arg $ window_arg)
+  let memory_conv =
+    let parse s = Result.map_error (fun m -> `Msg m) (Ndp_sim.Config.memory_mode_of_string s) in
+    Arg.conv
+      (parse, fun ppf m -> Format.pp_print_string ppf (Ndp_sim.Config.memory_mode_to_string m))
 
-let compare_cmd =
-  let act kernel cluster memory window =
-    let config = config_of cluster memory in
-    let d = Ndp_core.Pipeline.run ~config Ndp_core.Pipeline.Default kernel in
-    let o = Ndp_core.Pipeline.run ~config (scheme_of `Partitioned window) kernel in
-    print_result d;
-    print_newline ();
-    print_result o;
-    let imp base opt = 100.0 *. float_of_int (base - opt) /. float_of_int (max 1 base) in
-    Printf.printf "\nimprovement: exec %.1f%%, movement %.1f%%\n"
-      (imp d.Ndp_core.Pipeline.exec_time o.Ndp_core.Pipeline.exec_time)
-      (imp d.Ndp_core.Pipeline.stats.Ndp_sim.Stats.hops o.Ndp_core.Pipeline.stats.Ndp_sim.Stats.hops)
-  in
-  Cmd.v (Cmd.info "compare" ~doc:"Run default and partitioned placements and compare.")
-    Term.(const act $ kernel_arg $ cluster_arg $ memory_arg $ window_arg)
+  let kernel =
+    Arg.(
+      required & pos 0 (some kernel_conv) None & info [] ~docv:"APP" ~doc:"Application kernel name.")
 
-let list_cmd =
-  let act () =
-    List.iter
-      (fun name ->
-        let k = Ndp_workloads.Suite.find name in
-        Printf.printf "%-10s %s\n" name k.Ndp_core.Kernel.description)
-      Ndp_workloads.Suite.names
-  in
-  Cmd.v (Cmd.info "list" ~doc:"List the application kernels.") Term.(const act $ const ())
-
-let codegen_cmd =
-  let act kernel =
-    (* Render the subcomputation program of the first window of the first
-       nest, Figure 8 style. *)
-    let config = Ndp_sim.Config.default in
-    let machine = Ndp_sim.Machine.create config in
-    let insp = Ndp_core.Kernel.inspector kernel in
-    Ndp_ir.Inspector.run insp;
-    let address_of = Ndp_core.Kernel.address_of kernel in
-    let ctx =
-      Ndp_core.Context.create ~machine
-        ~compiler_resolve:(Ndp_ir.Inspector.compiler_resolver insp ~address_of)
-        ~runtime_resolve:(Ndp_ir.Inspector.runtime_resolver insp ~address_of)
-        ~arrays:kernel.Ndp_core.Kernel.program.Ndp_ir.Loop.arrays
-        ~options:(Ndp_core.Context.default_options config)
-    in
-    match kernel.Ndp_core.Kernel.program.Ndp_ir.Loop.nests with
-    | [] -> prerr_endline "kernel has no loop nests"
-    | nest :: _ ->
-      let envs = Ndp_ir.Loop.iterations nest in
-      let metas =
-        List.concat
-          (List.mapi
-             (fun ii env ->
-               List.mapi
-                 (fun si stmt ->
-                   {
-                     Ndp_core.Window.group = (ii * List.length nest.Ndp_ir.Loop.body) + si;
-                     default_node = ii mod Ndp_noc.Mesh.size (Ndp_sim.Machine.mesh machine);
-                     inst = { Ndp_ir.Dependence.stmt_idx = si; stmt; env };
-                   })
-                 nest.Ndp_ir.Loop.body)
-             envs)
-      in
-      let window = List.filteri (fun i _ -> i < 4) metas in
-      let compiled = Ndp_core.Window.compile ctx window in
-      List.iter
-        (fun (m : Ndp_core.Window.meta) ->
-          Printf.printf "S%d: %s  %s\n" m.Ndp_core.Window.group
-            (Ndp_ir.Stmt.to_string m.Ndp_core.Window.inst.Ndp_ir.Dependence.stmt)
-            (Format.asprintf "%a" Ndp_ir.Env.pp m.Ndp_core.Window.inst.Ndp_ir.Dependence.env))
-        window;
-      print_newline ();
-      print_endline (Ndp_core.Codegen.emit (List.map fst compiled.Ndp_core.Window.tasks))
-  in
-  Cmd.v (Cmd.info "codegen" ~doc:"Show the generated per-node subcomputation program for one window.")
-    Term.(const act $ kernel_arg)
-
-let check_cmd =
-  let format_arg =
+  let kernel_opt =
     Arg.(
       value
-      & opt
-          (enum
-             [
-               ("human", Ndp_analysis.Diagnostic.Human);
-               ("sexp", Ndp_analysis.Diagnostic.Sexp);
-               ("jsonl", Ndp_analysis.Diagnostic.Jsonl);
-             ])
-          Ndp_analysis.Diagnostic.Human
-      & info [ "format" ] ~doc:"Diagnostic output: human, sexp or jsonl.")
-  in
-  let kernel_opt =
-    Arg.(value & pos 0 (some kernel_conv) None & info [] ~docv:"APP" ~doc:"Check one application only (default: the whole suite).")
-  in
-  let jobs_arg =
+      & pos 0 (some kernel_conv) None
+      & info [] ~docv:"APP" ~doc:"Check one application only (default: the whole suite).")
+
+  let cluster =
+    Arg.(
+      value
+      & opt cluster_conv Ndp_noc.Cluster.Quadrant
+      & info [ "cluster" ] ~doc:"Cluster mode: all-to-all, quadrant or snc-4.")
+
+  let memory =
+    Arg.(
+      value
+      & opt memory_conv Ndp_sim.Config.Flat
+      & info [ "memory" ] ~doc:"Memory mode: flat, cache or hybrid.")
+
+  let window =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "window" ] ~doc:"Fixed window size (default: adaptive per nest).")
+
+  let scheme =
+    Arg.(
+      value
+      & opt (enum [ ("default", `Default); ("partitioned", `Partitioned) ]) `Partitioned
+      & info [ "scheme" ] ~doc:"Computation placement: default or partitioned.")
+
+  (* The one output-format vocabulary, shared by check/stats/trace/run. *)
+  let format =
+    Arg.(
+      value
+      & opt (enum Render.all_formats) Render.Human
+      & info [ "format" ] ~doc:"Output format: human, sexp, json or jsonl.")
+
+  let metrics =
+    Arg.(
+      value
+      & flag
+      & info [ "metrics" ]
+          ~doc:"Collect the metrics registry during the run and dump it after the result.")
+
+  let jobs =
     Arg.(
       value
       & opt (some int) None
       & info [ "j"; "jobs" ]
           ~doc:
-            "Number of domains for the validation cells (default: \\$(b,NDP_JOBS) or the \
-             recommended domain count). Output is identical at any job count.")
-  in
-  let act kernel cluster memory window format jobs =
-    let config = config_of cluster memory in
-    let kernels =
-      match kernel with
-      | Some k -> [ k ]
-      | None -> List.map Ndp_workloads.Suite.find Ndp_workloads.Suite.names
-    in
-    let jobs =
-      match jobs with Some j -> max 1 j | None -> Ndp_prelude.Pool.default_jobs ()
-    in
-    let schemes = [ Ndp_core.Pipeline.Default; scheme_of `Partitioned window ] in
-    let reports = Ndp_analysis.Checker.check_suite ~config ?window ~jobs ~schemes kernels in
-    print_endline (Ndp_analysis.Checker.render ~format reports);
-    if Ndp_analysis.Checker.has_errors reports then exit 1
-  in
-  Cmd.v
-    (Cmd.info "check"
-       ~doc:
-         "Lint every kernel's IR and validate the compiled schedules (dependence race \
-          detection) under the default and partitioned schemes; exit nonzero on any error.")
-    Term.(const act $ kernel_opt $ cluster_arg $ memory_arg $ window_arg $ format_arg $ jobs_arg)
+            "Number of domains for parallel work (window preprocessing; $(b,check)'s \
+             validation cells). Default: \\$(b,NDP_JOBS) or the recommended domain count. \
+             Output is identical at any job count.")
 
-let dot_cmd =
-  let act kernel =
-    let config = Ndp_sim.Config.default in
-    let machine = Ndp_sim.Machine.create config in
-    let insp = Ndp_core.Kernel.inspector kernel in
-    Ndp_ir.Inspector.run insp;
-    let address_of = Ndp_core.Kernel.address_of kernel in
-    let ctx =
-      Ndp_core.Context.create ~machine
-        ~compiler_resolve:(Ndp_ir.Inspector.compiler_resolver insp ~address_of)
-        ~runtime_resolve:(Ndp_ir.Inspector.runtime_resolver insp ~address_of)
-        ~arrays:kernel.Ndp_core.Kernel.program.Ndp_ir.Loop.arrays
-        ~options:(Ndp_core.Context.default_options config)
+  let out_file =
+    Arg.(
+      value
+      & opt string "trace.json"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file; \"-\" writes to stdout.")
+
+  let selfcheck =
+    Arg.(
+      value
+      & flag
+      & info [ "selfcheck" ]
+          ~doc:
+            "Reconcile the trace against the aggregate statistics (task-event count, finish \
+             time, timestamp monotonicity) and exit nonzero on mismatch.")
+end
+
+(* ------------------------------------------------------------------ *)
+(* Shared helpers                                                      *)
+
+let config_of cluster memory = Ndp_sim.Config.with_modes Ndp_sim.Config.default cluster memory
+
+let scheme_of scheme window =
+  match scheme with
+  | `Default -> Pipeline.Default
+  | `Partitioned ->
+    let w =
+      match window with None -> Pipeline.Adaptive | Some k -> Pipeline.Fixed k
     in
-    match kernel.Ndp_core.Kernel.program.Ndp_ir.Loop.nests with
-    | [] -> prerr_endline "kernel has no loop nests"
-    | nest :: _ ->
-      let env = List.hd (Ndp_ir.Loop.iterations nest) in
-      let stmt = List.hd nest.Ndp_ir.Loop.body in
-      let split = Ndp_core.Splitter.split ctx ~store_node:0 stmt env in
-      print_endline (Ndp_core.Graphviz.statement_mst split);
-      let metas =
-        List.mapi
-          (fun si stmt ->
-            {
-              Ndp_core.Window.group = si;
-              default_node = 0;
-              inst = { Ndp_ir.Dependence.stmt_idx = si; stmt; env };
-            })
-          nest.Ndp_ir.Loop.body
+    Pipeline.Partitioned { Pipeline.partitioned_defaults with Pipeline.window = w }
+
+let result_human (r : Pipeline.result) =
+  let s = r.Pipeline.stats in
+  let buf = Buffer.create 512 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "%s / %s\n" r.Pipeline.kernel_name r.Pipeline.scheme_name;
+  pr "  execution time     %d cycles\n" r.Pipeline.exec_time;
+  pr "  data movement      %d flit-hops over %d messages\n" (Stats.hops s) (Stats.messages s);
+  pr "  network latency    avg %s, max %d cycles\n"
+    (if Stats.messages s = 0 then "-" else Printf.sprintf "%.1f" (Stats.avg_latency s))
+    (Stats.latency_max s);
+  pr "  L1 hit rate        %.1f%%   L2 hit rate %.1f%%\n"
+    (100.0 *. Stats.l1_hit_rate s)
+    (100.0 *. Stats.l2_hit_rate s);
+  pr "  tasks              %d (%d statement instances)\n" r.Pipeline.tasks_emitted
+    r.Pipeline.num_instances;
+  pr "  synchronizations   %d\n" r.Pipeline.sync_arcs;
+  pr "  energy             %.0f pJ (%s)\n"
+    (Ndp_sim.Energy.total r.Pipeline.energy)
+    (Format.asprintf "%a" Ndp_sim.Energy.pp r.Pipeline.energy);
+  (match r.Pipeline.windows_chosen with
+  | [] -> ()
+  | ws ->
+    pr "  windows            %s\n"
+      (String.concat ", " (List.map (fun (n, w) -> Printf.sprintf "%s=%d" n w) ws)));
+  pr "  predictor accuracy %.1f%%" (100.0 *. r.Pipeline.predictor_accuracy);
+  Buffer.contents buf
+
+let result_json (r : Pipeline.result) =
+  let s = r.Pipeline.stats in
+  Render.Json.Obj
+    [
+      ("app", Render.Json.Str r.Pipeline.kernel_name);
+      ("scheme", Render.Json.Str r.Pipeline.scheme_name);
+      ("exec_time", Render.Json.Int r.Pipeline.exec_time);
+      ("tasks", Render.Json.Int r.Pipeline.tasks_emitted);
+      ("instances", Render.Json.Int r.Pipeline.num_instances);
+      ("sync_arcs", Render.Json.Int r.Pipeline.sync_arcs);
+      ("energy_pj", Render.Json.Float (Ndp_sim.Energy.total r.Pipeline.energy));
+      ( "stats",
+        Render.Json.Obj (List.map (fun (name, v) -> (name, Render.Json.Int v)) (Stats.to_alist s))
+      );
+      ( "windows",
+        Render.Json.Obj
+          (List.map (fun (n, w) -> (n, Render.Json.Int w)) r.Pipeline.windows_chosen) );
+      ("predictor_accuracy", Render.Json.Float r.Pipeline.predictor_accuracy);
+    ]
+
+let metrics_json reg = Metrics.to_json reg
+
+let metrics_human reg =
+  let t = Ndp_prelude.Table.create ~header:[ "metric"; "value" ] in
+  List.iter
+    (fun (name, sample) ->
+      let value =
+        match sample with
+        | Metrics.Counter_v v -> string_of_int v
+        | Metrics.Gauge_v v -> Ndp_prelude.Table.cell_f v
+        | Metrics.Histogram_v h ->
+          Printf.sprintf "count=%d sum=%s" h.count (Ndp_prelude.Table.cell_f h.sum)
       in
-      let compiled = Ndp_core.Window.compile ctx metas in
-      print_endline (Ndp_core.Graphviz.task_graph compiled.Ndp_core.Window.tasks)
+      Ndp_prelude.Table.add_row t [ name; value ])
+    (Metrics.to_alist reg);
+  Ndp_prelude.Table.render t
+
+(* ------------------------------------------------------------------ *)
+(* run / compare                                                       *)
+
+(* Run [f] with a pool of the requested size, or without one when --jobs
+   is absent (Pipeline.run then stays serial). *)
+let with_jobs jobs f =
+  match jobs with
+  | None -> f None
+  | Some j -> Ndp_prelude.Pool.with_pool ~jobs:(max 1 j) (fun p -> f (Some p))
+
+let pipeline_run ?config ?obs pool scheme kernel =
+  match pool with
+  | None -> Pipeline.run ?config ?obs scheme kernel
+  | Some pool -> Pipeline.run ?config ?obs ~pool scheme kernel
+
+let run_act kernel cluster memory scheme window metrics format jobs =
+  with_jobs jobs @@ fun pool ->
+  let obs =
+    if metrics then Ndp_obs.Sink.create ~metrics:true ~trace:false () else Ndp_obs.Sink.none
   in
-  Cmd.v
-    (Cmd.info "dot" ~doc:"Emit Graphviz DOT for a statement MST and one window's task graph.")
-    Term.(const act $ kernel_arg)
+  let r = pipeline_run ~config:(config_of cluster memory) ~obs pool (scheme_of scheme window) kernel in
+  let doc =
+    if metrics then
+      Render.Json.Obj
+        [ ("result", result_json r); ("metrics", metrics_json obs.Ndp_obs.Sink.metrics) ]
+    else result_json r
+  in
+  let human () =
+    result_human r
+    ^ if metrics then "\n\n" ^ metrics_human obs.Ndp_obs.Sink.metrics else ""
+  in
+  print_endline (Render.output format ~human doc)
+
+let compare_act kernel cluster memory window metrics format jobs =
+  with_jobs jobs @@ fun pool ->
+  let config = config_of cluster memory in
+  let obs () =
+    if metrics then Ndp_obs.Sink.create ~metrics:true ~trace:false () else Ndp_obs.Sink.none
+  in
+  let obs_d = obs () and obs_o = obs () in
+  let d = pipeline_run ~config ~obs:obs_d pool Pipeline.Default kernel in
+  let o = pipeline_run ~config ~obs:obs_o pool (scheme_of `Partitioned window) kernel in
+  let imp base opt = 100.0 *. float_of_int (base - opt) /. float_of_int (max 1 base) in
+  let exec_imp = imp d.Pipeline.exec_time o.Pipeline.exec_time in
+  let move_imp = imp (Stats.hops d.Pipeline.stats) (Stats.hops o.Pipeline.stats) in
+  let with_metrics doc sink =
+    if metrics then
+      Render.Json.Obj [ ("result", doc); ("metrics", metrics_json sink.Ndp_obs.Sink.metrics) ]
+    else doc
+  in
+  let doc =
+    Render.Json.Obj
+      [
+        ("default", with_metrics (result_json d) obs_d);
+        ("partitioned", with_metrics (result_json o) obs_o);
+        ( "improvement",
+          Render.Json.Obj
+            [ ("exec_pct", Render.Json.Float exec_imp); ("movement_pct", Render.Json.Float move_imp) ]
+        );
+      ]
+  in
+  let human () =
+    String.concat "\n"
+      ([ result_human d ]
+      @ (if metrics then [ ""; metrics_human obs_d.Ndp_obs.Sink.metrics ] else [])
+      @ [ ""; result_human o ]
+      @ (if metrics then [ ""; metrics_human obs_o.Ndp_obs.Sink.metrics ] else [])
+      @ [ ""; Printf.sprintf "improvement: exec %.1f%%, movement %.1f%%" exec_imp move_imp ])
+  in
+  print_endline (Render.output format ~human doc)
+
+(* ------------------------------------------------------------------ *)
+(* stats: per-node / per-link breakdown                                *)
+
+let lookup_int reg name =
+  match Metrics.find reg name with Some (Metrics.Counter_v v) -> v | _ -> 0
+
+let node_table reg n =
+  let t =
+    Ndp_prelude.Table.create
+      ~header:[ "node"; "tasks"; "busy"; "l1_hits"; "l1_miss"; "l2_hits"; "l2_miss"; "mc_reqs" ]
+  in
+  for i = 0 to n - 1 do
+    let g fam key = lookup_int reg (Printf.sprintf "%s{%s=%d}" fam key i) in
+    Ndp_prelude.Table.add_row t
+      [
+        string_of_int i;
+        string_of_int (g "core.tasks" "node");
+        string_of_int (g "core.busy_cycles" "node");
+        string_of_int (g "mem.l1_hits" "node");
+        string_of_int (g "mem.l1_misses" "node");
+        string_of_int (g "mem.l2_bank_hits" "bank");
+        string_of_int (g "mem.l2_bank_misses" "bank");
+        string_of_int (g "mem.mc_requests" "node");
+      ]
+  done;
+  Ndp_prelude.Table.render t
+
+let link_table reg =
+  let t = Ndp_prelude.Table.create ~header:[ "link"; "flits"; "busy_cycles" ] in
+  let prefix = "noc.link_flits{" in
+  List.iter
+    (fun (name, sample) ->
+      match sample with
+      | Metrics.Counter_v flits when Astring.String.is_prefix ~affix:prefix name ->
+        let label = String.sub name (String.length prefix) (String.length name - String.length prefix - 1) in
+        let busy = lookup_int reg (Printf.sprintf "noc.link_busy_cycles{%s}" label) in
+        Ndp_prelude.Table.add_row t [ label; string_of_int flits; string_of_int busy ]
+      | _ -> ())
+    (Metrics.to_alist reg);
+  Ndp_prelude.Table.render t
+
+let stats_act kernel cluster memory scheme window format jobs =
+  with_jobs jobs @@ fun pool ->
+  let obs = Ndp_obs.Sink.create ~metrics:true ~trace:false () in
+  let config = config_of cluster memory in
+  let r = pipeline_run ~config ~obs pool (scheme_of scheme window) kernel in
+  let reg = obs.Ndp_obs.Sink.metrics in
+  let n = Ndp_noc.Mesh.size (Ndp_sim.Config.mesh config) in
+  let doc =
+    Render.Json.Obj [ ("result", result_json r); ("metrics", metrics_json reg) ]
+  in
+  let human () =
+    String.concat "\n"
+      [
+        result_human r;
+        "";
+        "per-node:";
+        node_table reg n;
+        "per-link (nonzero):";
+        link_table reg;
+      ]
+  in
+  print_endline (Render.output format ~human doc)
+
+(* ------------------------------------------------------------------ *)
+(* trace: Chrome trace_event JSON                                      *)
+
+let trace_selfcheck tracer (r : Pipeline.result) =
+  let events = Trace.events tracer in
+  let tasks = List.filter (fun e -> e.Trace.kind = Trace.Task) events in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let stats_tasks = Stats.tasks r.Pipeline.stats in
+  if Trace.dropped tracer = 0 && List.length tasks <> stats_tasks then
+    fail "task events %d <> stats tasks %d" (List.length tasks) stats_tasks;
+  let max_end = List.fold_left (fun acc e -> max acc e.Trace.end_ts) 0 tasks in
+  let finish = Stats.finish_time r.Pipeline.stats in
+  if tasks <> [] && max_end <> finish then
+    fail "max task end %d <> finish time %d" max_end finish;
+  let sorted = Trace.sorted_events tracer in
+  let rec monotonic = function
+    | a :: (b :: _ as rest) -> a.Trace.start_ts <= b.Trace.start_ts && monotonic rest
+    | _ -> true
+  in
+  if not (monotonic sorted) then fail "rendered timestamps are not monotonic";
+  List.iter
+    (fun e ->
+      if e.Trace.end_ts < e.Trace.start_ts then
+        fail "event %s id %d ends before it starts" e.Trace.name e.Trace.id)
+    events;
+  match !failures with
+  | [] ->
+    Printf.printf "trace selfcheck: ok (%d events, %d tasks, %d dropped)\n"
+      (Trace.length tracer) (List.length tasks) (Trace.dropped tracer)
+  | fs ->
+    List.iter (Printf.eprintf "trace selfcheck: %s\n") (List.rev fs);
+    exit 1
+
+let trace_act kernel cluster memory scheme window out format selfcheck jobs =
+  with_jobs jobs @@ fun pool ->
+  let obs = Ndp_obs.Sink.create ~metrics:true ~trace:true () in
+  let r =
+    pipeline_run ~config:(config_of cluster memory) ~obs pool (scheme_of scheme window) kernel
+  in
+  let tracer = obs.Ndp_obs.Sink.trace in
+  let payload =
+    match format with
+    | Render.Jsonl -> Trace.to_jsonl tracer
+    | Render.Sexp -> Render.json_to_sexp (Render.Json.Str "use --format json or jsonl")
+    | Render.Human | Render.Json -> Trace.to_chrome tracer
+  in
+  (match out with
+  | "-" -> print_string payload
+  | file ->
+    let oc = open_out file in
+    output_string oc payload;
+    close_out oc;
+    Printf.printf "wrote %s (%d events, %d dropped)\n" file (Trace.length tracer)
+      (Trace.dropped tracer));
+  if selfcheck then trace_selfcheck tracer r
+
+(* ------------------------------------------------------------------ *)
+(* list / codegen / dot / check                                        *)
+
+let list_act () =
+  List.iter
+    (fun name ->
+      let k = Ndp_workloads.Suite.find name in
+      Printf.printf "%-10s %s\n" name k.Ndp_core.Kernel.description)
+    Ndp_workloads.Suite.names
+
+let context_of kernel =
+  let config = Ndp_sim.Config.default in
+  let machine = Ndp_sim.Machine.create config in
+  let insp = Ndp_core.Kernel.inspector kernel in
+  Ndp_ir.Inspector.run insp;
+  let address_of = Ndp_core.Kernel.address_of kernel in
+  let ctx =
+    Ndp_core.Context.create ~machine
+      ~compiler_resolve:(Ndp_ir.Inspector.compiler_resolver insp ~address_of)
+      ~runtime_resolve:(Ndp_ir.Inspector.runtime_resolver insp ~address_of)
+      ~arrays:kernel.Ndp_core.Kernel.program.Ndp_ir.Loop.arrays
+      ~options:(Ndp_core.Context.default_options config)
+  in
+  (machine, ctx)
+
+let codegen_act kernel =
+  (* Render the subcomputation program of the first window of the first
+     nest, Figure 8 style. *)
+  let machine, ctx = context_of kernel in
+  match kernel.Ndp_core.Kernel.program.Ndp_ir.Loop.nests with
+  | [] -> prerr_endline "kernel has no loop nests"
+  | nest :: _ ->
+    let envs = Ndp_ir.Loop.iterations nest in
+    let metas =
+      List.concat
+        (List.mapi
+           (fun ii env ->
+             List.mapi
+               (fun si stmt ->
+                 {
+                   Ndp_core.Window.group = (ii * List.length nest.Ndp_ir.Loop.body) + si;
+                   default_node = ii mod Ndp_noc.Mesh.size (Ndp_sim.Machine.mesh machine);
+                   inst = { Ndp_ir.Dependence.stmt_idx = si; stmt; env };
+                 })
+               nest.Ndp_ir.Loop.body)
+           envs)
+    in
+    let window = List.filteri (fun i _ -> i < 4) metas in
+    let compiled = Ndp_core.Window.compile ctx window in
+    List.iter
+      (fun (m : Ndp_core.Window.meta) ->
+        Printf.printf "S%d: %s  %s\n" m.Ndp_core.Window.group
+          (Ndp_ir.Stmt.to_string m.Ndp_core.Window.inst.Ndp_ir.Dependence.stmt)
+          (Format.asprintf "%a" Ndp_ir.Env.pp m.Ndp_core.Window.inst.Ndp_ir.Dependence.env))
+      window;
+    print_newline ();
+    print_endline (Ndp_core.Codegen.emit (List.map fst compiled.Ndp_core.Window.tasks))
+
+let dot_act kernel =
+  let _, ctx = context_of kernel in
+  match kernel.Ndp_core.Kernel.program.Ndp_ir.Loop.nests with
+  | [] -> prerr_endline "kernel has no loop nests"
+  | nest :: _ ->
+    let env = List.hd (Ndp_ir.Loop.iterations nest) in
+    let stmt = List.hd nest.Ndp_ir.Loop.body in
+    let split = Ndp_core.Splitter.split ctx ~store_node:0 stmt env in
+    print_endline (Ndp_core.Graphviz.statement_mst split);
+    let metas =
+      List.mapi
+        (fun si stmt ->
+          {
+            Ndp_core.Window.group = si;
+            default_node = 0;
+            inst = { Ndp_ir.Dependence.stmt_idx = si; stmt; env };
+          })
+        nest.Ndp_ir.Loop.body
+    in
+    let compiled = Ndp_core.Window.compile ctx metas in
+    print_endline (Ndp_core.Graphviz.task_graph compiled.Ndp_core.Window.tasks)
+
+let check_act kernel cluster memory window format jobs =
+  let config = config_of cluster memory in
+  let kernels =
+    match kernel with
+    | Some k -> [ k ]
+    | None -> List.map Ndp_workloads.Suite.find Ndp_workloads.Suite.names
+  in
+  let jobs = match jobs with Some j -> max 1 j | None -> Ndp_prelude.Pool.default_jobs () in
+  let schemes = [ Pipeline.Default; scheme_of `Partitioned window ] in
+  let reports = Ndp_analysis.Checker.check_suite ~config ?window ~jobs ~schemes kernels in
+  print_endline (Ndp_analysis.Checker.render ~format reports);
+  if Ndp_analysis.Checker.has_errors reports then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Command table                                                       *)
+
+type command = { name : string; summary : string; term : unit Term.t }
+
+let commands =
+  [
+    {
+      name = "run";
+      summary = "Compile and simulate one application.";
+      term =
+        Term.(
+          const run_act $ Args.kernel $ Args.cluster $ Args.memory $ Args.scheme $ Args.window
+          $ Args.metrics $ Args.format $ Args.jobs);
+    };
+    {
+      name = "compare";
+      summary = "Run default and partitioned placements and compare.";
+      term =
+        Term.(
+          const compare_act $ Args.kernel $ Args.cluster $ Args.memory $ Args.window
+          $ Args.metrics $ Args.format $ Args.jobs);
+    };
+    {
+      name = "stats";
+      summary = "Simulate with metrics enabled and print per-node/per-link breakdowns.";
+      term =
+        Term.(
+          const stats_act $ Args.kernel $ Args.cluster $ Args.memory $ Args.scheme $ Args.window
+          $ Args.format $ Args.jobs);
+    };
+    {
+      name = "trace";
+      summary = "Simulate with tracing enabled and write Chrome trace_event JSON (Perfetto).";
+      term =
+        Term.(
+          const trace_act $ Args.kernel $ Args.cluster $ Args.memory $ Args.scheme $ Args.window
+          $ Args.out_file $ Args.format $ Args.selfcheck $ Args.jobs);
+    };
+    { name = "list"; summary = "List the application kernels."; term = Term.(const list_act $ const ()) };
+    {
+      name = "codegen";
+      summary = "Show the generated per-node subcomputation program for one window.";
+      term = Term.(const codegen_act $ Args.kernel);
+    };
+    {
+      name = "dot";
+      summary = "Emit Graphviz DOT for a statement MST and one window's task graph.";
+      term = Term.(const dot_act $ Args.kernel);
+    };
+    {
+      name = "check";
+      summary =
+        "Lint every kernel's IR and validate the compiled schedules (dependence race detection) \
+         under the default and partitioned schemes; exit nonzero on any error.";
+      term =
+        Term.(
+          const check_act $ Args.kernel_opt $ Args.cluster $ Args.memory $ Args.window
+          $ Args.format $ Args.jobs);
+    };
+  ]
 
 let () =
   let info = Cmd.info "ndp_run" ~doc:"Data-movement-aware computation partitioning playground." in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; compare_cmd; list_cmd; codegen_cmd; dot_cmd; check_cmd ]))
+  let cmds = List.map (fun c -> Cmd.v (Cmd.info c.name ~doc:c.summary) c.term) commands in
+  exit (Cmd.eval (Cmd.group info cmds))

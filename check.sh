@@ -34,8 +34,21 @@ phase() {
   echo "phase $_name: $(($(now) - _t0))s"
 }
 
+obs_gate() {
+  # Trace an app end-to-end, self-check the trace against the aggregate
+  # stats, and make sure the emitted Chrome JSON actually parses.
+  _trace=$(mktemp /tmp/ndp_trace.XXXXXX.json)
+  dune exec bin/ndp_run.exe -- trace mg -o "$_trace" --selfcheck
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -c "import json,sys; d=json.load(open(sys.argv[1])); assert d['traceEvents'], 'empty traceEvents'" "$_trace"
+  fi
+  rm -f "$_trace"
+  dune exec bin/ndp_run.exe -- stats fft --format json >/dev/null
+}
+
 phase build dune build
 phase runtest dune runtest
+phase obs obs_gate
 phase check dune exec bin/ndp_run.exe -- check --jobs "$jobs"
 
 total=$(($(now) - t_start))

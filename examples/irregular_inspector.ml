@@ -30,13 +30,13 @@ let () =
   let run label options =
     let r = Ndp_core.Pipeline.run (Ndp_core.Pipeline.Partitioned options) kernel in
     Printf.printf "%-22s exec %6d | movement %6d | analyzable refs %4.1f%%\n" label
-      r.Ndp_core.Pipeline.exec_time r.Ndp_core.Pipeline.stats.Ndp_sim.Stats.hops
+      r.Ndp_core.Pipeline.exec_time (Ndp_sim.Stats.hops r.Ndp_core.Pipeline.stats)
       (100.0 *. r.Ndp_core.Pipeline.analyzable_fraction);
     r
   in
   let d = Ndp_core.Pipeline.run Ndp_core.Pipeline.Default kernel in
   Printf.printf "%-22s exec %6d | movement %6d\n" "default" d.Ndp_core.Pipeline.exec_time
-    d.Ndp_core.Pipeline.stats.Ndp_sim.Stats.hops;
+    (Ndp_sim.Stats.hops d.Ndp_core.Pipeline.stats);
   let with_inspector = run "executor (inspector)" Ndp_core.Pipeline.partitioned_defaults in
   let without =
     run "no inspector"
@@ -45,5 +45,5 @@ let () =
   Printf.printf
     "\nwith the inspector the compiler resolves x[idx[i]] and places the multiply near it;\n\
      without it those references pin to the consuming node (movement %d vs %d flit-hops).\n"
-    with_inspector.Ndp_core.Pipeline.stats.Ndp_sim.Stats.hops
-    without.Ndp_core.Pipeline.stats.Ndp_sim.Stats.hops
+    (Ndp_sim.Stats.hops with_inspector.Ndp_core.Pipeline.stats)
+    (Ndp_sim.Stats.hops without.Ndp_core.Pipeline.stats)

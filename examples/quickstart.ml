@@ -31,7 +31,7 @@ let () =
   in
   let line label (r : Ndp_core.Pipeline.result) =
     Printf.printf "%-12s exec %6d cycles | movement %6d flit-hops | L1 %4.1f%% | syncs %d\n" label
-      r.Ndp_core.Pipeline.exec_time r.Ndp_core.Pipeline.stats.Ndp_sim.Stats.hops
+      r.Ndp_core.Pipeline.exec_time (Ndp_sim.Stats.hops r.Ndp_core.Pipeline.stats)
       (100.0 *. Ndp_sim.Stats.l1_hit_rate r.Ndp_core.Pipeline.stats)
       r.Ndp_core.Pipeline.sync_arcs
   in
@@ -39,6 +39,6 @@ let () =
   line "partitioned" ours;
   let pct base v = 100.0 *. float_of_int (base - v) /. float_of_int base in
   Printf.printf "\nmovement reduced %.1f%%, execution time reduced %.1f%%\n"
-    (pct default.Ndp_core.Pipeline.stats.Ndp_sim.Stats.hops
-       ours.Ndp_core.Pipeline.stats.Ndp_sim.Stats.hops)
+    (pct (Ndp_sim.Stats.hops default.Ndp_core.Pipeline.stats)
+       (Ndp_sim.Stats.hops ours.Ndp_core.Pipeline.stats))
     (pct default.Ndp_core.Pipeline.exec_time ours.Ndp_core.Pipeline.exec_time)

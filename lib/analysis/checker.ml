@@ -56,11 +56,16 @@ let render_report format r =
       else Printf.sprintf "%-8s %-40s %s" pass target (D.summary r.diagnostics)
     in
     String.concat "\n" (header :: List.map (fun d -> "  " ^ D.to_string d) r.diagnostics)
-  | D.Sexp | D.Jsonl ->
+  | D.Sexp | D.Json | D.Jsonl ->
     String.concat "\n" (List.map (D.render format) r.diagnostics)
 
 let render ?(format = D.Human) reports =
-  let lines = List.filter (fun s -> s <> "") (List.map (render_report format) reports) in
   match format with
-  | D.Human -> String.concat "\n" (lines @ [ D.summary (all_diagnostics reports) ])
-  | D.Sexp | D.Jsonl -> String.concat "\n" lines
+  | D.Json ->
+    (* One JSON array holding every diagnostic, parseable as a whole. *)
+    "[" ^ String.concat "," (List.map D.to_json (all_diagnostics reports)) ^ "]"
+  | _ ->
+    let lines = List.filter (fun s -> s <> "") (List.map (render_report format) reports) in
+    (match format with
+    | D.Human -> String.concat "\n" (lines @ [ D.summary (all_diagnostics reports) ])
+    | _ -> String.concat "\n" lines)

@@ -39,4 +39,4 @@ val has_errors : report list -> bool
 val render : ?format:Diagnostic.format -> report list -> string
 (** Human format prints a per-pass status line plus indented diagnostics
     and a final summary; sexp/jsonl print one machine-readable line per
-    diagnostic. *)
+    diagnostic; json prints a single array of every diagnostic. *)

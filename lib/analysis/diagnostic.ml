@@ -111,10 +111,13 @@ let to_json d =
       @ [ field "message" (json_string d.message) ])
   ^ "}"
 
-type format = Human | Sexp | Jsonl
+type format = Ndp_obs.Render.format = Human | Sexp | Json | Jsonl
 
 let render format d =
-  match format with Human -> to_string d | Sexp -> to_sexp d | Jsonl -> to_json d
+  match format with
+  | Human -> to_string d
+  | Sexp -> to_sexp d
+  | Json | Jsonl -> to_json d
 
 let summary diags =
   Printf.sprintf "%d error(s), %d warning(s), %d info" (count Error diags) (count Warning diags)

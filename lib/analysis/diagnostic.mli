@@ -48,7 +48,10 @@ val to_sexp : t -> string
 val to_json : t -> string
 (** One JSON object per diagnostic (JSON-lines friendly). *)
 
-type format = Human | Sexp | Jsonl
+type format = Ndp_obs.Render.format = Human | Sexp | Json | Jsonl
+(** Re-export of the shared CLI format vocabulary. For a single
+    diagnostic, [Json] and [Jsonl] coincide (one object); {!Checker.render}
+    distinguishes them (one array vs. one object per line). *)
 
 val render : format -> t -> string
 

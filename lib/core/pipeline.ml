@@ -116,8 +116,9 @@ let analyzable_fraction metas =
   let ok, total = List.fold_left count (0, 0) metas in
   if total = 0 then 1.0 else float_of_int ok /. float_of_int total
 
-let make_context ?(options_override = None) ~config ~tweaks scheme kernel =
-  let machine = Machine.create config in
+let make_context ?(options_override = None) ?(obs = Ndp_obs.Sink.none) ~config ~tweaks scheme
+    kernel =
+  let machine = Machine.create ~obs config in
   (match config.Config.memory_mode with
   | Config.Flat ->
     Machine.set_hot_ranges machine (Kernel.hot_ranges kernel ~budget:config.Config.mcdram_capacity)
@@ -164,10 +165,11 @@ let apply_tweaks tweaks (task : Task.t) =
 
 let line_of config va = va / config.Config.line_bytes
 
-let run ?(config = Config.default) ?(tweaks = no_tweaks) ?(validate = false) ?pool scheme kernel =
-  let ctx = make_context ~config ~tweaks scheme kernel in
+let run ?(config = Config.default) ?(tweaks = no_tweaks) ?(validate = false) ?pool
+    ?(obs = Ndp_obs.Sink.none) scheme kernel =
+  let ctx = make_context ~config ~tweaks ~obs scheme kernel in
   let traces = ref [] in
-  let engine = Engine.create ctx.Context.machine in
+  let engine = Engine.create ~obs ctx.Context.machine in
   let streams, total_groups =
     List.fold_left
       (fun (acc, g) nest ->
@@ -288,12 +290,20 @@ let run ?(config = Config.default) ?(tweaks = no_tweaks) ?(validate = false) ?po
         if count = 0 then 0.0 else float_of_int sum /. float_of_int count)
   in
   let all_metas = List.concat_map snd streams in
+  let reg = obs.Ndp_obs.Sink.metrics in
+  if Ndp_obs.Metrics.enabled reg then
+    List.iter
+      (fun (nest_name, w) ->
+        Ndp_obs.Metrics.set_gauge
+          (Ndp_obs.Metrics.gauge reg (Printf.sprintf "core.window_size{nest=%s}" nest_name))
+          (float_of_int w))
+      (List.rev !windows_chosen);
   {
     kernel_name = kernel.Kernel.name;
     scheme_name = scheme_name scheme;
     stats;
     energy = Ndp_sim.Energy.of_stats stats;
-    exec_time = stats.Ndp_sim.Stats.finish_time;
+    exec_time = Ndp_sim.Stats.finish_time stats;
     group_hops;
     group_avg_latency;
     parallelism;

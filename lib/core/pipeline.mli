@@ -88,6 +88,7 @@ val run :
   ?tweaks:tweaks ->
   ?validate:bool ->
   ?pool:Ndp_prelude.Pool.t ->
+  ?obs:Ndp_obs.Sink.t ->
   scheme ->
   Kernel.t ->
   result
@@ -95,7 +96,11 @@ val run :
     window (or per nest under the default scheme) so the schedule can be
     re-checked against ground-truth dependences after the run. [pool]
     parallelizes the adaptive window-size preprocessing across candidate
-    sizes; the result is bit-identical with and without it. *)
+    sizes; the result is bit-identical with and without it. [obs] threads
+    an observability sink through the machine and engine (per-link, cache,
+    core metric families plus task/message trace events) and records each
+    nest's chosen window size as a [core.window_size{nest=..}] gauge;
+    observability never changes the result. *)
 
 val profile_page_accesses :
   ?config:Ndp_sim.Config.t -> Kernel.t -> (int * int) list

@@ -152,7 +152,7 @@ let fig18 common =
             Pipeline.Default k
         in
         let factor =
-          let dh = def.Pipeline.stats.SimStats.hops and oh = opt.Pipeline.stats.SimStats.hops in
+          let dh = (SimStats.hops def.Pipeline.stats) and oh = (SimStats.hops opt.Pipeline.stats) in
           if dh = 0 then 1.0 else min 1.0 (float_of_int oh /. float_of_int dh)
         in
         let s2 =
@@ -206,6 +206,48 @@ let fig19 common =
   in
   List.iter (Table.add_row t) rows;
   Table.print t
+
+(* Per-link traffic heatmap from the metrics registry: one obs-enabled run
+   per scheme (outside the memo cache, which never threads a sink), then
+   the mesh rendered as a grid of total flits leaving each node. The same
+   [noc.link_flits{x,y->x,y}] family backs `ndp_run stats`. *)
+let link_heatmap ?(app = "ocean") common =
+  Printf.printf "== Link heatmap: per-node outgoing flits (%s) ==\n" app;
+  let k = List.find (fun k -> name k = app) (Common.apps common) in
+  let config = Ndp_sim.Config.default in
+  let mesh = Config.mesh config in
+  let cols = Ndp_noc.Mesh.cols mesh and rows = Ndp_noc.Mesh.rows mesh in
+  let grid_of scheme =
+    let obs = Ndp_obs.Sink.create ~metrics:true ~trace:false () in
+    ignore (Pipeline.run ~config ~obs scheme k);
+    let grid = Array.make_matrix rows cols 0 in
+    let max_link = ref 0 in
+    List.iter
+      (fun (nm, sample) ->
+        match sample with
+        | Ndp_obs.Metrics.Counter_v flits
+          when String.length nm > 15 && String.sub nm 0 15 = "noc.link_flits{" ->
+          Scanf.sscanf
+            (String.sub nm 15 (String.length nm - 16))
+            "%d,%d->%d,%d"
+            (fun sx sy _dx _dy ->
+              grid.(sy).(sx) <- grid.(sy).(sx) + flits;
+              if flits > !max_link then max_link := flits)
+        | _ -> ())
+      (Ndp_obs.Metrics.to_alist obs.Ndp_obs.Sink.metrics);
+    (grid, !max_link)
+  in
+  let render label (grid, max_link) =
+    Printf.printf "-- %s (hottest link: %d flits) --\n" label max_link;
+    let t = Table.create ~header:("y\\x" :: List.init cols string_of_int) in
+    for y = 0 to rows - 1 do
+      Table.add_row t (string_of_int y :: List.map string_of_int (Array.to_list grid.(y)))
+    done;
+    Table.print t
+  in
+  render "default placement" (grid_of Pipeline.Default);
+  render "partitioned"
+    (grid_of (Pipeline.Partitioned { Pipeline.partitioned_defaults with Pipeline.window = Pipeline.Adaptive }))
 
 let fixed_window common k w =
   Common.run common
@@ -377,6 +419,7 @@ let all common =
   fig17 common;
   fig18 common;
   fig19 common;
+  link_heatmap common;
   fig20 common;
   fig21 common;
   fig22 common;

@@ -26,6 +26,11 @@ val fig18 : Common.t -> unit
 val fig19 : Common.t -> unit
 (** Average/maximum on-chip network latency reduction. *)
 
+val link_heatmap : ?app:string -> Common.t -> unit
+(** Per-node outgoing flit totals on the mesh (from the
+    [noc.link_flits{..}] metric family), default vs partitioned — the
+    table form of the paper's traffic heatmaps. *)
+
 val fig20 : Common.t -> unit
 (** Execution-time improvement under fixed window sizes 1-8 and the
     adaptive per-nest choice. *)

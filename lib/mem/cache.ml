@@ -7,6 +7,7 @@ type t = {
   mutable clock : int;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
 let log2_exact n =
@@ -14,23 +15,36 @@ let log2_exact n =
   if n <= 0 || n land (n - 1) <> 0 then invalid_arg "Cache: size must be a power of two"
   else go 0 n
 
-let create ~size_bytes ~assoc ~line_bytes =
+let create ?(metrics = Ndp_obs.Metrics.disabled) ?(metric_name = "cache") ~size_bytes ~assoc
+    ~line_bytes () =
   if assoc <= 0 then invalid_arg "Cache.create: assoc must be positive";
   let lines = size_bytes / line_bytes in
   if lines < assoc || lines mod assoc <> 0 then
     invalid_arg "Cache.create: size / line_bytes must be a positive multiple of assoc";
   let num_sets = lines / assoc in
   ignore (log2_exact num_sets);
-  {
-    num_sets;
-    assoc;
-    line_bits = log2_exact line_bytes;
-    tags = Array.make (num_sets * assoc) (-1);
-    stamps = Array.make (num_sets * assoc) 0;
-    clock = 0;
-    hits = 0;
-    misses = 0;
-  }
+  let t =
+    {
+      num_sets;
+      assoc;
+      line_bits = log2_exact line_bytes;
+      tags = Array.make (num_sets * assoc) (-1);
+      stamps = Array.make (num_sets * assoc) 0;
+      clock = 0;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+    }
+  in
+  (* Derived gauges read the cache's own counters at dump time, so the
+     access path is identical whether or not metrics are enabled. *)
+  if Ndp_obs.Metrics.enabled metrics then begin
+    let open Ndp_obs.Metrics in
+    gauge_fn metrics (metric_name ^ ".hits") (fun () -> float_of_int t.hits);
+    gauge_fn metrics (metric_name ^ ".misses") (fun () -> float_of_int t.misses);
+    gauge_fn metrics (metric_name ^ ".evictions") (fun () -> float_of_int t.evictions)
+  end;
+  t
 
 let set_of t block = block land (t.num_sets - 1)
 
@@ -59,14 +73,16 @@ let victim_slot t block =
   in
   go base 0
 
+let fill t slot block =
+  if t.tags.(slot) >= 0 then t.evictions <- t.evictions + 1;
+  t.tags.(slot) <- block;
+  touch t slot
+
 let insert t addr =
   let block = addr lsr t.line_bits in
   match find_way t block with
   | Some slot -> touch t slot
-  | None ->
-    let slot = victim_slot t block in
-    t.tags.(slot) <- block;
-    touch t slot
+  | None -> fill t (victim_slot t block) block
 
 let invalidate t addr =
   match find_way t (addr lsr t.line_bits) with
@@ -84,15 +100,14 @@ let access t addr =
     true
   | None ->
     t.misses <- t.misses + 1;
-    let slot = victim_slot t block in
-    t.tags.(slot) <- block;
-    touch t slot;
+    fill t (victim_slot t block) block;
     false
 
 let probe t addr = find_way t (addr lsr t.line_bits) <> None
 
 let hits t = t.hits
 let misses t = t.misses
+let evictions t = t.evictions
 
 let hit_rate t =
   let total = t.hits + t.misses in
@@ -100,7 +115,8 @@ let hit_rate t =
 
 let reset_stats t =
   t.hits <- 0;
-  t.misses <- 0
+  t.misses <- 0;
+  t.evictions <- 0
 
 let clear t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);

@@ -5,7 +5,18 @@
 
 type t
 
-val create : size_bytes:int -> assoc:int -> line_bytes:int -> t
+val create :
+  ?metrics:Ndp_obs.Metrics.t ->
+  ?metric_name:string ->
+  size_bytes:int ->
+  assoc:int ->
+  line_bytes:int ->
+  unit ->
+  t
+(** When [metrics] is an enabled registry, derived gauges
+    [<metric_name>.hits], [.misses] and [.evictions] are registered; they
+    read the cache's own counters at dump time, so the access path does
+    not change. [metric_name] defaults to ["cache"]. *)
 
 val access : t -> int -> bool
 (** [access t addr] looks the line up, updates recency and inserts on miss
@@ -22,6 +33,9 @@ val invalidate : t -> int -> unit
 
 val hits : t -> int
 val misses : t -> int
+
+val evictions : t -> int
+(** Valid lines displaced by fills (capacity/conflict victims). *)
 
 val hit_rate : t -> float
 (** Hits over accesses; 0 before any access. *)

@@ -5,10 +5,21 @@ type t = {
   map : Addr_map.t;
   frames : (int, int) Hashtbl.t; (* virtual page -> physical page *)
   rng : Ndp_prelude.Rng.t;
+  m_faults : Ndp_obs.Metrics.counter; (* mem.page_faults: first-touch allocations *)
 }
 
-let create ?(seed = 0x5eed) ~policy map =
-  { policy; map; frames = Hashtbl.create 1024; rng = Ndp_prelude.Rng.create seed }
+let create ?(seed = 0x5eed) ~policy ?(metrics = Ndp_obs.Metrics.disabled) map =
+  let frames = Hashtbl.create 1024 in
+  if Ndp_obs.Metrics.enabled metrics then
+    Ndp_obs.Metrics.gauge_fn metrics "mem.pages_resident" (fun () ->
+        float_of_int (Hashtbl.length frames));
+  {
+    policy;
+    map;
+    frames;
+    rng = Ndp_prelude.Rng.create seed;
+    m_faults = Ndp_obs.Metrics.counter metrics "mem.page_faults";
+  }
 
 let policy t = t.policy
 
@@ -16,6 +27,7 @@ let frame_of t vpage =
   match Hashtbl.find_opt t.frames vpage with
   | Some p -> p
   | None ->
+    Ndp_obs.Metrics.incr t.m_faults;
     let p =
       match t.policy with
       | Coloring -> vpage

@@ -11,7 +11,10 @@ type policy = Coloring | Scrambled
 
 type t
 
-val create : ?seed:int -> policy:policy -> Addr_map.t -> t
+val create : ?seed:int -> policy:policy -> ?metrics:Ndp_obs.Metrics.t -> Addr_map.t -> t
+(** With an enabled [metrics] registry, first-touch allocations bump a
+    [mem.page_faults] counter and a derived [mem.pages_resident] gauge
+    reports the live page count at dump time. *)
 
 val policy : t -> policy
 

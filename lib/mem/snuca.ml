@@ -1,17 +1,31 @@
-type t = { mesh : Ndp_noc.Mesh.t; cluster : Ndp_noc.Cluster.t; map : Addr_map.t }
+type t = {
+  mesh : Ndp_noc.Mesh.t;
+  cluster : Ndp_noc.Cluster.t;
+  map : Addr_map.t;
+  m_lookups : Ndp_obs.Metrics.vec; (* mem.home_lookups{bank} *)
+}
 
-let create mesh cluster map = { mesh; cluster; map }
+let create ?(metrics = Ndp_obs.Metrics.disabled) mesh cluster map =
+  let m_lookups =
+    Ndp_obs.Metrics.vec metrics "mem.home_lookups" ~size:(Ndp_noc.Mesh.size mesh)
+      ~label:(fun i -> Printf.sprintf "bank=%d" i)
+  in
+  { mesh; cluster; map; m_lookups }
 
 let home_node t addr =
   let line = Addr_map.line_of_addr t.map addr in
-  match t.cluster with
-  | Ndp_noc.Cluster.All_to_all | Ndp_noc.Cluster.Quadrant ->
-    line mod Ndp_noc.Mesh.size t.mesh
-  | Ndp_noc.Cluster.Snc4 ->
-    (* Lines interleave over the nodes of the quadrant owning the page. *)
-    let quadrant = Addr_map.channel t.map addr mod 4 in
-    let nodes = Ndp_noc.Mesh.nodes_in_quadrant t.mesh quadrant in
-    List.nth nodes (line mod List.length nodes)
+  let node =
+    match t.cluster with
+    | Ndp_noc.Cluster.All_to_all | Ndp_noc.Cluster.Quadrant ->
+      line mod Ndp_noc.Mesh.size t.mesh
+    | Ndp_noc.Cluster.Snc4 ->
+      (* Lines interleave over the nodes of the quadrant owning the page. *)
+      let quadrant = Addr_map.channel t.map addr mod 4 in
+      let nodes = Ndp_noc.Mesh.nodes_in_quadrant t.mesh quadrant in
+      List.nth nodes (line mod List.length nodes)
+  in
+  Ndp_obs.Metrics.vadd t.m_lookups node 1;
+  node
 
 let mc_node t addr =
   let home_bank = home_node t addr in

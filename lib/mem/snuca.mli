@@ -8,7 +8,9 @@
 
 type t
 
-val create : Ndp_noc.Mesh.t -> Ndp_noc.Cluster.t -> Addr_map.t -> t
+val create : ?metrics:Ndp_obs.Metrics.t -> Ndp_noc.Mesh.t -> Ndp_noc.Cluster.t -> Addr_map.t -> t
+(** With an enabled [metrics] registry, every {!home_node} lookup bumps a
+    per-bank [mem.home_lookups{bank}] counter. *)
 
 val home_node : t -> int -> int
 (** Node id of the home L2 bank for a physical address. *)

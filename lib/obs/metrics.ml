@@ -1,0 +1,255 @@
+type counter = { mutable c_v : int; c_on : bool }
+
+type vec = { v_data : int array; v_label : int -> string; v_on : bool }
+
+type gauge = { mutable g_v : float; g_on : bool }
+
+type histogram = {
+  h_bounds : float array; (* upper bounds, strictly increasing *)
+  h_counts : int array; (* length bounds + 1; last slot = overflow *)
+  mutable h_sum : float;
+  mutable h_count : int;
+  h_on : bool;
+}
+
+type instrument =
+  | I_counter of counter
+  | I_vec of vec
+  | I_gauge of gauge
+  | I_gauge_fn of (unit -> float)
+  | I_histogram of histogram
+
+type t = { on : bool; table : (string, instrument) Hashtbl.t }
+
+let create () = { on = true; table = Hashtbl.create 64 }
+
+let disabled = { on = false; table = Hashtbl.create 0 }
+
+let enabled t = t.on
+
+(* Inert handles shared by every instrument of a disabled registry: no
+   allocation, and bumps reduce to one always-false branch. *)
+let dead_counter = { c_v = 0; c_on = false }
+
+let dead_vec = { v_data = [||]; v_label = string_of_int; v_on = false }
+
+let dead_gauge = { g_v = 0.0; g_on = false }
+
+let dead_histogram =
+  { h_bounds = [||]; h_counts = [| 0 |]; h_sum = 0.0; h_count = 0; h_on = false }
+
+let register t name make get =
+  match Hashtbl.find_opt t.table name with
+  | Some i -> (
+    match get i with
+    | Some h -> h
+    | None -> invalid_arg (Printf.sprintf "Metrics: %S already registered with another type" name))
+  | None ->
+    let h = make () in
+    h
+
+let counter t name =
+  if not t.on then dead_counter
+  else
+    register t name
+      (fun () ->
+        let c = { c_v = 0; c_on = true } in
+        Hashtbl.replace t.table name (I_counter c);
+        c)
+      (function I_counter c -> Some c | _ -> None)
+
+let add c n = if c.c_on then c.c_v <- c.c_v + n
+
+let incr c = add c 1
+
+let counter_value c = c.c_v
+
+let vec t name ~size ~label =
+  if not t.on then dead_vec
+  else
+    register t name
+      (fun () ->
+        let v = { v_data = Array.make size 0; v_label = label; v_on = true } in
+        Hashtbl.replace t.table name (I_vec v);
+        v)
+      (function
+        | I_vec v ->
+          if Array.length v.v_data <> size then
+            invalid_arg (Printf.sprintf "Metrics.vec: %S re-registered with size %d" name size);
+          Some v
+        | _ -> None)
+
+let vadd v i n = if v.v_on && i >= 0 && i < Array.length v.v_data then v.v_data.(i) <- v.v_data.(i) + n
+
+let vec_value v i = if i >= 0 && i < Array.length v.v_data then v.v_data.(i) else 0
+
+let vec_size v = Array.length v.v_data
+
+let gauge t name =
+  if not t.on then dead_gauge
+  else
+    register t name
+      (fun () ->
+        let g = { g_v = 0.0; g_on = true } in
+        Hashtbl.replace t.table name (I_gauge g);
+        g)
+      (function I_gauge g -> Some g | _ -> None)
+
+let set_gauge g v = if g.g_on then g.g_v <- v
+
+let gauge_fn t name f = if t.on then Hashtbl.replace t.table name (I_gauge_fn f)
+
+let default_buckets = Array.init 21 (fun i -> float_of_int (1 lsl i))
+
+let histogram ?(buckets = default_buckets) t name =
+  if not t.on then dead_histogram
+  else
+    register t name
+      (fun () ->
+        let h =
+          {
+            h_bounds = Array.copy buckets;
+            h_counts = Array.make (Array.length buckets + 1) 0;
+            h_sum = 0.0;
+            h_count = 0;
+            h_on = true;
+          }
+        in
+        Hashtbl.replace t.table name (I_histogram h);
+        h)
+      (function I_histogram h -> Some h | _ -> None)
+
+let observe h x =
+  if h.h_on then begin
+    let n = Array.length h.h_bounds in
+    let rec slot i = if i = n || x <= h.h_bounds.(i) then i else slot (i + 1) in
+    let i = slot 0 in
+    h.h_counts.(i) <- h.h_counts.(i) + 1;
+    h.h_sum <- h.h_sum +. x;
+    h.h_count <- h.h_count + 1
+  end
+
+type sample =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of { counts : int array; bounds : float array; sum : float; count : int }
+
+let explode name instrument acc =
+  match instrument with
+  | I_counter c -> (name, Counter_v c.c_v) :: acc
+  | I_gauge g -> (name, Gauge_v g.g_v) :: acc
+  | I_gauge_fn f -> (name, Gauge_v (f ())) :: acc
+  | I_histogram h ->
+    ( name,
+      Histogram_v
+        {
+          counts = Array.copy h.h_counts;
+          bounds = Array.copy h.h_bounds;
+          sum = h.h_sum;
+          count = h.h_count;
+        } )
+    :: acc
+  | I_vec v ->
+    let acc = ref acc in
+    for i = Array.length v.v_data - 1 downto 0 do
+      if v.v_data.(i) <> 0 then
+        acc := (Printf.sprintf "%s{%s}" name (v.v_label i), Counter_v v.v_data.(i)) :: !acc
+    done;
+    !acc
+
+let to_alist t =
+  let samples = Hashtbl.fold (fun name i acc -> explode name i acc) t.table [] in
+  List.sort (fun (a, _) (b, _) -> compare a b) samples
+
+let find t name = List.assoc_opt name (to_alist t)
+
+let merge regs =
+  let out = create () in
+  List.iter
+    (fun reg ->
+      List.iter
+        (fun (name, sample) ->
+          match sample with
+          | Counter_v n -> add (counter out name) n
+          | Gauge_v v -> set_gauge (gauge out name) v
+          | Histogram_v { counts; bounds; sum; count } -> (
+            match Hashtbl.find_opt out.table name with
+            | Some (I_histogram h) when h.h_bounds = bounds ->
+              Array.iteri (fun i n -> h.h_counts.(i) <- h.h_counts.(i) + n) counts;
+              h.h_sum <- h.h_sum +. sum;
+              h.h_count <- h.h_count + count
+            | _ ->
+              let h = histogram ~buckets:bounds out name in
+              Array.blit counts 0 h.h_counts 0 (Array.length counts);
+              h.h_sum <- sum;
+              h.h_count <- count))
+        (to_alist reg))
+    regs;
+  out
+
+let to_json t =
+  let sample_json = function
+    | Counter_v n -> Render.Json.Int n
+    | Gauge_v v -> Render.Json.Float v
+    | Histogram_v { counts; bounds; sum; count } ->
+      let buckets =
+        List.concat
+          (List.init (Array.length counts) (fun i ->
+               if counts.(i) = 0 then []
+               else
+                 [
+                   Render.Json.List
+                     [
+                       (if i < Array.length bounds then Render.Json.Float bounds.(i)
+                        else Render.Json.Str "+inf");
+                       Render.Json.Int counts.(i);
+                     ];
+                 ]))
+      in
+      Render.Json.Obj
+        [
+          ("count", Render.Json.Int count);
+          ("sum", Render.Json.Float sum);
+          ("buckets", Render.Json.List buckets);
+        ]
+  in
+  Render.Json.Obj (List.map (fun (name, s) -> (name, sample_json s)) (to_alist t))
+
+module Sharded = struct
+  type registry = t
+
+  let fresh_registry = create
+
+  type nonrec t = {
+    s_on : bool;
+    lock : Mutex.t;
+    mutable shards : (int * registry) list; (* domain id -> shard *)
+  }
+
+  let create ?(enabled = true) () = { s_on = enabled; lock = Mutex.create (); shards = [] }
+
+  let enabled t = t.s_on
+
+  let local t =
+    if not t.s_on then disabled
+    else begin
+      let id = (Domain.self () :> int) in
+      Mutex.lock t.lock;
+      let reg =
+        match List.assoc_opt id t.shards with
+        | Some reg -> reg
+        | None ->
+          let reg = fresh_registry () in
+          t.shards <- (id, reg) :: t.shards;
+          reg
+      in
+      Mutex.unlock t.lock;
+      reg
+    end
+
+  let merged t =
+    Mutex.lock t.lock;
+    let shards = List.map snd t.shards in
+    Mutex.unlock t.lock;
+    merge shards
+end

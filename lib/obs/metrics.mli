@@ -1,0 +1,131 @@
+(** Named, typed metrics registry.
+
+    Subsystems create instruments (counters, dense-indexed counter vectors,
+    gauges, histograms) once, at structure-creation time, and bump them
+    through the returned handles on the hot path. A handle created from a
+    disabled registry is inert: bumping it is a single predictable branch
+    and no per-event allocation, so instrumented code pays nothing when
+    observability is off (the default).
+
+    Determinism: instruments are write-only — they never feed back into
+    simulation or compilation decisions — and {!to_alist} orders samples by
+    name, so enabling metrics cannot perturb results and dumps are stable.
+
+    Parallel collection: a registry is not synchronized. Under
+    [Pool.parallel_map] each task must bump its own registry (or its own
+    {!Sharded} shard); {!merge} then combines them by name into totals that
+    are independent of task scheduling, because counter addition commutes
+    and output order is name-sorted. *)
+
+type t
+(** A registry. *)
+
+val create : unit -> t
+(** A fresh enabled registry. *)
+
+val disabled : t
+(** The shared inert registry: every instrument created from it is a no-op
+    and {!to_alist} is empty. *)
+
+val enabled : t -> bool
+
+(** {1 Instruments} *)
+
+type counter
+
+val counter : t -> string -> counter
+(** [counter reg name] registers (or retrieves — same name, same handle) a
+    monotonically increasing integer. *)
+
+val add : counter -> int -> unit
+
+val incr : counter -> unit
+
+val counter_value : counter -> int
+
+type vec
+
+val vec : t -> string -> size:int -> label:(int -> string) -> vec
+(** A dense family of counters indexed by [0..size-1] — one slot per link,
+    node or bank. [label i] renders slot [i]'s sample name suffix, e.g.
+    ["noc.link_flits{1,0->2,0}"]. Registering an existing name returns the
+    existing family (sizes must agree). *)
+
+val vadd : vec -> int -> int -> unit
+(** [vadd v i n] adds [n] to slot [i]. Out-of-range slots are ignored. *)
+
+val vec_value : vec -> int -> int
+
+val vec_size : vec -> int
+
+type gauge
+
+val gauge : t -> string -> gauge
+(** A last-value-wins float. *)
+
+val set_gauge : gauge -> float -> unit
+
+val gauge_fn : t -> string -> (unit -> float) -> unit
+(** A derived gauge: the closure is evaluated at {!to_alist} / {!merge}
+    time, never on the hot path. Used for values a structure already
+    tracks (cache hit counts, resident pages) so publishing them costs
+    nothing per event. *)
+
+type histogram
+
+val histogram : ?buckets:float array -> t -> string -> histogram
+(** Distribution with cumulative-style buckets (default: powers of two
+    from 1 to 2^20). *)
+
+val observe : histogram -> float -> unit
+
+(** {1 Reading and merging} *)
+
+type sample =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of { counts : int array; bounds : float array; sum : float; count : int }
+
+val to_alist : t -> (string * sample) list
+(** All samples, sorted by name. Vector slots explode into
+    [name{label}] entries (zero-valued slots are skipped); derived gauges
+    are evaluated here. *)
+
+val find : t -> string -> sample option
+(** Lookup one exploded sample by name (same names as {!to_alist}). *)
+
+val merge : t list -> t
+(** A fresh registry holding the name-wise sum (counters, histograms) or
+    last-writer value (gauges, in list order) of the inputs. Derived
+    gauges are evaluated and frozen. The result is independent of any
+    concurrent schedule that produced the inputs. *)
+
+val to_json : t -> Render.Json.t
+(** [Obj] keyed by sample name; counters as ints, gauges as floats,
+    histograms as [{"count":..,"sum":..,"buckets":[[le,count],..]}]. *)
+
+(** {1 Per-domain sharding} *)
+
+(** Shards one logical registry across domains: each domain bumps a
+    private registry ({!Sharded.local}) with no synchronization on the hot
+    path, and {!Sharded.merged} combines the shards afterwards. Wrap the
+    parallel region's metrics in this when tasks run under
+    [Pool.parallel_map] so [--jobs N] stays deterministic. *)
+module Sharded : sig
+  type registry := t
+
+  type t
+
+  val create : ?enabled:bool -> unit -> t
+
+  val enabled : t -> bool
+
+  val local : t -> registry
+  (** This domain's shard, created on first use. Cheap after the first
+      call (one mutex-guarded lookup keyed by domain id); cache the result
+      across a task when bumping in a loop. *)
+
+  val merged : t -> registry
+  (** {!merge} of every shard created so far. Call after the parallel
+      region has quiesced. *)
+end

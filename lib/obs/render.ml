@@ -1,0 +1,126 @@
+type format = Human | Sexp | Json | Jsonl
+
+let all_formats = [ ("human", Human); ("sexp", Sexp); ("json", Json); ("jsonl", Jsonl) ]
+
+let format_to_string f =
+  match List.find (fun (_, g) -> g = f) all_formats with name, _ -> name
+
+let format_of_string s =
+  match List.assoc_opt (String.lowercase_ascii s) all_formats with
+  | Some f -> Ok f
+  | None ->
+    Error
+      (Printf.sprintf "unknown format %S (expected %s)" s
+         (String.concat ", " (List.map fst all_formats)))
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+
+  let float_repr f =
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.12g" f
+
+  let rec write buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+      if not (Float.is_finite f) then Buffer.add_string buf "null"
+      else Buffer.add_string buf (float_repr f)
+    | Str s -> Buffer.add_string buf (escape s)
+    | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        xs;
+      Buffer.add_char buf ']'
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (escape k);
+          Buffer.add_char buf ':';
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+  let to_string j =
+    let buf = Buffer.create 256 in
+    write buf j;
+    Buffer.contents buf
+end
+
+let sexp_atom s =
+  let bare c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '-' || c = '_' || c = '.' || c = '/'
+  in
+  if s <> "" && String.for_all bare s then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+        Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let rec json_to_sexp (j : Json.t) =
+  match j with
+  | Json.Null -> "()"
+  | Json.Bool b -> if b then "true" else "false"
+  | Json.Int i -> string_of_int i
+  | Json.Float f -> Json.float_repr f
+  | Json.Str s -> sexp_atom s
+  | Json.List xs -> "(" ^ String.concat " " (List.map json_to_sexp xs) ^ ")"
+  | Json.Obj fields ->
+    "("
+    ^ String.concat " "
+        (List.map (fun (k, v) -> "(" ^ sexp_atom k ^ " " ^ json_to_sexp v ^ ")") fields)
+    ^ ")"
+
+let output fmt ~human (doc : Json.t) =
+  match fmt with
+  | Human -> human ()
+  | Json -> Json.to_string doc
+  | Sexp -> json_to_sexp doc
+  | Jsonl -> (
+    match doc with
+    | Json.List xs -> String.concat "\n" (List.map Json.to_string xs)
+    | Json.Obj fields ->
+      String.concat "\n"
+        (List.map
+           (fun (k, v) -> Json.to_string (Json.Obj [ ("key", Json.Str k); ("value", v) ]))
+           fields)
+    | other -> Json.to_string other)

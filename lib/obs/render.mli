@@ -1,0 +1,54 @@
+(** The one output-format surface shared by every `ndp_run` subcommand and
+    by the bench harness.
+
+    Historically each reporting path grew its own format story: `check`
+    rendered diagnostics as human/sexp/jsonl, bench had a bespoke [--json],
+    and new commands would have invented a fourth dialect. [Render] fixes
+    the vocabulary: a command builds one {!Json.t} document (plus an
+    optional human renderer) and every format is derived from it, so
+    [--format human|sexp|json|jsonl] means the same thing everywhere. *)
+
+type format = Human | Sexp | Json | Jsonl
+
+val all_formats : (string * format) list
+(** [(name, format)] pairs, in CLI presentation order — feed to
+    [Cmdliner.Arg.enum]. *)
+
+val format_to_string : format -> string
+
+val format_of_string : string -> (format, string) result
+
+(** A minimal JSON document model (no external dependency). *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val escape : string -> string
+  (** A quoted JSON string literal with the mandatory escapes. *)
+
+  val to_string : t -> string
+  (** Compact single-line rendering. Non-finite floats render as [null]
+      (JSON has no spelling for them). *)
+end
+
+val sexp_atom : string -> string
+(** Quote/escape a string as a single s-expression atom; bare symbols pass
+    through unquoted. *)
+
+val json_to_sexp : Json.t -> string
+(** Generic s-expression view of a JSON document: objects become
+    [(key value)] pair lists, arrays become plain lists. Gives every
+    command a sexp format for free once it can build its JSON document. *)
+
+val output : format -> human:(unit -> string) -> Json.t -> string
+(** Render one document under the requested format. [human] is consulted
+    only for {!Human}; {!Json} is the compact document; {!Jsonl} emits one
+    line per element of a top-level [List] (or per field of a top-level
+    [Obj], as [{"key": ..., "value": ...}] lines); {!Sexp} is
+    {!json_to_sexp}. *)

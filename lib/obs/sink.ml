@@ -1,0 +1,13 @@
+type t = { metrics : Metrics.t; trace : Trace.t }
+
+let none = { metrics = Metrics.disabled; trace = Trace.none }
+
+let create ?(metrics = true) ?(trace = true) ?trace_capacity () =
+  {
+    metrics = (if metrics then Metrics.create () else Metrics.disabled);
+    trace = (if trace then Trace.create ?capacity:trace_capacity () else Trace.none);
+  }
+
+let metrics_enabled t = Metrics.enabled t.metrics
+
+let trace_enabled t = Trace.enabled t.trace

@@ -1,0 +1,17 @@
+(** The observability handle threaded through the simulator and compiler:
+    one metrics registry plus one event tracer. Subsystem constructors
+    ([Machine.create], [Engine.create], [Pipeline.run], ...) take
+    [?obs:Sink.t] defaulting to {!none}, so unobserved runs pay only the
+    inert-handle branches. *)
+
+type t = { metrics : Metrics.t; trace : Trace.t }
+
+val none : t
+(** Disabled metrics and disabled trace — the default everywhere. *)
+
+val create : ?metrics:bool -> ?trace:bool -> ?trace_capacity:int -> unit -> t
+(** Enable the requested parts (both default to [true]). *)
+
+val metrics_enabled : t -> bool
+
+val trace_enabled : t -> bool

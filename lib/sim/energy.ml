@@ -19,13 +19,14 @@ let sync_pj = 4.0
 
 let of_stats (s : Stats.t) =
   {
-    network = float_of_int s.hops *. hop_pj;
-    l1 = float_of_int (s.l1_hits + s.l1_misses) *. l1_pj;
-    l2 = float_of_int (s.l2_hits + s.l2_misses) *. l2_pj;
+    network = float_of_int (Stats.hops s) *. hop_pj;
+    l1 = float_of_int (Stats.l1_hits s + Stats.l1_misses s) *. l1_pj;
+    l2 = float_of_int (Stats.l2_hits s + Stats.l2_misses s) *. l2_pj;
     dram =
-      (float_of_int s.mcdram_accesses *. mcdram_pj) +. (float_of_int s.ddr_accesses *. ddr_pj);
-    compute = float_of_int s.ops *. op_pj;
-    sync = float_of_int s.syncs *. sync_pj;
+      (float_of_int (Stats.mcdram_accesses s) *. mcdram_pj)
+      +. (float_of_int (Stats.ddr_accesses s) *. ddr_pj);
+    compute = float_of_int (Stats.ops s) *. op_pj;
+    sync = float_of_int (Stats.syncs s) *. sync_pj;
   }
 
 let total b = b.network +. b.l1 +. b.l2 +. b.dram +. b.compute +. b.sync

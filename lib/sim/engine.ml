@@ -1,3 +1,6 @@
+module Metrics = Ndp_obs.Metrics
+module Trace = Ndp_obs.Trace
+
 type exec_record = { node : int; start : int; finish : int; group : int }
 
 (* Task and group ids are dense small integers (allocated by counters in
@@ -37,18 +40,29 @@ type t = {
   group_latency : (int * int) Slots.t;
   group_spans : (int * int) list Slots.t; (* group -> (start, finish) *)
   node_busy : int array;
+  trace : Trace.t;
+  m_tasks : Metrics.vec; (* core.tasks{node} *)
+  m_busy : Metrics.vec; (* core.busy_cycles{node} *)
+  m_syncs : Metrics.vec; (* core.syncs{node} *)
 }
 
-let create machine =
+let create ?(obs = Ndp_obs.Sink.none) machine =
+  let n = Ndp_noc.Mesh.size (Machine.mesh machine) in
+  let reg = obs.Ndp_obs.Sink.metrics in
+  let node_label i = Printf.sprintf "node=%d" i in
   {
     machine;
-    stats = Stats.create ();
-    node_free = Array.make (Ndp_noc.Mesh.size (Machine.mesh machine)) 0;
+    stats = Stats.create ~metrics:reg ();
+    node_free = Array.make n 0;
     finished = Slots.create None;
     group_hops = Slots.create 0;
     group_latency = Slots.create (0, 0);
     group_spans = Slots.create [];
-    node_busy = Array.make (Ndp_noc.Mesh.size (Machine.mesh machine)) 0;
+    node_busy = Array.make n 0;
+    trace = obs.Ndp_obs.Sink.trace;
+    m_tasks = Metrics.vec reg "core.tasks" ~size:n ~label:node_label;
+    m_busy = Metrics.vec reg "core.busy_cycles" ~size:n ~label:node_label;
+    m_syncs = Metrics.vec reg "core.syncs" ~size:n ~label:node_label;
   }
 
 let machine t = t.machine
@@ -57,17 +71,17 @@ let stats t = t.stats
 
 let attribute_group t group ~hops_before ~lat_before ~msgs_before =
   let s = t.stats in
-  Slots.set t.group_hops group (Slots.get t.group_hops group + (s.Stats.hops - hops_before));
+  Slots.set t.group_hops group (Slots.get t.group_hops group + (Stats.hops s - hops_before));
   let sum, count = Slots.get t.group_latency group in
   Slots.set t.group_latency group
-    (sum + (s.Stats.latency_sum - lat_before), count + (s.Stats.messages - msgs_before))
+    (sum + (Stats.latency_sum s - lat_before), count + (Stats.messages s - msgs_before))
 
 let run ?(on_load = fun ~va:_ ~l1_hit:_ ~l2_hit:_ -> ()) t tasks =
   let config = Machine.config t.machine in
   let exec (task : Task.t) =
-    let hops_before = t.stats.Stats.hops in
-    let lat_before = t.stats.Stats.latency_sum in
-    let msgs_before = t.stats.Stats.messages in
+    let hops_before = Stats.hops t.stats in
+    let lat_before = Stats.latency_sum t.stats in
+    let msgs_before = Stats.messages t.stats in
     let issue = t.node_free.(task.node) in
     let operand_arrival = function
       | Task.Load { va; bytes } ->
@@ -97,8 +111,8 @@ let run ?(on_load = fun ~va:_ ~l1_hit:_ ~l2_hit:_ -> ()) t tasks =
     in
     let result_ready = List.fold_left max issue (List.map operand_arrival result_ops) in
     let data_ready = max load_ready result_ready in
-    t.stats.Stats.load_wait <- t.stats.Stats.load_wait + (load_ready - issue);
-    t.stats.Stats.result_wait <- t.stats.Stats.result_wait + max 0 (result_ready - load_ready);
+    Stats.add_load_wait t.stats (load_ready - issue);
+    Stats.add_result_wait t.stats (max 0 (result_ready - load_ready));
     let start = data_ready + (task.syncs * config.Config.sync_cycles) in
     let finish = start + (task.cost * config.Config.op_cycles) in
     (match task.store with
@@ -123,10 +137,17 @@ let run ?(on_load = fun ~va:_ ~l1_hit:_ ~l2_hit:_ -> ()) t tasks =
     t.node_busy.(task.node) <- t.node_busy.(task.node) + occupancy;
     Slots.set t.finished task.id (Some { node = task.node; start; finish; group = task.group });
     Slots.set t.group_spans task.group ((start, finish) :: Slots.get t.group_spans task.group);
-    t.stats.Stats.tasks <- t.stats.Stats.tasks + 1;
-    t.stats.Stats.ops <- t.stats.Stats.ops + task.cost;
-    t.stats.Stats.syncs <- t.stats.Stats.syncs + task.syncs;
-    if finish > t.stats.Stats.finish_time then t.stats.Stats.finish_time <- finish;
+    Stats.incr_tasks t.stats;
+    Stats.add_ops t.stats task.cost;
+    Stats.add_syncs t.stats task.syncs;
+    Stats.note_finish t.stats finish;
+    Metrics.vadd t.m_tasks task.node 1;
+    Metrics.vadd t.m_busy task.node occupancy;
+    Metrics.vadd t.m_syncs task.node task.syncs;
+    Trace.task t.trace ~name:task.label ~node:task.node ~start ~finish ~id:task.id
+      ~group:task.group;
+    if task.syncs > 0 then
+      Trace.sync t.trace ~node:task.node ~ts:data_ready ~producer:(-1) ~consumer:task.id;
     attribute_group t task.group ~hops_before ~lat_before ~msgs_before
   in
   List.iter exec tasks

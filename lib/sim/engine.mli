@@ -6,7 +6,14 @@
 
 type t
 
-val create : Machine.t -> t
+val create : ?obs:Ndp_obs.Sink.t -> Machine.t -> t
+(** With [obs], every executed task emits a trace event (label, node,
+    start/finish cycle, task id, group) plus an instant event per
+    synchronizing task, and per-node task/busy/sync vectors
+    ([core.tasks{node}], ...) are registered in [obs.metrics]. The
+    engine's {!stats} counters are registered in [obs.metrics] (as
+    [sim.*]) when it is enabled. Observability never changes scheduling
+    or timing. *)
 
 val machine : t -> Machine.t
 

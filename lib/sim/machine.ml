@@ -2,6 +2,7 @@ module Mesh = Ndp_noc.Mesh
 module Cache = Ndp_mem.Cache
 module Snuca = Ndp_mem.Snuca
 module Page_alloc = Ndp_mem.Page_alloc
+module Metrics = Ndp_obs.Metrics
 
 type t = {
   config : Config.t;
@@ -17,21 +18,30 @@ type t = {
   boost_rng : Ndp_prelude.Rng.t;
   mc_overrides : (int, int) Hashtbl.t; (* virtual page -> mc node *)
   sharers : (int, int list) Hashtbl.t; (* VA line -> nodes with an L1 copy *)
+  m_l1_hits : Metrics.vec; (* mem.l1_hits{node} *)
+  m_l1_misses : Metrics.vec;
+  m_l2_bank_hits : Metrics.vec; (* mem.l2_bank_hits{bank} *)
+  m_l2_bank_misses : Metrics.vec;
+  m_mc_requests : Metrics.vec; (* mem.mc_requests{node}: L2-miss service per MC *)
 }
 
 type outcome = { arrival : int; l1_hit : bool; l2_hit : bool option }
 
-let create (config : Config.t) =
+let create ?(obs = Ndp_obs.Sink.none) (config : Config.t) =
   let mesh = Config.mesh config in
   let map = Config.addr_map config in
   let n = Mesh.size mesh in
-  let l1 () =
+  let reg = obs.Ndp_obs.Sink.metrics in
+  let node_label i = Printf.sprintf "node=%d" i in
+  let l1 i =
     Cache.create ~size_bytes:config.l1_size ~assoc:config.l1_assoc
-      ~line_bytes:config.line_bytes
+      ~line_bytes:config.line_bytes ~metrics:reg
+      ~metric_name:(Printf.sprintf "mem.l1.%d" i) ()
   in
-  let l2 () =
+  let l2 i =
     Cache.create ~size_bytes:config.l2_bank_size ~assoc:config.l2_assoc
-      ~line_bytes:config.line_bytes
+      ~line_bytes:config.line_bytes ~metrics:reg
+      ~metric_name:(Printf.sprintf "mem.l2_bank.%d" i) ()
   in
   let mcdram_cache =
     match config.memory_mode with
@@ -39,26 +49,32 @@ let create (config : Config.t) =
     | Config.Cache_mode ->
       Some
         (Cache.create ~size_bytes:config.mcdram_capacity ~assoc:1
-           ~line_bytes:config.line_bytes)
+           ~line_bytes:config.line_bytes ~metrics:reg ~metric_name:"mem.mcdram_cache" ())
     | Config.Hybrid ->
       Some
         (Cache.create ~size_bytes:(config.mcdram_capacity / 2) ~assoc:1
-           ~line_bytes:config.line_bytes)
+           ~line_bytes:config.line_bytes ~metrics:reg ~metric_name:"mem.mcdram_cache" ())
   in
   {
     config;
     mesh;
-    snuca = Snuca.create mesh config.cluster map;
-    pages = Page_alloc.create ~seed:config.seed ~policy:config.page_policy map;
-    network = Network.create config;
-    l1s = Array.init n (fun _ -> l1 ());
-    l2s = Array.init n (fun _ -> l2 ());
+    snuca = Snuca.create ~metrics:reg mesh config.cluster map;
+    pages = Page_alloc.create ~seed:config.seed ~policy:config.page_policy ~metrics:reg map;
+    network = Network.create ~obs config;
+    l1s = Array.init n l1;
+    l2s = Array.init n l2;
     mcdram_cache;
     hot_ranges = [];
     l1_boost = 0.0;
     boost_rng = Ndp_prelude.Rng.create (config.seed + 7);
     mc_overrides = Hashtbl.create 64;
     sharers = Hashtbl.create 4096;
+    m_l1_hits = Metrics.vec reg "mem.l1_hits" ~size:n ~label:node_label;
+    m_l1_misses = Metrics.vec reg "mem.l1_misses" ~size:n ~label:node_label;
+    m_l2_bank_hits = Metrics.vec reg "mem.l2_bank_hits" ~size:n ~label:(fun i -> Printf.sprintf "bank=%d" i);
+    m_l2_bank_misses =
+      Metrics.vec reg "mem.l2_bank_misses" ~size:n ~label:(fun i -> Printf.sprintf "bank=%d" i);
+    m_mc_requests = Metrics.vec reg "mem.mc_requests" ~size:n ~label:node_label;
   }
 
 let set_hot_ranges t ranges = t.hot_ranges <- ranges
@@ -89,11 +105,11 @@ let compiler_mc_node t ~va = Snuca.mc_node t.snuca (compiler_translate t va)
 let memory_latency t va pa stats =
   let c = t.config in
   let mcdram () =
-    stats.Stats.mcdram_accesses <- stats.Stats.mcdram_accesses + 1;
+    Stats.incr_mcdram_accesses stats;
     c.mcdram_cycles
   in
   let ddr () =
-    stats.Stats.ddr_accesses <- stats.Stats.ddr_accesses + 1;
+    Stats.incr_ddr_accesses stats;
     c.ddr_cycles
   in
   let through_cache cache =
@@ -128,7 +144,7 @@ let invalidate_sharers t ~writer ~va ~time ~stats =
           (* Evict by filling the slot with a poison tag: reinsert of the
              same line later will miss. *)
           Cache.invalidate t.l1s.(node) va;
-          stats.Stats.invalidations <- stats.Stats.invalidations + 1
+          Stats.incr_invalidations stats
         end)
       holders;
     Hashtbl.replace t.sharers line [ writer ]
@@ -148,7 +164,7 @@ let prefetch_next t ~node ~va ~time ~stats =
       Cache.insert t.l2s.(home) pa;
       Cache.insert t.l1s.(node) next_va;
       note_sharer t ~node ~va:next_va;
-      stats.Stats.prefetches <- stats.Stats.prefetches + 1
+      Stats.incr_prefetches stats
     end
   end
 
@@ -175,17 +191,20 @@ let load t ~node ~va ~bytes ~time ~stats =
     else false)
   in
   if l1_hit then begin
-    stats.Stats.l1_hits <- stats.Stats.l1_hits + 1;
+    Stats.incr_l1_hits stats;
+    Metrics.vadd t.m_l1_hits node 1;
     { arrival = time + c.l1_hit_cycles; l1_hit = true; l2_hit = None }
   end
   else begin
-    stats.Stats.l1_misses <- stats.Stats.l1_misses + 1;
+    Stats.incr_l1_misses stats;
+    Metrics.vadd t.m_l1_misses node 1;
     let pa = translate t va in
     let home = Snuca.home_node t.snuca pa in
     let at_home = Network.send t.network ~time ~src:node ~dst:home ~bytes:request_bytes ~stats in
     let l2 = t.l2s.(home) in
     if Cache.access l2 pa then begin
-      stats.Stats.l2_hits <- stats.Stats.l2_hits + 1;
+      Stats.incr_l2_hits stats;
+      Metrics.vadd t.m_l2_bank_hits home 1;
       let ready = at_home + c.l2_hit_cycles in
       let arrival = Network.send t.network ~time:ready ~src:home ~dst:node ~bytes:fill_bytes ~stats in
       Cache.insert t.l1s.(node) va;
@@ -194,8 +213,10 @@ let load t ~node ~va ~bytes ~time ~stats =
       { arrival = arrival + c.l1_hit_cycles; l1_hit = false; l2_hit = Some true }
     end
     else begin
-      stats.Stats.l2_misses <- stats.Stats.l2_misses + 1;
+      Stats.incr_l2_misses stats;
+      Metrics.vadd t.m_l2_bank_misses home 1;
       let mc = mc_for t ~va ~pa in
+      Metrics.vadd t.m_mc_requests mc 1;
       let tag_checked = at_home + c.l2_hit_cycles in
       let at_mc =
         Network.send t.network ~time:tag_checked ~src:home ~dst:mc ~bytes:request_bytes ~stats

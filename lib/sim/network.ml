@@ -1,3 +1,6 @@
+module Metrics = Ndp_obs.Metrics
+module Trace = Ndp_obs.Trace
+
 type t = {
   mesh : Ndp_noc.Mesh.t;
   config : Config.t;
@@ -7,6 +10,10 @@ type t = {
      makes contention independent of processing order. *)
   util : (int * int, int) Hashtbl.t; (* (link index, epoch) -> busy cycles *)
   mutable distance_factor : float;
+  link_flits : Metrics.vec; (* noc.link_flits{from->to}, indexed by link id *)
+  link_busy : Metrics.vec; (* noc.link_busy_cycles{from->to} *)
+  msg_latency : Metrics.histogram;
+  trace : Trace.t;
 }
 
 let epoch_bits = 8
@@ -15,9 +22,35 @@ let epoch_bits = 8
 
 let epoch_span = 1 lsl epoch_bits
 
-let create (config : Config.t) =
+(* Render link [idx] as "x,y->x,y". Built once per network: [link_index]
+   is dense, so a reverse table keyed by index serves every label. *)
+let link_labeler mesh =
+  let labels = Array.make (Ndp_noc.Mesh.num_links mesh) "?" in
+  List.iter
+    (fun (link : Ndp_noc.Mesh.link) ->
+      let c n =
+        let { Ndp_noc.Coord.x; y } = Ndp_noc.Mesh.coord_of_node mesh n in
+        Printf.sprintf "%d,%d" x y
+      in
+      labels.(Ndp_noc.Mesh.link_index mesh link) <-
+        Printf.sprintf "%s->%s" (c link.Ndp_noc.Mesh.from_node) (c link.Ndp_noc.Mesh.to_node))
+    (Ndp_noc.Mesh.links mesh);
+  fun i -> labels.(i)
+
+let create ?(obs = Ndp_obs.Sink.none) (config : Config.t) =
   let mesh = Config.mesh config in
-  { mesh; config; util = Hashtbl.create 4096; distance_factor = 1.0 }
+  let label = link_labeler mesh in
+  let n = Ndp_noc.Mesh.num_links mesh in
+  {
+    mesh;
+    config;
+    util = Hashtbl.create 4096;
+    distance_factor = 1.0;
+    link_flits = Metrics.vec obs.Ndp_obs.Sink.metrics "noc.link_flits" ~size:n ~label;
+    link_busy = Metrics.vec obs.Ndp_obs.Sink.metrics "noc.link_busy_cycles" ~size:n ~label;
+    msg_latency = Metrics.histogram obs.Ndp_obs.Sink.metrics "noc.msg_latency";
+    trace = obs.Ndp_obs.Sink.trace;
+  }
 
 let set_distance_factor t f =
   if f < 0.0 || f > 1.0 then invalid_arg "Network.set_distance_factor: factor must be in [0,1]";
@@ -45,17 +78,20 @@ let send t ~time ~src ~dst ~bytes ~stats =
       let key = (idx, now lsr epoch_bits) in
       let load = Option.value (Hashtbl.find_opt t.util key) ~default:0 in
       Hashtbl.replace t.util key (load + service);
+      Metrics.vadd t.link_flits idx flits;
+      Metrics.vadd t.link_busy idx service;
       (* Queueing: demand beyond the epoch's capacity waits. *)
       let wait = max 0 (load + service - epoch_span) in
       now + t.config.Config.hop_cycles + (service - 1) + wait
     in
     let arrival = List.fold_left traverse time route in
     let hops = List.length route in
-    stats.Stats.hops <- stats.Stats.hops + (hops * flits);
-    stats.Stats.messages <- stats.Stats.messages + 1;
+    Stats.add_hops stats (hops * flits);
+    Stats.incr_messages stats;
     let latency = arrival - time in
-    stats.Stats.latency_sum <- stats.Stats.latency_sum + latency;
-    if latency > stats.Stats.latency_max then stats.Stats.latency_max <- latency;
+    Stats.note_latency stats latency;
+    Metrics.observe t.msg_latency (float_of_int latency);
+    Trace.message t.trace ~src ~dst ~depart:time ~arrival ~bytes;
     arrival
   end
 

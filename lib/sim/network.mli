@@ -8,7 +8,12 @@
 
 type t
 
-val create : Config.t -> t
+val create : ?obs:Ndp_obs.Sink.t -> Config.t -> t
+(** With [obs], every traversal bumps per-link flit/busy counters
+    ([noc.link_flits{x,y->x,y}], [noc.link_busy_cycles{...}]), message
+    latencies feed the [noc.msg_latency] histogram, and each message emits
+    a trace event. Disabled by default; observability never changes
+    arrival times or [stats]. *)
 
 val send : t -> time:int -> src:int -> dst:int -> bytes:int -> stats:Stats.t -> int
 (** Inject a message; returns its arrival time at [dst]. A [src = dst]

@@ -1,65 +1,215 @@
+module Metrics = Ndp_obs.Metrics
+
+(* Each field is a registry-backed counter so one metrics dump can carry
+   the aggregate stats next to the per-structure families. Counting must
+   never depend on whether observability is enabled, so when the caller's
+   registry is absent or disabled the counters are registered in a private
+   always-enabled one. *)
 type t = {
-  mutable l1_hits : int;
-  mutable l1_misses : int;
-  mutable l2_hits : int;
-  mutable l2_misses : int;
-  mutable mcdram_accesses : int;
-  mutable ddr_accesses : int;
-  mutable hops : int;
-  mutable messages : int;
-  mutable latency_sum : int;
-  mutable latency_max : int;
-  mutable ops : int;
-  mutable syncs : int;
-  mutable tasks : int;
-  mutable finish_time : int;
-  mutable load_wait : int;
-  mutable result_wait : int;
-  mutable invalidations : int;
-  mutable prefetches : int;
+  l1_hits : Metrics.counter;
+  l1_misses : Metrics.counter;
+  l2_hits : Metrics.counter;
+  l2_misses : Metrics.counter;
+  mcdram_accesses : Metrics.counter;
+  ddr_accesses : Metrics.counter;
+  hops : Metrics.counter;
+  messages : Metrics.counter;
+  latency_sum : Metrics.counter;
+  latency_max : Metrics.counter;
+  ops : Metrics.counter;
+  syncs : Metrics.counter;
+  tasks : Metrics.counter;
+  finish_time : Metrics.counter;
+  load_wait : Metrics.counter;
+  result_wait : Metrics.counter;
+  invalidations : Metrics.counter;
+  prefetches : Metrics.counter;
 }
 
-let create () =
+let create ?metrics () =
+  let reg =
+    match metrics with
+    | Some r when Metrics.enabled r -> r
+    | Some _ | None -> Metrics.create ()
+  in
+  let c name = Metrics.counter reg ("sim." ^ name) in
   {
-    l1_hits = 0;
-    l1_misses = 0;
-    l2_hits = 0;
-    l2_misses = 0;
-    mcdram_accesses = 0;
-    ddr_accesses = 0;
-    hops = 0;
-    messages = 0;
-    latency_sum = 0;
-    latency_max = 0;
-    ops = 0;
-    syncs = 0;
-    tasks = 0;
-    finish_time = 0;
-    load_wait = 0;
-    result_wait = 0;
-    invalidations = 0;
-    prefetches = 0;
+    l1_hits = c "l1_hits";
+    l1_misses = c "l1_misses";
+    l2_hits = c "l2_hits";
+    l2_misses = c "l2_misses";
+    mcdram_accesses = c "mcdram_accesses";
+    ddr_accesses = c "ddr_accesses";
+    hops = c "hops";
+    messages = c "messages";
+    latency_sum = c "latency_sum";
+    latency_max = c "latency_max";
+    ops = c "ops";
+    syncs = c "syncs";
+    tasks = c "tasks";
+    finish_time = c "finish_time";
+    load_wait = c "load_wait";
+    result_wait = c "result_wait";
+    invalidations = c "invalidations";
+    prefetches = c "prefetches";
   }
 
-let copy t = { t with l1_hits = t.l1_hits }
+let l1_hits t = Metrics.counter_value t.l1_hits
+let l1_misses t = Metrics.counter_value t.l1_misses
+let l2_hits t = Metrics.counter_value t.l2_hits
+let l2_misses t = Metrics.counter_value t.l2_misses
+let mcdram_accesses t = Metrics.counter_value t.mcdram_accesses
+let ddr_accesses t = Metrics.counter_value t.ddr_accesses
+let hops t = Metrics.counter_value t.hops
+let messages t = Metrics.counter_value t.messages
+let latency_sum t = Metrics.counter_value t.latency_sum
+let latency_max t = Metrics.counter_value t.latency_max
+let ops t = Metrics.counter_value t.ops
+let syncs t = Metrics.counter_value t.syncs
+let tasks t = Metrics.counter_value t.tasks
+let finish_time t = Metrics.counter_value t.finish_time
+let load_wait t = Metrics.counter_value t.load_wait
+let result_wait t = Metrics.counter_value t.result_wait
+let invalidations t = Metrics.counter_value t.invalidations
+let prefetches t = Metrics.counter_value t.prefetches
+
+let to_alist t =
+  [
+    ("l1_hits", l1_hits t);
+    ("l1_misses", l1_misses t);
+    ("l2_hits", l2_hits t);
+    ("l2_misses", l2_misses t);
+    ("mcdram_accesses", mcdram_accesses t);
+    ("ddr_accesses", ddr_accesses t);
+    ("hops", hops t);
+    ("messages", messages t);
+    ("latency_sum", latency_sum t);
+    ("latency_max", latency_max t);
+    ("ops", ops t);
+    ("syncs", syncs t);
+    ("tasks", tasks t);
+    ("finish_time", finish_time t);
+    ("load_wait", load_wait t);
+    ("result_wait", result_wait t);
+    ("invalidations", invalidations t);
+    ("prefetches", prefetches t);
+  ]
+
+let equal a b = to_alist a = to_alist b
+
+let copy t =
+  let s = create () in
+  Metrics.add s.l1_hits (l1_hits t);
+  Metrics.add s.l1_misses (l1_misses t);
+  Metrics.add s.l2_hits (l2_hits t);
+  Metrics.add s.l2_misses (l2_misses t);
+  Metrics.add s.mcdram_accesses (mcdram_accesses t);
+  Metrics.add s.ddr_accesses (ddr_accesses t);
+  Metrics.add s.hops (hops t);
+  Metrics.add s.messages (messages t);
+  Metrics.add s.latency_sum (latency_sum t);
+  Metrics.add s.latency_max (latency_max t);
+  Metrics.add s.ops (ops t);
+  Metrics.add s.syncs (syncs t);
+  Metrics.add s.tasks (tasks t);
+  Metrics.add s.finish_time (finish_time t);
+  Metrics.add s.load_wait (load_wait t);
+  Metrics.add s.result_wait (result_wait t);
+  Metrics.add s.invalidations (invalidations t);
+  Metrics.add s.prefetches (prefetches t);
+  s
+
+let incr_l1_hits t = Metrics.incr t.l1_hits
+let incr_l1_misses t = Metrics.incr t.l1_misses
+let incr_l2_hits t = Metrics.incr t.l2_hits
+let incr_l2_misses t = Metrics.incr t.l2_misses
+let incr_mcdram_accesses t = Metrics.incr t.mcdram_accesses
+let incr_ddr_accesses t = Metrics.incr t.ddr_accesses
+let add_hops t n = Metrics.add t.hops n
+let incr_messages t = Metrics.incr t.messages
+
+let raise_to c v =
+  let cur = Metrics.counter_value c in
+  if v > cur then Metrics.add c (v - cur)
+
+let note_latency t l =
+  Metrics.add t.latency_sum l;
+  raise_to t.latency_max l
+
+let add_ops t n = Metrics.add t.ops n
+let add_syncs t n = Metrics.add t.syncs n
+let incr_tasks t = Metrics.incr t.tasks
+let note_finish t cycle = raise_to t.finish_time cycle
+let add_load_wait t n = Metrics.add t.load_wait n
+let add_result_wait t n = Metrics.add t.result_wait n
+let incr_invalidations t = Metrics.incr t.invalidations
+let incr_prefetches t = Metrics.incr t.prefetches
+
+type legacy = {
+  l1_hits : int;
+  l1_misses : int;
+  l2_hits : int;
+  l2_misses : int;
+  mcdram_accesses : int;
+  ddr_accesses : int;
+  hops : int;
+  messages : int;
+  latency_sum : int;
+  latency_max : int;
+  ops : int;
+  syncs : int;
+  tasks : int;
+  finish_time : int;
+  load_wait : int;
+  result_wait : int;
+  invalidations : int;
+  prefetches : int;
+}
+
+let legacy_of t =
+  {
+    l1_hits = l1_hits t;
+    l1_misses = l1_misses t;
+    l2_hits = l2_hits t;
+    l2_misses = l2_misses t;
+    mcdram_accesses = mcdram_accesses t;
+    ddr_accesses = ddr_accesses t;
+    hops = hops t;
+    messages = messages t;
+    latency_sum = latency_sum t;
+    latency_max = latency_max t;
+    ops = ops t;
+    syncs = syncs t;
+    tasks = tasks t;
+    finish_time = finish_time t;
+    load_wait = load_wait t;
+    result_wait = result_wait t;
+    invalidations = invalidations t;
+    prefetches = prefetches t;
+  }
 
 let rate hits misses =
   let total = hits + misses in
   if total = 0 then 0.0 else float_of_int hits /. float_of_int total
 
-let l1_hit_rate t = rate t.l1_hits t.l1_misses
+let l1_hit_rate t = rate (l1_hits t) (l1_misses t)
 
-let l2_hit_rate t = rate t.l2_hits t.l2_misses
+let l2_hit_rate t = rate (l2_hits t) (l2_misses t)
 
 let avg_latency t =
-  if t.messages = 0 then 0.0 else float_of_int t.latency_sum /. float_of_int t.messages
+  if messages t = 0 then 0.0 else float_of_int (latency_sum t) /. float_of_int (messages t)
 
 let pp ppf t =
+  (* An empty-message run has no meaningful average latency: print "-"
+     rather than a division artifact. *)
+  let avg = if messages t = 0 then "-" else Printf.sprintf "%.1f" (avg_latency t) in
   Format.fprintf ppf
-    "@[<v>L1 %d/%d (%.1f%%)@ L2 %d/%d (%.1f%%)@ hops %d, msgs %d, avg lat %.1f, max lat %d@ \
+    "@[<v>L1 %d/%d (%.1f%%)@ L2 %d/%d (%.1f%%)@ hops %d, msgs %d, avg lat %s, max lat %d@ \
      ops %d, syncs %d, tasks %d, finish %d@]"
-    t.l1_hits (t.l1_hits + t.l1_misses)
+    (l1_hits t)
+    (l1_hits t + l1_misses t)
     (100.0 *. l1_hit_rate t)
-    t.l2_hits (t.l2_hits + t.l2_misses)
+    (l2_hits t)
+    (l2_hits t + l2_misses t)
     (100.0 *. l2_hit_rate t)
-    t.hops t.messages (avg_latency t) t.latency_max t.ops t.syncs t.tasks t.finish_time
+    (hops t) (messages t) avg (latency_max t) (ops t) (syncs t) (tasks t) (finish_time t)

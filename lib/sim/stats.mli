@@ -1,34 +1,134 @@
-(** Counters collected by the execution engine. *)
+(** Aggregate counters collected by the execution engine.
 
-type t = {
-  mutable l1_hits : int;
-  mutable l1_misses : int;
-  mutable l2_hits : int;
-  mutable l2_misses : int;
-  mutable mcdram_accesses : int;
-  mutable ddr_accesses : int;
-  mutable hops : int; (** total link traversals weighted by flits *)
-  mutable messages : int;
-  mutable latency_sum : int; (** network latency across all messages *)
-  mutable latency_max : int;
-  mutable ops : int; (** weighted operation units executed *)
-  mutable syncs : int; (** point-to-point synchronizations performed *)
-  mutable tasks : int;
-  mutable finish_time : int; (** simulated completion cycle *)
-  mutable load_wait : int; (** cycles tasks waited on memory operands *)
-  mutable result_wait : int; (** cycles tasks waited on partial results *)
-  mutable invalidations : int; (** L1 copies killed by remote stores *)
-  mutable prefetches : int; (** next-line prefetch fills issued *)
-}
+    The type is opaque: readers go through the named accessors or
+    {!to_alist}, writers through the typed bump functions. Internally each
+    counter is an [Ndp_obs.Metrics] instrument — pass [?metrics] at
+    {!create} to register them (under [sim.*] names) in a caller-owned
+    registry, so one [Metrics.to_alist] dump interleaves the aggregate
+    stats with the per-link / per-node / per-bank families the subsystems
+    register in the same registry. Counting is always on: a disabled (or
+    absent) registry changes where the counters live, never whether they
+    count. *)
 
-val create : unit -> t
+type t
+
+val create : ?metrics:Ndp_obs.Metrics.t -> unit -> t
+(** Fresh zeroed counters. When [metrics] is given and enabled, the
+    counters are registered in it as [sim.l1_hits], [sim.hops], ...;
+    otherwise they live in a private registry. *)
 
 val copy : t -> t
+(** A detached snapshot (backed by a private registry). *)
+
+(** {1 Accessors} *)
+
+val l1_hits : t -> int
+val l1_misses : t -> int
+val l2_hits : t -> int
+val l2_misses : t -> int
+val mcdram_accesses : t -> int
+val ddr_accesses : t -> int
+
+val hops : t -> int
+(** Total link traversals weighted by flits. *)
+
+val messages : t -> int
+
+val latency_sum : t -> int
+(** Network latency summed across all messages. *)
+
+val latency_max : t -> int
+
+val ops : t -> int
+(** Weighted operation units executed. *)
+
+val syncs : t -> int
+(** Point-to-point synchronizations performed. *)
+
+val tasks : t -> int
+
+val finish_time : t -> int
+(** Simulated completion cycle. *)
+
+val load_wait : t -> int
+(** Cycles tasks waited on memory operands. *)
+
+val result_wait : t -> int
+(** Cycles tasks waited on partial results. *)
+
+val invalidations : t -> int
+(** L1 copies killed by remote stores. *)
+
+val prefetches : t -> int
+(** Next-line prefetch fills issued. *)
 
 val l1_hit_rate : t -> float
 
 val l2_hit_rate : t -> float
 
 val avg_latency : t -> float
+(** 0.0 when no messages were sent. *)
+
+val to_alist : t -> (string * int) list
+(** Every counter as [(name, value)], in a fixed documented order
+    (the declaration order above, [l1_hits] first). *)
+
+val equal : t -> t -> bool
+(** All counters equal — the metrics-on/off determinism check. *)
+
+(** {1 Bumps (simulator-internal writers)} *)
+
+val incr_l1_hits : t -> unit
+val incr_l1_misses : t -> unit
+val incr_l2_hits : t -> unit
+val incr_l2_misses : t -> unit
+val incr_mcdram_accesses : t -> unit
+val incr_ddr_accesses : t -> unit
+val add_hops : t -> int -> unit
+val incr_messages : t -> unit
+
+val note_latency : t -> int -> unit
+(** Adds to [latency_sum] and raises [latency_max]. *)
+
+val add_ops : t -> int -> unit
+val add_syncs : t -> int -> unit
+val incr_tasks : t -> unit
+
+val note_finish : t -> int -> unit
+(** Raises [finish_time] to the given cycle if later. *)
+
+val add_load_wait : t -> int -> unit
+val add_result_wait : t -> int -> unit
+val incr_invalidations : t -> unit
+val incr_prefetches : t -> unit
+
+(** {1 Legacy bridge — removed next PR} *)
+
+type legacy = {
+  l1_hits : int;
+  l1_misses : int;
+  l2_hits : int;
+  l2_misses : int;
+  mcdram_accesses : int;
+  ddr_accesses : int;
+  hops : int;
+  messages : int;
+  latency_sum : int;
+  latency_max : int;
+  ops : int;
+  syncs : int;
+  tasks : int;
+  finish_time : int;
+  load_wait : int;
+  result_wait : int;
+  invalidations : int;
+  prefetches : int;
+}
+
+val legacy_of : t -> legacy
+(** Immutable field-level snapshot kept for one PR while external readers
+    migrate to the accessors; prefer those. *)
 
 val pp : Format.formatter -> t -> unit
+(** Human summary. Average latency renders as ["-"] on runs with no
+    messages (never ["nan"]). *)

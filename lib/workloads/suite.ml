@@ -18,7 +18,12 @@ let all () = List.map (fun (_, build) -> build ()) builders
 
 let names = List.map fst builders
 
+(* Aliases accepted by [find] but not listed in [names]: "mg" is the
+   conventional NPB-style name for the multigrid solver (ocean). *)
+let aliases = [ ("mg", "ocean") ]
+
 let find name =
+  let name = Option.value (List.assoc_opt name aliases) ~default:name in
   match List.assoc_opt name builders with
   | Some build -> build ()
   | None -> raise Not_found

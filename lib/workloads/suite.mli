@@ -7,4 +7,5 @@ val all : unit -> Ndp_core.Kernel.t list
 val names : string list
 
 val find : string -> Ndp_core.Kernel.t
-(** Raises [Not_found] for unknown application names. *)
+(** Raises [Not_found] for unknown application names. Also accepts the
+    alias ["mg"] for the multigrid solver (["ocean"]). *)

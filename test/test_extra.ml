@@ -37,9 +37,9 @@ let engine_finish_time_monotone () =
   let engine = Ndp_sim.Engine.create m in
   let mk id node = Task.make ~id ~group:0 ~node ~ops:[ Ndp_ir.Op.Add ] ~operands:[] ~label:"t" () in
   Ndp_sim.Engine.run engine [ mk 0 1 ];
-  let f1 = (Ndp_sim.Engine.stats engine).Ndp_sim.Stats.finish_time in
+  let f1 = (Ndp_sim.Stats.finish_time (Ndp_sim.Engine.stats engine)) in
   Ndp_sim.Engine.run engine [ mk 1 1; mk 2 2 ];
-  let f2 = (Ndp_sim.Engine.stats engine).Ndp_sim.Stats.finish_time in
+  let f2 = (Ndp_sim.Stats.finish_time (Ndp_sim.Engine.stats engine)) in
   Alcotest.(check bool) "monotone" true (f2 >= f1);
   Alcotest.(check int) "elapsed matches max clock" f2 (Ndp_sim.Engine.elapsed engine)
 
@@ -48,7 +48,7 @@ let group_hops_sum_to_total () =
   let o = P.run (P.Partitioned P.partitioned_defaults) k in
   let per_group = Array.fold_left ( + ) 0 o.P.group_hops in
   Alcotest.(check int) "per-statement hops sum to the run total"
-    o.P.stats.Ndp_sim.Stats.hops per_group
+    (Ndp_sim.Stats.hops o.P.stats) per_group
 
 let adaptive_matches_its_fixed_choice () =
   (* Running with the window size the adaptive search chose must give the
@@ -161,7 +161,7 @@ let qcheck_route_distance_factor_shortens =
       let s1 = Ndp_sim.Stats.create () and s2 = Ndp_sim.Stats.create () in
       let t_full = Ndp_sim.Network.send full ~time:0 ~src ~dst ~bytes:64 ~stats:s1 in
       let t_half = Ndp_sim.Network.send half ~time:0 ~src ~dst ~bytes:64 ~stats:s2 in
-      t_half <= t_full && s2.Ndp_sim.Stats.hops <= s1.Ndp_sim.Stats.hops)
+      t_half <= t_full && (Ndp_sim.Stats.hops s2) <= (Ndp_sim.Stats.hops s1))
 
 let tests =
   [

@@ -2,4 +2,5 @@ let () =
   Alcotest.run "ndp"
     (Test_prelude.tests @ Test_graph.tests @ Test_noc.tests @ Test_mem.tests
     @ Test_ir.tests @ Test_sim.tests @ Test_core.tests @ Test_workloads.tests
-    @ Test_pipeline.tests @ Test_pool.tests @ Test_analysis.tests @ Test_extra.tests)
+    @ Test_pipeline.tests @ Test_pool.tests @ Test_analysis.tests @ Test_obs.tests
+    @ Test_extra.tests)

@@ -37,7 +37,7 @@ let scrambled_diverges () =
   Alcotest.(check int) "compiler assumes identity" va (Page_alloc.compiler_view pa va)
 
 let cache_hit_after_fill () =
-  let c = Cache.create ~size_bytes:1024 ~assoc:2 ~line_bytes:64 in
+  let c = Cache.create ~size_bytes:1024 ~assoc:2 ~line_bytes:64 () in
   Alcotest.(check bool) "cold miss" false (Cache.access c 0);
   Alcotest.(check bool) "hit after fill" true (Cache.access c 32);
   Alcotest.(check int) "one hit" 1 (Cache.hits c);
@@ -45,7 +45,7 @@ let cache_hit_after_fill () =
 
 let cache_lru_eviction () =
   (* 2-way, 8 sets: three lines in the same set evict the least recent. *)
-  let c = Cache.create ~size_bytes:1024 ~assoc:2 ~line_bytes:64 in
+  let c = Cache.create ~size_bytes:1024 ~assoc:2 ~line_bytes:64 () in
   let stride = 8 * 64 in
   ignore (Cache.access c 0);
   ignore (Cache.access c stride);
@@ -55,12 +55,12 @@ let cache_lru_eviction () =
   Alcotest.(check bool) "line stride evicted" false (Cache.probe c stride)
 
 let cache_probe_pure () =
-  let c = Cache.create ~size_bytes:1024 ~assoc:2 ~line_bytes:64 in
+  let c = Cache.create ~size_bytes:1024 ~assoc:2 ~line_bytes:64 () in
   Alcotest.(check bool) "probe miss" false (Cache.probe c 0);
   Alcotest.(check int) "probe does not count" 0 (Cache.hits c + Cache.misses c)
 
 let cache_clear () =
-  let c = Cache.create ~size_bytes:1024 ~assoc:2 ~line_bytes:64 in
+  let c = Cache.create ~size_bytes:1024 ~assoc:2 ~line_bytes:64 () in
   ignore (Cache.access c 0);
   Cache.clear c;
   Alcotest.(check bool) "cleared" false (Cache.probe c 0);
@@ -70,7 +70,7 @@ let qcheck_cache_capacity =
   QCheck.Test.make ~name:"cache never holds more lines than capacity" ~count:50
     QCheck.(list_of_size Gen.(1 -- 200) (int_bound 10000))
     (fun addrs ->
-      let c = Cache.create ~size_bytes:512 ~assoc:2 ~line_bytes:64 in
+      let c = Cache.create ~size_bytes:512 ~assoc:2 ~line_bytes:64 () in
       List.iter (fun a -> ignore (Cache.access c a)) addrs;
       let distinct_lines = List.sort_uniq compare (List.map (fun a -> a / 64) addrs) in
       let resident = List.filter (fun l -> Cache.probe c (l * 64)) distinct_lines in
@@ -113,7 +113,7 @@ let predictor_accuracy_tracking () =
   Alcotest.(check (float 1e-9)) "half right" 0.5 (Miss_predictor.accuracy p)
 
 let cache_invalidate () =
-  let c = Cache.create ~size_bytes:1024 ~assoc:2 ~line_bytes:64 in
+  let c = Cache.create ~size_bytes:1024 ~assoc:2 ~line_bytes:64 () in
   ignore (Cache.access c 0);
   Cache.invalidate c 32;
   Alcotest.(check bool) "line gone" false (Cache.probe c 0);

@@ -1,0 +1,372 @@
+(* Observability subsystem: registry semantics, sharded-merge determinism
+   under the pool, trace ring behaviour, Chrome-JSON well-formedness, and
+   the no-perturbation guarantee (observed runs byte-identical to
+   unobserved ones). *)
+
+module M = Ndp_obs.Metrics
+module T = Ndp_obs.Trace
+module Sink = Ndp_obs.Sink
+module P = Ndp_core.Pipeline
+module Stats = Ndp_sim.Stats
+module Pool = Ndp_prelude.Pool
+
+let water () = Ndp_workloads.Suite.find "water"
+
+(* {1 A minimal JSON reader}
+
+   Enough of RFC 8259 to validate the tracer's output without a JSON
+   dependency: objects, arrays, strings with the common escapes, numbers,
+   literals. Raises [Failure] on malformed input. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = failwith (Printf.sprintf "json: %s at offset %d" msg !pos) in
+    let peek () = if !pos < n then s.[!pos] else '\000' in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws () | _ -> ()
+    in
+    let expect c = if peek () = c then advance () else fail (Printf.sprintf "expected %c" c) in
+    let literal word v =
+      String.iter expect word;
+      v
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | '\000' -> fail "unterminated string"
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (match peek () with
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+            (* keep validation simple: skip the four hex digits *)
+            for _ = 1 to 4 do
+              advance ();
+              match peek () with
+              | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
+              | _ -> fail "bad \\u escape"
+            done;
+            Buffer.add_char b '?'
+          | c -> Buffer.add_char b c);
+          advance ();
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while num_char (peek ()) do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then (advance (); Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); members ((key, v) :: acc)
+            | '}' -> advance (); Obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          members []
+      | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then (advance (); Arr [])
+        else
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); elements (v :: acc)
+            | ']' -> advance (); Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          elements []
+      | '"' -> Str (parse_string ())
+      | 't' -> literal "true" (Bool true)
+      | 'f' -> literal "false" (Bool false)
+      | 'n' -> literal "null" Null
+      | _ -> parse_number ()
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+  let str = function Some (Str s) -> s | _ -> failwith "json: expected string"
+
+  let num = function Some (Num f) -> f | _ -> failwith "json: expected number"
+end
+
+(* {1 Registry} *)
+
+let registry_instruments () =
+  let reg = M.create () in
+  let c = M.counter reg "a.count" in
+  M.add c 5;
+  M.incr c;
+  Alcotest.(check int) "counter value" 6 (M.counter_value c);
+  let v = M.vec reg "a.vec" ~size:3 ~label:(fun i -> Printf.sprintf "slot=%d" i) in
+  M.vadd v 0 2;
+  M.vadd v 2 7;
+  M.vadd v 99 1 (* out of range: ignored *);
+  Alcotest.(check int) "vec slot" 7 (M.vec_value v 2);
+  let g = M.gauge reg "a.gauge" in
+  M.set_gauge g 1.5;
+  M.gauge_fn reg "a.derived" (fun () -> 42.0);
+  let h = M.histogram reg "a.hist" in
+  M.observe h 3.0;
+  M.observe h 5.0;
+  let names = List.map fst (M.to_alist reg) in
+  Alcotest.(check (list string)) "exploded, name-sorted"
+    [ "a.count"; "a.derived"; "a.gauge"; "a.hist"; "a.vec{slot=0}"; "a.vec{slot=2}" ]
+    names;
+  (match M.find reg "a.vec{slot=2}" with
+  | Some (M.Counter_v 7) -> ()
+  | _ -> Alcotest.fail "find on exploded vec slot");
+  match M.find reg "a.hist" with
+  | Some (M.Histogram_v h) ->
+    Alcotest.(check int) "hist count" 2 h.count;
+    Alcotest.(check (float 1e-9)) "hist sum" 8.0 h.sum
+  | _ -> Alcotest.fail "find histogram"
+
+let registry_same_name_same_handle () =
+  let reg = M.create () in
+  let a = M.counter reg "x" and b = M.counter reg "x" in
+  M.add a 3;
+  M.add b 4;
+  Alcotest.(check int) "shared storage" 7 (M.counter_value a)
+
+let disabled_inert () =
+  Alcotest.(check bool) "disabled flag" false (M.enabled M.disabled);
+  let c = M.counter M.disabled "dead.count" in
+  let v = M.vec M.disabled "dead.vec" ~size:4 ~label:string_of_int in
+  let h = M.histogram M.disabled "dead.hist" in
+  M.add c 10;
+  M.vadd v 1 10;
+  M.observe h 10.0;
+  M.set_gauge (M.gauge M.disabled "dead.gauge") 1.0;
+  Alcotest.(check int) "dead counter stays zero" 0 (M.counter_value c);
+  Alcotest.(check (list string)) "nothing registered" [] (List.map fst (M.to_alist M.disabled))
+
+let merge_counters_commute () =
+  let build bumps =
+    let reg = M.create () in
+    List.iter
+      (fun (name, v) -> M.add (M.counter reg name) v)
+      bumps;
+    reg
+  in
+  let a = build [ ("x", 1); ("y", 2) ] in
+  let b = build [ ("y", 40); ("z", 5) ] in
+  let c = build [ ("x", 100) ] in
+  let totals regs =
+    List.filter_map
+      (fun (name, s) -> match s with M.Counter_v v -> Some (name, v) | _ -> None)
+      (M.to_alist (M.merge regs))
+  in
+  let expected = [ ("x", 101); ("y", 42); ("z", 5) ] in
+  Alcotest.(check (list (pair string int))) "abc" expected (totals [ a; b; c ]);
+  Alcotest.(check (list (pair string int))) "cba" expected (totals [ c; b; a ])
+
+let sharded_pool_deterministic () =
+  let items = List.init 100 (fun i -> i + 1) in
+  let collect jobs =
+    let sh = M.Sharded.create () in
+    Pool.with_pool ~jobs (fun pool ->
+        Pool.parallel_iter pool
+          (fun i ->
+            let reg = M.Sharded.local sh in
+            M.add (M.counter reg "sum") i;
+            M.vadd (M.vec reg "mod" ~size:8 ~label:(fun s -> Printf.sprintf "r=%d" s)) (i mod 8) 1)
+          items);
+    List.filter_map
+      (fun (name, s) -> match s with M.Counter_v v -> Some (name, v) | _ -> None)
+      (M.to_alist (M.Sharded.merged sh))
+  in
+  let serial = collect 1 in
+  Alcotest.(check (list (pair string int))) "serial total"
+    (List.init 8 (fun r ->
+         (* items 1..100 mod 8: residues 1..4 appear 13 times, the rest 12 *)
+         (Printf.sprintf "mod{r=%d}" r), if r >= 1 && r <= 4 then 13 else 12)
+    @ [ ("sum", 5050) ])
+    (List.sort compare serial);
+  Alcotest.(check (list (pair string int))) "4 jobs == serial" serial (collect 4);
+  Alcotest.(check (list (pair string int))) "7 jobs == serial" serial (collect 7)
+
+(* {1 Tracer} *)
+
+let ring_overflow () =
+  let t = T.create ~capacity:4 () in
+  for i = 0 to 9 do
+    T.task t ~name:"t" ~node:0 ~start:i ~finish:(i + 1) ~id:i ~group:0
+  done;
+  Alcotest.(check int) "length" 4 (T.length t);
+  Alcotest.(check int) "total" 10 (T.total t);
+  Alcotest.(check int) "dropped" 6 (T.dropped t);
+  Alcotest.(check (list int)) "newest survive" [ 6; 7; 8; 9 ]
+    (List.map (fun (e : T.event) -> e.T.id) (T.events t))
+
+let trace_chrome_well_formed () =
+  let obs = Sink.create ~metrics:true ~trace:true () in
+  let r = P.run ~obs (P.Partitioned P.partitioned_defaults) (water ()) in
+  Alcotest.(check int) "nothing dropped" 0 (T.dropped obs.Sink.trace);
+  let doc = Json.parse (T.to_chrome obs.Sink.trace) in
+  let events =
+    match Json.member "traceEvents" doc with
+    | Some (Json.Arr es) -> es
+    | _ -> Alcotest.fail "traceEvents array missing"
+  in
+  Alcotest.(check bool) "events present" true (events <> []);
+  let last_ts = ref (-1.0) in
+  let tasks = ref 0 in
+  let max_task_end = ref 0.0 in
+  List.iter
+    (fun e ->
+      let ts = Json.num (Json.member "ts" e) in
+      Alcotest.(check bool) "ts monotone" true (ts >= !last_ts);
+      last_ts := ts;
+      match Json.str (Json.member "ph" e) with
+      | "X" ->
+        let dur = Json.num (Json.member "dur" e) in
+        Alcotest.(check bool) "dur non-negative" true (dur >= 0.0);
+        if Json.str (Json.member "cat" e) = "task" then begin
+          incr tasks;
+          if ts +. dur > !max_task_end then max_task_end := ts +. dur
+        end
+      | "i" -> Alcotest.(check string) "sync cat" "sync" (Json.str (Json.member "cat" e))
+      | ph -> Alcotest.fail ("unexpected phase " ^ ph))
+    events;
+  (* The trace must reconcile with the aggregate stats: one complete event
+     per executed task, ending at the simulated finish time. *)
+  Alcotest.(check int) "task events == Stats.tasks" (Stats.tasks r.P.stats) !tasks;
+  Alcotest.(check int) "last task ends at finish_time" (Stats.finish_time r.P.stats)
+    (int_of_float !max_task_end)
+
+let trace_jsonl_lines_parse () =
+  let obs = Sink.create ~metrics:false ~trace:true () in
+  ignore (P.run ~obs P.Default (water ()));
+  let lines =
+    String.split_on_char '\n' (T.to_jsonl obs.Sink.trace)
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "one line per event" (T.length obs.Sink.trace) (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | Json.Obj _ -> ()
+      | _ -> Alcotest.fail "jsonl line is not an object")
+    lines
+
+let metrics_json_parses () =
+  let obs = Sink.create ~metrics:true ~trace:false () in
+  ignore (P.run ~obs (P.Partitioned P.partitioned_defaults) (water ()));
+  match Json.parse (Ndp_obs.Render.Json.to_string (M.to_json obs.Sink.metrics)) with
+  | Json.Obj kvs ->
+    Alcotest.(check bool) "per-link family present" true
+      (List.exists (fun (k, _) -> Astring.String.is_prefix ~affix:"noc.link_flits{" k) kvs);
+    Alcotest.(check bool) "sim aggregate present" true (List.mem_assoc "sim.tasks" kvs)
+  | _ -> Alcotest.fail "metrics json is not an object"
+
+(* {1 Observation must not perturb} *)
+
+let observed_run_identical () =
+  let bare = P.run (P.Partitioned P.partitioned_defaults) (water ()) in
+  let obs = Sink.create ~metrics:true ~trace:true () in
+  let seen = P.run ~obs (P.Partitioned P.partitioned_defaults) (water ()) in
+  Alcotest.(check bool) "stats equal" true (Stats.equal bare.P.stats seen.P.stats);
+  Alcotest.(check int) "exec_time equal" bare.P.exec_time seen.P.exec_time;
+  Alcotest.(check (list (pair string int))) "windows equal" bare.P.windows_chosen
+    seen.P.windows_chosen
+
+let observed_run_identical_under_pool () =
+  let bare = P.run (P.Partitioned P.partitioned_defaults) (water ()) in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let obs = Sink.create ~metrics:true ~trace:true () in
+      let seen = P.run ~pool ~obs (P.Partitioned P.partitioned_defaults) (water ()) in
+      Alcotest.(check bool) "stats equal under jobs=4" true (Stats.equal bare.P.stats seen.P.stats);
+      Alcotest.(check int) "exec_time equal under jobs=4" bare.P.exec_time seen.P.exec_time)
+
+(* {1 Stats surface} *)
+
+let stats_alist_shape () =
+  let s = Stats.create () in
+  Stats.incr_l1_hits s;
+  Stats.add_hops s 9;
+  let alist = Stats.to_alist s in
+  Alcotest.(check int) "18 counters" 18 (List.length alist);
+  Alcotest.(check (pair string int)) "l1_hits first" ("l1_hits", 1) (List.hd alist);
+  Alcotest.(check int) "hops via alist" 9 (List.assoc "hops" alist)
+
+let stats_pp_no_nan () =
+  (* Regression: a run with zero messages used to render avg latency as
+     "nan"; it must render as "-". *)
+  let s = Stats.create () in
+  Stats.incr_tasks s;
+  let text = Format.asprintf "%a" Stats.pp s in
+  Alcotest.(check bool) "no nan" false (Astring.String.is_infix ~affix:"nan" text);
+  Alcotest.(check bool) "dash placeholder" true (Astring.String.is_infix ~affix:"-" text);
+  Alcotest.(check (float 1e-9)) "avg_latency total" 0.0 (Stats.avg_latency s)
+
+let tests =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "registry instruments" `Quick registry_instruments;
+        Alcotest.test_case "same name same handle" `Quick registry_same_name_same_handle;
+        Alcotest.test_case "disabled handles inert" `Quick disabled_inert;
+        Alcotest.test_case "merge counters commute" `Quick merge_counters_commute;
+        Alcotest.test_case "sharded pool deterministic" `Quick sharded_pool_deterministic;
+        Alcotest.test_case "ring overflow" `Quick ring_overflow;
+        Alcotest.test_case "chrome trace well-formed" `Quick trace_chrome_well_formed;
+        Alcotest.test_case "jsonl lines parse" `Quick trace_jsonl_lines_parse;
+        Alcotest.test_case "metrics json parses" `Quick metrics_json_parses;
+        Alcotest.test_case "observed run identical" `Quick observed_run_identical;
+        Alcotest.test_case "observed run identical under pool" `Quick observed_run_identical_under_pool;
+        Alcotest.test_case "stats alist shape" `Quick stats_alist_shape;
+        Alcotest.test_case "stats pp no nan" `Quick stats_pp_no_nan;
+      ] );
+  ]

@@ -7,7 +7,7 @@ let deterministic () =
   let a = P.run (P.Partitioned P.partitioned_defaults) (water ()) in
   let b = P.run (P.Partitioned P.partitioned_defaults) (water ()) in
   Alcotest.(check int) "same exec" a.P.exec_time b.P.exec_time;
-  Alcotest.(check int) "same hops" a.P.stats.Ndp_sim.Stats.hops b.P.stats.Ndp_sim.Stats.hops
+  Alcotest.(check int) "same hops" (Ndp_sim.Stats.hops a.P.stats) (Ndp_sim.Stats.hops b.P.stats)
 
 let partitioning_reduces_movement () =
   List.iter
@@ -18,7 +18,7 @@ let partitioning_reduces_movement () =
       Alcotest.(check bool)
         (name ^ ": less data movement")
         true
-        (o.P.stats.Ndp_sim.Stats.hops < d.P.stats.Ndp_sim.Stats.hops))
+        ((Ndp_sim.Stats.hops o.P.stats) < (Ndp_sim.Stats.hops d.P.stats)))
     [ "water"; "fft"; "minimd"; "barnes" ]
 
 let partitioning_improves_l1 () =
@@ -114,7 +114,7 @@ let scrambled_pages_hurt_compiler () =
   (* Without the page-coloring OS support the compiler mispredicts homes
      and the schedule moves more data. *)
   Alcotest.(check bool) "coloring moves less data" true
-    (colored.P.stats.Ndp_sim.Stats.hops <= scrambled.P.stats.Ndp_sim.Stats.hops)
+    ((Ndp_sim.Stats.hops colored.P.stats) <= (Ndp_sim.Stats.hops scrambled.P.stats))
 
 let profile_accesses () =
   let accesses = P.profile_page_accesses (water ()) in

@@ -84,16 +84,16 @@ let suite_determinism () =
           Alcotest.(check int) (label "est_movement") s.P.est_movement_total p.P.est_movement_total;
           Alcotest.(check int) (label "sync_arcs") s.P.sync_arcs p.P.sync_arcs;
           Alcotest.(check int) (label "tasks") s.P.tasks_emitted p.P.tasks_emitted;
-          Alcotest.(check int) (label "hops") s.P.stats.Ndp_sim.Stats.hops
-            p.P.stats.Ndp_sim.Stats.hops;
-          Alcotest.(check int) (label "messages") s.P.stats.Ndp_sim.Stats.messages
-            p.P.stats.Ndp_sim.Stats.messages;
-          Alcotest.(check int) (label "l1_hits") s.P.stats.Ndp_sim.Stats.l1_hits
-            p.P.stats.Ndp_sim.Stats.l1_hits;
-          Alcotest.(check int) (label "l1_misses") s.P.stats.Ndp_sim.Stats.l1_misses
-            p.P.stats.Ndp_sim.Stats.l1_misses;
-          Alcotest.(check int) (label "finish_time") s.P.stats.Ndp_sim.Stats.finish_time
-            p.P.stats.Ndp_sim.Stats.finish_time;
+          Alcotest.(check int) (label "hops") (Ndp_sim.Stats.hops s.P.stats)
+            (Ndp_sim.Stats.hops p.P.stats);
+          Alcotest.(check int) (label "messages") (Ndp_sim.Stats.messages s.P.stats)
+            (Ndp_sim.Stats.messages p.P.stats);
+          Alcotest.(check int) (label "l1_hits") (Ndp_sim.Stats.l1_hits s.P.stats)
+            (Ndp_sim.Stats.l1_hits p.P.stats);
+          Alcotest.(check int) (label "l1_misses") (Ndp_sim.Stats.l1_misses s.P.stats)
+            (Ndp_sim.Stats.l1_misses p.P.stats);
+          Alcotest.(check int) (label "finish_time") (Ndp_sim.Stats.finish_time s.P.stats)
+            (Ndp_sim.Stats.finish_time p.P.stats);
           Alcotest.(check (list (pair string int)))
             (label "windows") s.P.windows_chosen p.P.windows_chosen)
         par ser)

@@ -14,8 +14,8 @@ let network_local_is_free () =
   let net = Network.create config in
   let stats = Stats.create () in
   Alcotest.(check int) "same node" 17 (Network.send net ~time:17 ~src:4 ~dst:4 ~bytes:64 ~stats);
-  Alcotest.(check int) "no hops" 0 stats.Stats.hops;
-  Alcotest.(check int) "no message" 0 stats.Stats.messages
+  Alcotest.(check int) "no hops" 0 (Stats.hops stats);
+  Alcotest.(check int) "no message" 0 (Stats.messages stats)
 
 let network_counts_flit_hops () =
   let net = Network.create config in
@@ -23,7 +23,7 @@ let network_counts_flit_hops () =
   ignore (Network.send net ~time:0 ~src:0 ~dst:2 ~bytes:64 ~stats);
   (* 2 links x (64 / flit_bytes) flits. *)
   let flits = Config.flits_of_bytes config 64 in
-  Alcotest.(check int) "flit-weighted hops" (2 * flits) stats.Stats.hops
+  Alcotest.(check int) "flit-weighted hops" (2 * flits) (Stats.hops stats)
 
 let network_congestion () =
   let net = Network.create config in
@@ -42,7 +42,7 @@ let network_distance_factor () =
   let stats = Stats.create () in
   let t = Network.send net ~time:5 ~src:0 ~dst:35 ~bytes:64 ~stats in
   Alcotest.(check int) "zero-distance network" 5 t;
-  Alcotest.(check int) "no hops recorded" 0 stats.Stats.hops
+  Alcotest.(check int) "no hops recorded" 0 (Stats.hops stats)
 
 let machine_l1_hit_on_reuse () =
   let m = Machine.create config in
@@ -81,9 +81,9 @@ let machine_hot_ranges () =
   Machine.set_hot_ranges m [ (0, 1 lsl 20) ];
   let stats = Stats.create () in
   ignore (Machine.load m ~node:0 ~va:4096 ~bytes:8 ~time:0 ~stats);
-  Alcotest.(check int) "hot access served by MCDRAM" 1 stats.Stats.mcdram_accesses;
+  Alcotest.(check int) "hot access served by MCDRAM" 1 (Stats.mcdram_accesses stats);
   ignore (Machine.load m ~node:0 ~va:(1 lsl 21) ~bytes:8 ~time:0 ~stats);
-  Alcotest.(check int) "cold access served by DDR" 1 stats.Stats.ddr_accesses
+  Alcotest.(check int) "cold access served by DDR" 1 (Stats.ddr_accesses stats)
 
 let machine_mc_override () =
   let m = Machine.create config in
@@ -92,7 +92,7 @@ let machine_mc_override () =
   Machine.set_mc_overrides m [ (page, 35) ];
   let stats = Stats.create () in
   ignore (Machine.load m ~node:0 ~va ~bytes:8 ~time:0 ~stats);
-  Alcotest.(check int) "miss went somewhere" 1 (stats.Stats.ddr_accesses + stats.Stats.mcdram_accesses)
+  Alcotest.(check int) "miss went somewhere" 1 ((Stats.ddr_accesses stats) + (Stats.mcdram_accesses stats))
 
 let machine_l1_boost () =
   let m = Machine.create config in
@@ -118,8 +118,8 @@ let engine_runs_chain () =
   let f0 = Option.get (Engine.finish_of engine 0) in
   let f1 = Option.get (Engine.finish_of engine 1) in
   Alcotest.(check bool) "consumer after producer" true (f1 > f0);
-  Alcotest.(check int) "two tasks" 2 (Engine.stats engine).Stats.tasks;
-  Alcotest.(check int) "one sync" 1 (Engine.stats engine).Stats.syncs
+  Alcotest.(check int) "two tasks" 2 (Stats.tasks (Engine.stats engine));
+  Alcotest.(check int) "one sync" 1 (Stats.syncs (Engine.stats engine))
 
 let engine_rejects_disorder () =
   let m = Machine.create config in
@@ -163,7 +163,7 @@ let coherence_invalidates_remote_copy () =
   Alcotest.(check bool) "node 1 invalidated" false (Machine.l1_probe m ~node:1 ~va:4096);
   Alcotest.(check bool) "node 2 invalidated" false (Machine.l1_probe m ~node:2 ~va:4096);
   Alcotest.(check bool) "writer keeps copy" true (Machine.l1_probe m ~node:3 ~va:4096);
-  Alcotest.(check int) "two invalidations" 2 stats.Stats.invalidations
+  Alcotest.(check int) "two invalidations" 2 (Stats.invalidations stats)
 
 let coherence_off_keeps_copies () =
   let m = Machine.create { config with Config.coherence = false } in
@@ -171,19 +171,19 @@ let coherence_off_keeps_copies () =
   ignore (Machine.load m ~node:1 ~va:4096 ~bytes:8 ~time:0 ~stats);
   ignore (Machine.store m ~node:3 ~va:4096 ~bytes:8 ~time:100 ~stats);
   Alcotest.(check bool) "stale copy survives" true (Machine.l1_probe m ~node:1 ~va:4096);
-  Alcotest.(check int) "no invalidations" 0 stats.Stats.invalidations
+  Alcotest.(check int) "no invalidations" 0 (Stats.invalidations stats)
 
 let prefetch_pulls_next_line () =
   let m = Machine.create { config with Config.prefetch_next_line = true } in
   let stats = Stats.create () in
   ignore (Machine.load m ~node:1 ~va:4096 ~bytes:8 ~time:0 ~stats);
   Alcotest.(check bool) "next line resident" true (Machine.l1_probe m ~node:1 ~va:4160);
-  Alcotest.(check bool) "prefetch counted" true (stats.Stats.prefetches >= 1)
+  Alcotest.(check bool) "prefetch counted" true ((Stats.prefetches stats) >= 1)
 
 let energy_totals () =
   let s = Stats.create () in
-  s.Stats.hops <- 100;
-  s.Stats.ops <- 10;
+  Stats.add_hops s 100;
+  Stats.add_ops s 10;
   let b = Energy.of_stats s in
   Alcotest.(check bool) "network dominates" true (b.Energy.network > b.Energy.compute);
   Alcotest.(check (float 1e-6)) "total is the sum"
