@@ -35,7 +35,7 @@ let choose_size_fixture () =
       ~compiler_resolve:(Ndp_ir.Inspector.compiler_resolver insp ~address_of)
       ~runtime_resolve:(Ndp_ir.Inspector.runtime_resolver insp ~address_of)
       ~arrays:kernel.Ndp_core.Kernel.program.Ndp_ir.Loop.arrays
-      ~options:(Ndp_core.Context.default_options config)
+      ~options:(Ndp_core.Context.default_options config) ()
   in
   let nest = List.hd kernel.Ndp_core.Kernel.program.Ndp_ir.Loop.nests in
   let mesh_size = Ndp_noc.Mesh.size (Ndp_sim.Machine.mesh machine) in
@@ -160,6 +160,26 @@ let micro ?(json = false) () =
     Test.make ~name:"dependence-analyze-naive-384"
       (Staged.stage (fun () -> Dep.analyze_naive dep_resolver dep_stream))
   in
+  (* Fault-injection overhead: the [?faults] hook adds one option branch
+     per link traversal when disabled, and a plan that touches no link on
+     the hot routes should cost little when enabled. *)
+  let fixed2 =
+    Ndp_core.Pipeline.Partitioned
+      { Ndp_core.Pipeline.partitioned_defaults with
+        Ndp_core.Pipeline.window = Ndp_core.Pipeline.Fixed 2 }
+  in
+  let bench_inject_disabled =
+    Test.make ~name:"pipeline-inject-disabled"
+      (Staged.stage (fun () -> Ndp_core.Pipeline.run fixed2 kernel))
+  in
+  let bench_inject_enabled =
+    let mesh = Ndp_sim.Config.mesh Ndp_sim.Config.default in
+    let faults =
+      Ndp_fault.Plan.make ~mesh ~seed:42 [ Ndp_fault.Plan.Degrade_link (0, 1, 2.0) ]
+    in
+    Test.make ~name:"pipeline-inject-enabled"
+      (Staged.stage (fun () -> Ndp_core.Pipeline.run ~faults fixed2 kernel))
+  in
   (* Window-size preprocessing on a 256-instance sample: the sliced
      implementation analyzes dependences once and slices per chunk; the
      reanalyze oracle re-runs the analysis for every (candidate, chunk). *)
@@ -178,6 +198,7 @@ let micro ?(json = false) () =
         bench_mst; bench_route; bench_nested; bench_parse; bench_pipeline;
         bench_metrics_disabled; bench_metrics_enabled; bench_pipeline_obs;
         bench_dep_bucketed; bench_dep_naive; bench_choose_sliced; bench_choose_reanalyze;
+        bench_inject_disabled; bench_inject_enabled;
       ]
   in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
@@ -249,6 +270,7 @@ let () =
       ("fig18", fun () -> E.Figures.fig18 common);
       ("fig19", fun () -> E.Figures.fig19 common);
       ("heatmap", fun () -> E.Figures.link_heatmap common);
+      ("degradation", fun () -> E.Figures.degradation common);
       ("fig20", fun () -> E.Figures.fig20 common);
       ("fig21", fun () -> E.Figures.fig21 common);
       ("fig22", fun () -> E.Figures.fig22 common);

@@ -113,6 +113,35 @@ module Args = struct
           ~doc:
             "Reconcile the trace against the aggregate statistics (task-event count, finish \
              time, timestamp monotonicity) and exit nonzero on mismatch.")
+
+  let faults =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Comma-separated fault spec: $(b,kill=N) or $(b,kill=A>B) (kill N random links / \
+             one specific link), $(b,slow=NxF) or $(b,slow=A>BxF) (degrade links by factor F), \
+             $(b,stall=NODE\\@START+LEN) (node stall window), $(b,mc=NODExF) (backpressure the \
+             MC nearest NODE). Empty spec injects nothing.")
+
+  let fault_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed"; "fault-seed" ] ~docv:"SEED"
+          ~doc:
+            "Seed for the plan's random choices (which links $(b,kill=N) removes). Default: the \
+             simulator config's seed. A fixed seed gives byte-identical runs at any --jobs.")
+
+  let repair =
+    Arg.(
+      value
+      & flag
+      & info [ "repair" ]
+          ~doc:
+            "Hand the fault plan to the compiler as well: partition over the surviving mesh \
+             with degraded link weights and remap subcomputations off stalled/isolated nodes.")
 end
 
 (* ------------------------------------------------------------------ *)
@@ -203,10 +232,10 @@ let with_jobs jobs f =
   | None -> f None
   | Some j -> Ndp_prelude.Pool.with_pool ~jobs:(max 1 j) (fun p -> f (Some p))
 
-let pipeline_run ?config ?obs pool scheme kernel =
+let pipeline_run ?config ?obs ?faults ?repair pool scheme kernel =
   match pool with
-  | None -> Pipeline.run ?config ?obs scheme kernel
-  | Some pool -> Pipeline.run ?config ?obs ~pool scheme kernel
+  | None -> Pipeline.run ?config ?obs ?faults ?repair scheme kernel
+  | Some pool -> Pipeline.run ?config ?obs ?faults ?repair ~pool scheme kernel
 
 let run_act kernel cluster memory scheme window metrics format jobs =
   with_jobs jobs @@ fun pool ->
@@ -329,6 +358,126 @@ let stats_act kernel cluster memory scheme window format jobs =
   print_endline (Render.output format ~human doc)
 
 (* ------------------------------------------------------------------ *)
+(* inject: deterministic fault injection + schedule repair             *)
+
+module Plan = Ndp_fault.Plan
+
+let plan_json plan ~spec ~repair =
+  let killed, degraded, stalled, mcs = Plan.counts plan in
+  Render.Json.Obj
+    [
+      ("spec", Render.Json.Str spec);
+      ("seed", Render.Json.Int (Plan.seed plan));
+      ("retry_timeout", Render.Json.Int (Plan.retry_timeout plan));
+      ("max_retries", Render.Json.Int (Plan.max_retries plan));
+      ("links_killed", Render.Json.Int killed);
+      ("links_degraded", Render.Json.Int degraded);
+      ("nodes_stalled", Render.Json.Int stalled);
+      ("mcs_slowed", Render.Json.Int mcs);
+      ( "avoided_nodes",
+        Render.Json.List (List.map (fun n -> Render.Json.Int n) (Plan.avoided_nodes plan)) );
+      ("repair", Render.Json.Bool repair);
+    ]
+
+(* Invariants of a fault run, verified by re-execution:
+   1. determinism — an identical second run (fresh plan from the same
+      seed) produces identical stats and finish time;
+   2. an empty plan is byte-identical to running without one;
+   3. under --repair, nodes the plan avoids end the run with zero busy
+      cycles (every subcomputation was remapped off them);
+   4. a non-empty plan surfaces its fault.* instruments in the registry. *)
+let inject_selfcheck ~config ~spec ~seed ~repair pool scheme kernel plan
+    (r : Pipeline.result) reg =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let mesh = Ndp_sim.Config.mesh config in
+  let rerun =
+    let plan2 =
+      match Plan.parse ~mesh ~seed spec with Ok p -> p | Error m -> failwith m
+    in
+    pipeline_run ~config ~faults:plan2 ~repair pool scheme kernel
+  in
+  if not (Stats.equal r.Pipeline.stats rerun.Pipeline.stats) then
+    fail "re-run with the same seed changed the statistics";
+  if r.Pipeline.exec_time <> rerun.Pipeline.exec_time then
+    fail "re-run with the same seed changed the finish time (%d <> %d)" r.Pipeline.exec_time
+      rerun.Pipeline.exec_time;
+  if Plan.is_empty plan then begin
+    let bare = pipeline_run ~config pool scheme kernel in
+    if not (Stats.equal r.Pipeline.stats bare.Pipeline.stats) then
+      fail "an empty fault plan changed the statistics vs a plain run"
+  end
+  else begin
+    (match Metrics.find reg "fault.link_retries" with
+    | Some _ -> ()
+    | None -> fail "non-empty plan but fault.link_retries is not in the registry");
+    if repair then
+      List.iter
+        (fun node ->
+          if r.Pipeline.node_busy.(node) <> 0 then
+            fail "repair left %d busy cycles on avoided node %d" r.Pipeline.node_busy.(node)
+              node)
+        (Plan.avoided_nodes plan)
+  end;
+  match !failures with
+  | [] ->
+    let killed, degraded, stalled, mcs = Plan.counts plan in
+    Printf.printf
+      "inject selfcheck: ok (killed=%d degraded=%d stalled=%d mcs=%d remapped=%d)\n" killed
+      degraded stalled mcs r.Pipeline.remapped_tasks
+  | fs ->
+    List.iter (Printf.eprintf "inject selfcheck: %s\n") (List.rev fs);
+    exit 1
+
+let inject_act kernel cluster memory scheme window spec fault_seed repair format selfcheck jobs
+    =
+  with_jobs jobs @@ fun pool ->
+  let config = config_of cluster memory in
+  let mesh = Ndp_sim.Config.mesh config in
+  let seed = Option.value fault_seed ~default:config.Ndp_sim.Config.seed in
+  let plan =
+    match Plan.parse ~mesh ~seed spec with
+    | Ok plan -> plan
+    | Error msg ->
+      Printf.eprintf "ndp_run inject: bad --faults spec: %s\n" msg;
+      exit 2
+  in
+  let obs = Ndp_obs.Sink.create ~metrics:true ~trace:false () in
+  let scheme = scheme_of scheme window in
+  let r = pipeline_run ~config ~obs ~faults:plan ~repair pool scheme kernel in
+  let reg = obs.Ndp_obs.Sink.metrics in
+  let doc =
+    Render.Json.Obj
+      [
+        ("plan", plan_json plan ~spec ~repair);
+        ("result", result_json r);
+        ("remapped_tasks", Render.Json.Int r.Pipeline.remapped_tasks);
+        ("metrics", metrics_json reg);
+      ]
+  in
+  let human () =
+    let fault_rows =
+      List.filter_map
+        (fun (name, sample) ->
+          match sample with
+          | Metrics.Counter_v v when Astring.String.is_prefix ~affix:"fault." name ->
+            Some (Printf.sprintf "  %-24s %d" name v)
+          | Metrics.Gauge_v v when Astring.String.is_prefix ~affix:"fault." name ->
+            Some (Printf.sprintf "  %-24s %g" name v)
+          | _ -> None)
+        (Metrics.to_alist reg)
+    in
+    String.concat "\n"
+      ([ "plan: " ^ Plan.describe plan; result_human r ]
+      @ (if repair then
+           [ Printf.sprintf "  remapped tasks     %d" r.Pipeline.remapped_tasks ]
+         else [])
+      @ if fault_rows = [] then [] else ("fault counters:" :: fault_rows))
+  in
+  print_endline (Render.output format ~human doc);
+  if selfcheck then inject_selfcheck ~config ~spec ~seed ~repair pool scheme kernel plan r reg
+
+(* ------------------------------------------------------------------ *)
 (* trace: Chrome trace_event JSON                                      *)
 
 let trace_selfcheck tracer (r : Pipeline.result) =
@@ -406,7 +555,7 @@ let context_of kernel =
       ~compiler_resolve:(Ndp_ir.Inspector.compiler_resolver insp ~address_of)
       ~runtime_resolve:(Ndp_ir.Inspector.runtime_resolver insp ~address_of)
       ~arrays:kernel.Ndp_core.Kernel.program.Ndp_ir.Loop.arrays
-      ~options:(Ndp_core.Context.default_options config)
+      ~options:(Ndp_core.Context.default_options config) ()
   in
   (machine, ctx)
 
@@ -508,6 +657,17 @@ let commands =
         Term.(
           const stats_act $ Args.kernel $ Args.cluster $ Args.memory $ Args.scheme $ Args.window
           $ Args.format $ Args.jobs);
+    };
+    {
+      name = "inject";
+      summary =
+        "Simulate under a deterministic fault plan (killed/degraded links, node stalls, MC \
+         backpressure), optionally repairing the schedule around it.";
+      term =
+        Term.(
+          const inject_act $ Args.kernel $ Args.cluster $ Args.memory $ Args.scheme
+          $ Args.window $ Args.faults $ Args.fault_seed $ Args.repair $ Args.format
+          $ Args.selfcheck $ Args.jobs);
     };
     {
       name = "trace";

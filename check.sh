@@ -1,8 +1,13 @@
 #!/bin/sh
-# Repo verification gate: build, unit/property tests, then the static
-# analysis suite (IR lint + schedule race detection over all 12 workloads
-# under the default and partitioned schemes). Exits nonzero on the first
-# failure. See DESIGN.md "Analysis & validation" for the diagnostic codes.
+# Repo verification gate: build, unit/property/golden tests, the
+# observability self-check, the fault-injection + schedule-repair
+# self-check, then the static analysis suite (IR lint + schedule race
+# detection over all 12 workloads under the default and partitioned
+# schemes). Every phase runs even when an earlier one fails; the gate
+# exits nonzero naming each failed phase, so a broken build can no longer
+# mask a broken test phase (or vice versa). See DESIGN.md "Analysis &
+# validation" for the diagnostic codes and "Fault model & repair" for the
+# fault phase.
 #
 #   ./check.sh [-j N]
 #
@@ -10,7 +15,6 @@
 # diagnostics are identical at any job count. Each phase is timed, and
 # the serial baseline recorded by a `-j 1` run (.check_serial_seconds) is
 # compared against parallel runs so the speedup is visible.
-set -e
 
 jobs=$(nproc 2>/dev/null || echo 1)
 while getopts j: opt; do
@@ -26,17 +30,23 @@ done
 now() { date +%s; }
 t_start=$(now)
 
+failures=""
 phase() {
   _name=$1
   shift
   _t0=$(now)
-  "$@"
-  echo "phase $_name: $(($(now) - _t0))s"
+  if "$@"; then
+    echo "phase $_name: $(($(now) - _t0))s"
+  else
+    echo "phase $_name: FAILED ($(($(now) - _t0))s)" >&2
+    failures="$failures $_name"
+  fi
 }
 
-obs_gate() {
+obs_gate() (
   # Trace an app end-to-end, self-check the trace against the aggregate
   # stats, and make sure the emitted Chrome JSON actually parses.
+  set -e
   _trace=$(mktemp /tmp/ndp_trace.XXXXXX.json)
   dune exec bin/ndp_run.exe -- trace mg -o "$_trace" --selfcheck
   if command -v python3 >/dev/null 2>&1; then
@@ -44,12 +54,29 @@ obs_gate() {
   fi
   rm -f "$_trace"
   dune exec bin/ndp_run.exe -- stats fft --format json >/dev/null
-}
+)
+
+fault_gate() (
+  # Inject a deterministic fault plan (killed link, stalled node, slowed
+  # MC), repair the schedule around it, and run the built-in selfcheck:
+  # same-seed reproducibility, empty-plan identity, avoided nodes idle
+  # after repair, fault counters present.
+  set -e
+  dune exec bin/ndp_run.exe -- \
+    inject fft --faults "kill=2,stall=9@0+200000,mc=0x2" --repair --selfcheck \
+    >/dev/null
+)
 
 phase build dune build
 phase runtest dune runtest
 phase obs obs_gate
+phase fault fault_gate
 phase check dune exec bin/ndp_run.exe -- check --jobs "$jobs"
+
+if [ -n "$failures" ]; then
+  echo "check.sh: FAILED phases:$failures" >&2
+  exit 1
+fi
 
 total=$(($(now) - t_start))
 baseline_file=.check_serial_seconds

@@ -4,12 +4,14 @@ module Task = Ndp_sim.Task
 let home (ctx : Context.t) va = Ndp_sim.Machine.home_node ctx.machine ~va
 
 (* Profile cost of running an iteration on a node: total distance to the
-   home of every reference it touches (the LLC-locality view). *)
-let iteration_cost (ctx : Context.t) mesh env node stmt =
+   home of every reference it touches (the LLC-locality view). [distance]
+   is the context's under a repair plan, so faulted links look expensive
+   here too. *)
+let iteration_cost_with (ctx : Context.t) ~distance env node stmt =
   let ref_cost acc r =
     match ctx.runtime_resolve r env with
     | None -> acc
-    | Some va -> acc + Mesh.distance mesh node (home ctx va)
+    | Some va -> acc + distance node (home ctx va)
   in
   let refs = Ndp_ir.Stmt.output stmt :: Ndp_ir.Stmt.inputs stmt in
   List.fold_left ref_cost 0 refs
@@ -24,43 +26,78 @@ let assign_iterations (ctx : Context.t) nest iterations =
   let period = max 1 (Ndp_ir.Loop.base_trip_count nest) in
   let iters = Array.sub iters 0 (min period (Array.length iters)) in
   let trips = Array.length iters in
-  let chunks = min num_nodes (max 1 trips) in
-  let bounds k =
-    let per = trips / chunks and rem = trips mod chunks in
-    let lo = (k * per) + min k rem in
-    let hi = lo + per + if k < rem then 1 else 0 in
-    (lo, hi)
-  in
-  let chunk_cost k node =
-    let lo, hi = bounds k in
-    let acc = ref 0 in
-    for i = lo to hi - 1 do
-      List.iter
-        (fun stmt -> acc := !acc + iteration_cost ctx mesh iters.(i) node stmt)
-        nest.Ndp_ir.Loop.body
-    done;
-    !acc
-  in
-  (* Greedy matching: chunks claim their cheapest still-free node. *)
-  let taken = Array.make num_nodes false in
-  let assignment = Array.make trips 0 in
-  for k = 0 to chunks - 1 do
-    let best = ref (-1) and best_cost = ref max_int in
-    for node = 0 to num_nodes - 1 do
-      if not taken.(node) then begin
-        let c = chunk_cost k node in
-        if c < !best_cost then begin
-          best := node;
-          best_cost := c
+  let assign ~usable ~distance =
+    (* The chunk count tracks the usable-node count so the greedy
+       matching below always finds a free node; should a plan ever avoid
+       every node the caller passes an all-true [usable]. *)
+    let usable_count =
+      let k = ref 0 in
+      for node = 0 to num_nodes - 1 do
+        if usable node then incr k
+      done;
+      !k
+    in
+    let chunks = min usable_count (max 1 trips) in
+    let bounds k =
+      let per = trips / chunks and rem = trips mod chunks in
+      let lo = (k * per) + min k rem in
+      let hi = lo + per + if k < rem then 1 else 0 in
+      (lo, hi)
+    in
+    let chunk_cost k node =
+      let lo, hi = bounds k in
+      let acc = ref 0 in
+      for i = lo to hi - 1 do
+        List.iter
+          (fun stmt -> acc := !acc + iteration_cost_with ctx ~distance iters.(i) node stmt)
+          nest.Ndp_ir.Loop.body
+      done;
+      !acc
+    in
+    (* Greedy matching: chunks claim their cheapest still-free node. *)
+    let taken = Array.make num_nodes false in
+    let assignment = Array.make trips 0 in
+    for k = 0 to chunks - 1 do
+      let best = ref (-1) and best_cost = ref max_int in
+      for node = 0 to num_nodes - 1 do
+        if (not taken.(node)) && usable node then begin
+          let c = chunk_cost k node in
+          if c < !best_cost then begin
+            best := node;
+            best_cost := c
+          end
         end
-      end
+      done;
+      taken.(!best) <- true;
+      let lo, hi = bounds k in
+      for i = lo to hi - 1 do
+        assignment.(i) <- !best
+      done
     done;
-    taken.(!best) <- true;
-    let lo, hi = bounds k in
-    for i = lo to hi - 1 do
-      assignment.(i) <- !best
-    done
-  done;
+    assignment
+  in
+  let healthy =
+    let k = ref 0 in
+    for node = 0 to num_nodes - 1 do
+      if not (Context.avoided ctx node) then incr k
+    done;
+    !k
+  in
+  let usable node = healthy = 0 || not (Context.avoided ctx node) in
+  let assignment = assign ~usable ~distance:(fun u v -> Context.distance ctx u v) in
+  (* Repair accounting: every iteration whose owner differs from the one
+     the fault-free matching would pick was remapped — off an avoided
+     node, or away from routes the plan degraded. *)
+  (match ctx.Context.repair with
+  | None -> ()
+  | Some _ ->
+    let plain = assign ~usable:(fun _ -> true) ~distance:(Mesh.distance mesh) in
+    let sweeps = List.length iterations / max 1 trips in
+    Array.iteri
+      (fun i node ->
+        if node <> plain.(i) then
+          ctx.Context.remapped_tasks <- ctx.Context.remapped_tasks + sweeps)
+      assignment);
   Array.init (List.length iterations) (fun i -> assignment.(i mod trips))
 
 let compile_instance (ctx : Context.t) ~group ~node (inst : Ndp_ir.Dependence.instance) =

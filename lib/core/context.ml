@@ -28,10 +28,12 @@ type t = {
   var2node_cap : int;
   mutable stmt_clock : int;
   mutable next_task : int;
+  repair : Ndp_fault.Plan.t option;
+  mutable remapped_tasks : int;
   options : options;
 }
 
-let create ~machine ~compiler_resolve ~runtime_resolve ~arrays ~options =
+let create ~machine ~compiler_resolve ~runtime_resolve ~arrays ?repair ~options () =
   let config = Ndp_sim.Machine.config machine in
   let map = Ndp_sim.Config.addr_map config in
   {
@@ -49,8 +51,24 @@ let create ~machine ~compiler_resolve ~runtime_resolve ~arrays ~options =
     var2node_cap = config.Ndp_sim.Config.l1_size / config.Ndp_sim.Config.line_bytes;
     stmt_clock = 0;
     next_task = 0;
+    repair;
+    remapped_tasks = 0;
     options;
   }
+
+(* Planner distance: Manhattan hops on a healthy mesh; under repair, the
+   fault-aware XY-route cost (degraded links weigh more, killed links weigh
+   the retry penalty), so Kruskal and the occupancy estimates route
+   computation around injected faults. *)
+let distance t u v =
+  match t.repair with
+  | None -> Ndp_noc.Mesh.distance (Ndp_sim.Machine.mesh t.machine) u v
+  | Some plan -> Ndp_fault.Plan.distance plan u v
+
+let avoided t node =
+  match t.repair with
+  | None -> false
+  | Some plan -> Ndp_fault.Plan.avoided plan node
 
 let fresh_task_id t =
   let id = t.next_task in

@@ -30,6 +30,10 @@ type t = {
   var2node_cap : int;
   mutable stmt_clock : int;
   mutable next_task : int;
+  repair : Ndp_fault.Plan.t option;
+      (** when set, partitioning plans against the faulted mesh *)
+  mutable remapped_tasks : int;
+      (** subcomputations moved off avoided nodes by {!Schedule.repair} *)
   options : options;
 }
 
@@ -38,8 +42,17 @@ val create :
   compiler_resolve:Ndp_ir.Dependence.resolver ->
   runtime_resolve:Ndp_ir.Dependence.resolver ->
   arrays:Ndp_ir.Array_decl.t list ->
+  ?repair:Ndp_fault.Plan.t ->
   options:options ->
+  unit ->
   t
+
+val distance : t -> int -> int -> int
+(** Inter-node distance as the partitioner should see it: Manhattan hops
+    normally; the fault-aware XY-route cost when a repair plan is set. *)
+
+val avoided : t -> int -> bool
+(** True when a repair plan marks the node as one to place no work on. *)
 
 val fresh_task_id : t -> int
 

@@ -69,6 +69,7 @@ type result = {
   windows_chosen : (string * int) list;
   est_movement_total : int;
   tasks_emitted : int;
+  remapped_tasks : int;
   node_finish : int array;
   node_busy : int array;
   traces : schedule_trace list;
@@ -116,9 +117,9 @@ let analyzable_fraction metas =
   let ok, total = List.fold_left count (0, 0) metas in
   if total = 0 then 1.0 else float_of_int ok /. float_of_int total
 
-let make_context ?(options_override = None) ?(obs = Ndp_obs.Sink.none) ~config ~tweaks scheme
-    kernel =
-  let machine = Machine.create ~obs config in
+let make_context ?(options_override = None) ?(obs = Ndp_obs.Sink.none) ?faults ?repair ~config
+    ~tweaks scheme kernel =
+  let machine = Machine.create ~obs ?faults config in
   (match config.Config.memory_mode with
   | Config.Flat ->
     Machine.set_hot_ranges machine (Kernel.hot_ranges kernel ~budget:config.Config.mcdram_capacity)
@@ -152,7 +153,7 @@ let make_context ?(options_override = None) ?(obs = Ndp_obs.Sink.none) ~config ~
       }
   in
   Context.create ~machine ~compiler_resolve ~runtime_resolve
-    ~arrays:kernel.Kernel.program.Loop.arrays ~options:ctx_options
+    ~arrays:kernel.Kernel.program.Loop.arrays ?repair ~options:ctx_options ()
 
 let apply_tweaks tweaks (task : Task.t) =
   let task =
@@ -166,10 +167,11 @@ let apply_tweaks tweaks (task : Task.t) =
 let line_of config va = va / config.Config.line_bytes
 
 let run ?(config = Config.default) ?(tweaks = no_tweaks) ?(validate = false) ?pool
-    ?(obs = Ndp_obs.Sink.none) scheme kernel =
-  let ctx = make_context ~config ~tweaks ~obs scheme kernel in
+    ?(obs = Ndp_obs.Sink.none) ?faults ?(repair = false) scheme kernel =
+  let repair_plan = if repair then faults else None in
+  let ctx = make_context ~config ~tweaks ~obs ?faults ?repair:repair_plan scheme kernel in
   let traces = ref [] in
-  let engine = Engine.create ~obs ctx.Context.machine in
+  let engine = Engine.create ~obs ?faults ctx.Context.machine in
   let streams, total_groups =
     List.fold_left
       (fun (acc, g) nest ->
@@ -298,6 +300,10 @@ let run ?(config = Config.default) ?(tweaks = no_tweaks) ?(validate = false) ?po
           (Ndp_obs.Metrics.gauge reg (Printf.sprintf "core.window_size{nest=%s}" nest_name))
           (float_of_int w))
       (List.rev !windows_chosen);
+  if repair_plan <> None then
+    Ndp_obs.Metrics.add
+      (Ndp_obs.Metrics.counter reg "fault.remapped_tasks")
+      ctx.Context.remapped_tasks;
   {
     kernel_name = kernel.Kernel.name;
     scheme_name = scheme_name scheme;
@@ -316,6 +322,7 @@ let run ?(config = Config.default) ?(tweaks = no_tweaks) ?(validate = false) ?po
     windows_chosen = List.rev !windows_chosen;
     est_movement_total = !est_movement_total;
     tasks_emitted = !tasks_emitted;
+    remapped_tasks = ctx.Context.remapped_tasks;
     node_finish = Engine.node_clocks engine;
     node_busy = Engine.node_busy engine;
     traces = List.rev !traces;

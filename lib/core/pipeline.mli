@@ -78,6 +78,10 @@ type result = {
   windows_chosen : (string * int) list; (** per loop nest *)
   est_movement_total : int; (** compiler's own movement estimate *)
   tasks_emitted : int;
+  remapped_tasks : int;
+      (** subcomputations repair placed on a different node than the
+          fault-free compiler would (avoided-node evictions plus
+          degraded-weight rebalancing); always 0 without [~repair] *)
   node_finish : int array; (** per-node completion times *)
   node_busy : int array; (** per-node busy cycles (occupancy) *)
   traces : schedule_trace list; (** empty unless run with [~validate:true] *)
@@ -89,6 +93,8 @@ val run :
   ?validate:bool ->
   ?pool:Ndp_prelude.Pool.t ->
   ?obs:Ndp_obs.Sink.t ->
+  ?faults:Ndp_fault.Plan.t ->
+  ?repair:bool ->
   scheme ->
   Kernel.t ->
   result
@@ -100,7 +106,18 @@ val run :
     an observability sink through the machine and engine (per-link, cache,
     core metric families plus task/message trace events) and records each
     nest's chosen window size as a [core.window_size{nest=..}] gauge;
-    observability never changes the result. *)
+    observability never changes the result.
+
+    [faults] injects an {!Ndp_fault.Plan} into the simulated machine (link
+    degradation/kill retries, node stalls, MC backpressure); omitting it
+    leaves every code path byte-identical to the fault-free simulator.
+    [~repair:true] (meaningful only with [faults]) additionally hands the
+    plan to the compiler: partitioning runs Kruskal over the surviving
+    mesh with degraded link weights, the iteration assignment and the
+    balance pass avoid stalled or isolated nodes and {!Schedule.repair}
+    sweeps up anything still placed on one. Every subcomputation that ends
+    up on a different node than under the fault-free assignment is counted
+    in [remapped_tasks] and the [fault.remapped_tasks] counter. *)
 
 val profile_page_accesses :
   ?config:Ndp_sim.Config.t -> Kernel.t -> (int * int) list

@@ -40,11 +40,10 @@ let load_operand (ctx : Context.t) env (loc : Location.t) =
    hit/miss knowledge, so the balance veto tracks reality. *)
 let expected_occupancy (ctx : Context.t) ~node ~ops_cost ~items =
   let c = ctx.Context.config in
-  let mesh = Context.mesh ctx in
   let latency (loc : Location.t) =
     if loc.Location.in_l1 && loc.Location.node = node then c.Ndp_sim.Config.l1_hit_cycles
     else begin
-      let travel = 2 * Ndp_noc.Mesh.distance mesh node loc.Location.node * c.Ndp_sim.Config.hop_cycles in
+      let travel = 2 * Context.distance ctx node loc.Location.node * c.Ndp_sim.Config.hop_cycles in
       let service =
         match loc.Location.predicted_hit with
         | Some false -> c.Ndp_sim.Config.ddr_cycles
@@ -66,6 +65,13 @@ let choose_exec_node (ctx : Context.t) ~pinned ~preferred ~alternatives ~ops_cos
       preferred
       :: List.sort (fun a b -> compare ctx.Context.loads.(a) ctx.Context.loads.(b)) alternatives
     in
+    (* Under repair, prefer healthy hosts outright; if every candidate is
+       avoided the final repair sweep will remap the task. *)
+    let candidates =
+      match List.filter (fun n -> not (Context.avoided ctx n)) candidates with
+      | [] -> candidates
+      | healthy -> healthy
+    in
     let chosen =
       match List.find_opt (fun n -> Context.balanced ctx ~node:n ~cost:(occ n)) candidates with
       | Some n -> n
@@ -74,7 +80,7 @@ let choose_exec_node (ctx : Context.t) ~pinned ~preferred ~alternatives ~ops_cos
           (fun best n ->
             if ctx.Context.loads.(n) + occ n < ctx.Context.loads.(best) + occ best then n
             else best)
-          preferred candidates
+          (List.hd candidates) candidates
     in
     (chosen, occ chosen)
   end
@@ -241,3 +247,51 @@ let schedule (ctx : Context.t) ~group (split : Splitter.t) stmt env =
       placements = !placements;
     }
   end
+
+(* Remap the schedule off the repair plan's avoided nodes. The balance
+   veto already steers most combines to healthy hosts; this sweep catches
+   the rest (the pinned store-node root, nodes hosting located data).
+   Every avoided node maps to its nearest healthy node under the
+   fault-aware distance, ties broken by lowest id — a pure function of the
+   plan, so repaired schedules are identical across [--jobs] values. Must
+   run before [Window.compile] derives cross-node arcs, so the sync
+   structure is computed against the repaired placement. *)
+let repair (ctx : Context.t) sched =
+  match ctx.Context.repair with
+  | None -> sched
+  | Some plan ->
+    if Ndp_fault.Plan.avoided_nodes plan = [] then sched
+    else begin
+      let n = Ndp_noc.Mesh.size (Context.mesh ctx) in
+      let substitute =
+        Array.init n (fun node ->
+            if not (Ndp_fault.Plan.avoided plan node) then node
+            else begin
+              let best = ref node and best_d = ref max_int in
+              for cand = 0 to n - 1 do
+                if not (Ndp_fault.Plan.avoided plan cand) then begin
+                  let d = Context.distance ctx node cand in
+                  if d < !best_d then begin
+                    best := cand;
+                    best_d := d
+                  end
+                end
+              done;
+              !best
+            end)
+      in
+      let remap_task (t : Task.t) =
+        let node = substitute.(t.Task.node) in
+        if node = t.Task.node then t
+        else begin
+          ctx.Context.remapped_tasks <- ctx.Context.remapped_tasks + 1;
+          { t with Task.node }
+        end
+      in
+      {
+        sched with
+        tasks = List.map remap_task sched.tasks;
+        placements =
+          List.map (fun (line, node) -> (line, substitute.(node))) sched.placements;
+      }
+    end

@@ -20,3 +20,11 @@ type t = {
 
 val schedule :
   Context.t -> group:int -> Splitter.t -> Ndp_ir.Stmt.t -> Ndp_ir.Env.t -> t
+
+val repair : Context.t -> t -> t
+(** When the context carries a repair plan, remap every task placed on an
+    avoided node (stalled, or isolated by killed links) to its nearest
+    healthy node under the fault-aware distance (ties to the lowest id),
+    rewriting L1 placements to match and counting moves in
+    [ctx.remapped_tasks]. Identity without a plan. Must be applied before
+    cross-node dependence arcs are derived. *)

@@ -16,9 +16,9 @@ type t = {
    the physical nodes its data occupies. *)
 type component = { members : int list }
 
-let min_pair mesh a b =
+let min_pair ctx a b =
   let best (bu, bv, bw) u v =
-    let w = Mesh.distance mesh u v in
+    let w = Context.distance ctx u v in
     if w < bw then (u, v, w) else (bu, bv, bw)
   in
   List.fold_left
@@ -27,12 +27,14 @@ let min_pair mesh a b =
     a.members
 
 (* Kruskal over components: the candidate edge between two components is
-   the concrete minimum-distance pair of member nodes. [guf] is the
-   statement-global union-find over physical nodes: Algorithm 1 pools the
-   per-level MST edges into one MSTedges set, so an edge whose endpoints
-   are already physically connected (by a sibling level's tree) would
-   create a cycle and is skipped — the existing path is reused. *)
-let mst_over mesh ~guf components =
+   the concrete minimum-distance pair of member nodes ([Context.distance],
+   so under a repair plan the tree grows over the surviving mesh with
+   degraded link weights). [guf] is the statement-global union-find over
+   physical nodes: Algorithm 1 pools the per-level MST edges into one
+   MSTedges set, so an edge whose endpoints are already physically
+   connected (by a sibling level's tree) would create a cycle and is
+   skipped — the existing path is reused. *)
+let mst_over ctx ~guf components =
   let n = List.length components in
   if n <= 1 then []
   else begin
@@ -40,7 +42,7 @@ let mst_over mesh ~guf components =
     let candidates = ref [] in
     for i = 0 to n - 1 do
       for j = i + 1 to n - 1 do
-        let u, v, w = min_pair mesh arr.(i) arr.(j) in
+        let u, v, w = min_pair ctx arr.(i) arr.(j) in
         candidates := (w, i, j, u, v) :: !candidates
       done
     done;
@@ -98,7 +100,7 @@ let split (ctx : Context.t) ~store_node stmt env =
           | _ -> c :: acc)
         [] components
     in
-    edges := mst_over mesh ~guf components @ !edges;
+    edges := mst_over ctx ~guf components @ !edges;
     List.sort_uniq compare (List.concat_map (fun c -> c.members) components)
   in
   let set =
@@ -139,10 +141,9 @@ let unsplit t =
   }
 
 let default_movement (ctx : Context.t) ~store_node stmt env =
-  let mesh = Context.mesh ctx in
   let movement_of r =
     match ctx.runtime_resolve r env with
     | None -> 0
-    | Some va -> Mesh.distance mesh store_node (Ndp_sim.Machine.home_node ctx.machine ~va)
+    | Some va -> Context.distance ctx store_node (Ndp_sim.Machine.home_node ctx.machine ~va)
   in
   List.fold_left (fun acc r -> acc + movement_of r) 0 (Ndp_ir.Stmt.inputs stmt)

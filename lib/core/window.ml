@@ -68,7 +68,11 @@ let compile ?deps (ctx : Context.t) metas =
           if split.Splitter.est_movement * margin_den < default_est * margin_num then split
           else { (Splitter.unsplit split) with Splitter.est_movement = default_est }
         in
-        let sched = Schedule.schedule ctx ~group:meta.group split stmt env in
+        (* Repair before anything reads task placements: the cross-node
+           arc filter and the variable2node propagation below must see the
+           post-remap nodes or sync arcs would be elided against stale
+           placements. *)
+        let sched = Schedule.repair ctx (Schedule.schedule ctx ~group:meta.group split stmt env) in
         Context.advance_statement ctx;
         (* Propagate this statement's L1 placements to later statements in
            the window (the variable2node map of Algorithm 1, line 37). *)

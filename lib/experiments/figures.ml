@@ -335,7 +335,7 @@ let fig23 common =
               ~compiler_resolve:(fun _ _ -> None)
               ~runtime_resolve:(fun _ _ -> None)
               ~arrays:k.Ndp_core.Kernel.program.Ndp_ir.Loop.arrays
-              ~options:(Ndp_core.Context.default_options Config.default)
+              ~options:(Ndp_core.Context.default_options Config.default) ()
           in
           Ndp_core.Data_mapping.profile ctx ~accesses
         in
@@ -387,6 +387,50 @@ let fig24 common =
   Table.add_row t [ "geomean(ours)"; pct (Common.geomean_improvement acc) ];
   Table.print t
 
+(* Graceful degradation under link failures. Runs bypass the memo cache
+   (it does not key fault plans): each row re-simulates under a plan that
+   kills [n] seed-chosen links. Slowdowns are relative to each scheme's
+   own fault-free run, so the columns compare shapes of the degradation
+   curve — the paper's partitioner should degrade smoothly where the
+   default placement falls off a cliff, and repair should stay closest
+   to 1.0. *)
+let degradation ?(app = "ocean") common =
+  Printf.printf "== Degradation: slowdown vs killed links (%s) ==\n" app;
+  let k = List.find (fun k -> name k = app) (Common.apps common) in
+  let config = Ndp_sim.Config.default in
+  let mesh = Config.mesh config in
+  let part =
+    Pipeline.Partitioned { Pipeline.partitioned_defaults with Pipeline.window = Pipeline.Adaptive }
+  in
+  let time ?faults ?repair scheme =
+    (Pipeline.run ~config ?faults ?repair scheme k).Pipeline.exec_time
+  in
+  let base_default = time Pipeline.Default in
+  let base_part = time part in
+  let t = Table.create ~header:[ "killed"; "default"; "partitioned"; "repaired" ] in
+  List.iter
+    (fun kills ->
+      let slow base v = Table.cell_f (float_of_int v /. float_of_int base) in
+      let row =
+        if kills = 0 then
+          [ "0"; slow base_default base_default; slow base_part base_part; slow base_part base_part ]
+        else begin
+          let faults =
+            Ndp_fault.Plan.make ~mesh ~seed:config.Config.seed
+              [ Ndp_fault.Plan.Kill_links kills ]
+          in
+          [
+            string_of_int kills;
+            slow base_default (time ~faults Pipeline.Default);
+            slow base_part (time ~faults part);
+            slow base_part (time ~faults ~repair:true part);
+          ]
+        end
+      in
+      Table.add_row t row)
+    [ 0; 1; 2; 4; 8 ];
+  Table.print t
+
 let summary common =
   print_endline "== Summary: partitioned vs default placement ==";
   let t = Table.create ~header:[ "app"; "exec"; "movement"; "L1 (pp)"; "energy" ] in
@@ -420,6 +464,7 @@ let all common =
   fig18 common;
   fig19 common;
   link_heatmap common;
+  degradation common;
   fig20 common;
   fig21 common;
   fig22 common;

@@ -31,6 +31,12 @@ val link_heatmap : ?app:string -> Common.t -> unit
     [noc.link_flits{..}] metric family), default vs partitioned — the
     table form of the paper's traffic heatmaps. *)
 
+val degradation : ?app:string -> Common.t -> unit
+(** Slowdown versus number of killed links (seed-chosen, 0-8), for the
+    default placement, the partitioned scheme and the partitioned scheme
+    with schedule repair — each normalized to its own fault-free run. The
+    graceful-degradation curve; bypasses the experiment memo cache. *)
+
 val fig20 : Common.t -> unit
 (** Execution-time improvement under fixed window sizes 1-8 and the
     adaptive per-nest choice. *)

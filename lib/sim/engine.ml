@@ -34,6 +34,7 @@ end
 type t = {
   machine : Machine.t;
   stats : Stats.t;
+  faults : Ndp_fault.Plan.t option;
   node_free : int array;
   finished : exec_record option Slots.t; (* task id -> execution record *)
   group_hops : int Slots.t;
@@ -44,15 +45,17 @@ type t = {
   m_tasks : Metrics.vec; (* core.tasks{node} *)
   m_busy : Metrics.vec; (* core.busy_cycles{node} *)
   m_syncs : Metrics.vec; (* core.syncs{node} *)
+  m_stall_cycles : Metrics.counter; (* fault.stall_cycles *)
 }
 
-let create ?(obs = Ndp_obs.Sink.none) machine =
+let create ?(obs = Ndp_obs.Sink.none) ?faults machine =
   let n = Ndp_noc.Mesh.size (Machine.mesh machine) in
   let reg = obs.Ndp_obs.Sink.metrics in
   let node_label i = Printf.sprintf "node=%d" i in
   {
     machine;
     stats = Stats.create ~metrics:reg ();
+    faults;
     node_free = Array.make n 0;
     finished = Slots.create None;
     group_hops = Slots.create 0;
@@ -63,6 +66,9 @@ let create ?(obs = Ndp_obs.Sink.none) machine =
     m_tasks = Metrics.vec reg "core.tasks" ~size:n ~label:node_label;
     m_busy = Metrics.vec reg "core.busy_cycles" ~size:n ~label:node_label;
     m_syncs = Metrics.vec reg "core.syncs" ~size:n ~label:node_label;
+    m_stall_cycles =
+      (* Registered only under a plan, keeping fault-free dumps unchanged. *)
+      Metrics.counter (match faults with Some _ -> reg | None -> Metrics.disabled) "fault.stall_cycles";
   }
 
 let machine t = t.machine
@@ -83,6 +89,16 @@ let run ?(on_load = fun ~va:_ ~l1_hit:_ ~l2_hit:_ -> ()) t tasks =
     let lat_before = Stats.latency_sum t.stats in
     let msgs_before = Stats.messages t.stats in
     let issue = t.node_free.(task.node) in
+    (* A stalled node issues nothing inside its fault windows: push the
+       issue cycle past them and account the lost time. *)
+    let issue =
+      match t.faults with
+      | None -> issue
+      | Some plan ->
+        let resumed = Ndp_fault.Plan.stall_until plan ~node:task.node ~time:issue in
+        if resumed > issue then Metrics.add t.m_stall_cycles (resumed - issue);
+        resumed
+    in
     let operand_arrival = function
       | Task.Load { va; bytes } ->
         let outcome = Machine.load t.machine ~node:task.node ~va ~bytes ~time:issue ~stats:t.stats in

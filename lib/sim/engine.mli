@@ -6,14 +6,18 @@
 
 type t
 
-val create : ?obs:Ndp_obs.Sink.t -> Machine.t -> t
+val create : ?obs:Ndp_obs.Sink.t -> ?faults:Ndp_fault.Plan.t -> Machine.t -> t
 (** With [obs], every executed task emits a trace event (label, node,
     start/finish cycle, task id, group) plus an instant event per
     synchronizing task, and per-node task/busy/sync vectors
     ([core.tasks{node}], ...) are registered in [obs.metrics]. The
     engine's {!stats} counters are registered in [obs.metrics] (as
     [sim.*]) when it is enabled. Observability never changes scheduling
-    or timing. *)
+    or timing.
+
+    With [faults], a task issued on a node during one of the plan's stall
+    windows waits until the window closes; the lost cycles accumulate in
+    the [fault.stall_cycles] counter. *)
 
 val machine : t -> Machine.t
 

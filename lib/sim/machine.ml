@@ -7,6 +7,7 @@ module Metrics = Ndp_obs.Metrics
 type t = {
   config : Config.t;
   mesh : Mesh.t;
+  faults : Ndp_fault.Plan.t option;
   snuca : Snuca.t;
   pages : Page_alloc.t;
   network : Network.t;
@@ -23,11 +24,12 @@ type t = {
   m_l2_bank_hits : Metrics.vec; (* mem.l2_bank_hits{bank} *)
   m_l2_bank_misses : Metrics.vec;
   m_mc_requests : Metrics.vec; (* mem.mc_requests{node}: L2-miss service per MC *)
+  m_mc_penalty : Metrics.counter; (* fault.mc_penalty_cycles *)
 }
 
 type outcome = { arrival : int; l1_hit : bool; l2_hit : bool option }
 
-let create ?(obs = Ndp_obs.Sink.none) (config : Config.t) =
+let create ?(obs = Ndp_obs.Sink.none) ?faults (config : Config.t) =
   let mesh = Config.mesh config in
   let map = Config.addr_map config in
   let n = Mesh.size mesh in
@@ -58,9 +60,10 @@ let create ?(obs = Ndp_obs.Sink.none) (config : Config.t) =
   {
     config;
     mesh;
+    faults;
     snuca = Snuca.create ~metrics:reg mesh config.cluster map;
     pages = Page_alloc.create ~seed:config.seed ~policy:config.page_policy ~metrics:reg map;
-    network = Network.create ~obs config;
+    network = Network.create ~obs ?faults config;
     l1s = Array.init n l1;
     l2s = Array.init n l2;
     mcdram_cache;
@@ -75,6 +78,9 @@ let create ?(obs = Ndp_obs.Sink.none) (config : Config.t) =
     m_l2_bank_misses =
       Metrics.vec reg "mem.l2_bank_misses" ~size:n ~label:(fun i -> Printf.sprintf "bank=%d" i);
     m_mc_requests = Metrics.vec reg "mem.mc_requests" ~size:n ~label:node_label;
+    m_mc_penalty =
+      (* Registered only under a plan, keeping fault-free dumps unchanged. *)
+      Metrics.counter (match faults with Some _ -> reg | None -> Metrics.disabled) "fault.mc_penalty_cycles";
   }
 
 let set_hot_ranges t ranges = t.hot_ranges <- ranges
@@ -221,7 +227,22 @@ let load t ~node ~va ~bytes ~time ~stats =
       let at_mc =
         Network.send t.network ~time:tag_checked ~src:home ~dst:mc ~bytes:request_bytes ~stats
       in
-      let served = at_mc + memory_latency t va pa stats in
+      let mem_lat = memory_latency t va pa stats in
+      (* MC backpressure: a plan can multiply the service latency behind a
+         controller, modelling a saturated or throttled channel. *)
+      let mem_lat =
+        match t.faults with
+        | None -> mem_lat
+        | Some plan ->
+          let f = Ndp_fault.Plan.mc_factor plan mc in
+          if f = 1.0 then mem_lat
+          else begin
+            let slowed = int_of_float (ceil (float_of_int mem_lat *. f)) in
+            Metrics.add t.m_mc_penalty (slowed - mem_lat);
+            slowed
+          end
+      in
+      let served = at_mc + mem_lat in
       (* The memory reply returns directly to the requester (as on KNL);
          the home bank receives its fill off the critical path. *)
       ignore (Network.send t.network ~time:served ~src:mc ~dst:home ~bytes:c.line_bytes ~stats);

@@ -11,13 +11,19 @@ type outcome = {
   l2_hit : bool option; (** [None] when the L1 satisfied the access *)
 }
 
-val create : ?obs:Ndp_obs.Sink.t -> Config.t -> t
+val create : ?obs:Ndp_obs.Sink.t -> ?faults:Ndp_fault.Plan.t -> Config.t -> t
 (** With [obs], the machine registers per-node L1 hit/miss vectors
     ([mem.l1_hits{node}], ...), per-bank L2 vectors
     ([mem.l2_bank_hits{bank}], ...), per-MC request counts, derived cache
     hit/miss/eviction gauges and the network's per-link families in
     [obs.metrics], and message traffic in [obs.trace]. Disabled by
-    default; observability never changes timing or [stats]. *)
+    default; observability never changes timing or [stats].
+
+    With [faults], the plan is forwarded to the internal {!Network} (link
+    degradation and kill-retry penalties) and memory latency behind a
+    backpressured controller is multiplied by the plan's MC factor,
+    surfaced as [fault.mc_penalty_cycles]. Without a plan, timing is
+    byte-identical to the pre-fault simulator. *)
 
 val set_hot_ranges : t -> (int * int) list -> unit
 (** Virtual-address [(base, length_bytes)] ranges placed in MCDRAM under

@@ -1,5 +1,6 @@
 module Metrics = Ndp_obs.Metrics
 module Trace = Ndp_obs.Trace
+module Plan = Ndp_fault.Plan
 
 type t = {
   mesh : Ndp_noc.Mesh.t;
@@ -10,9 +11,12 @@ type t = {
      makes contention independent of processing order. *)
   util : (int * int, int) Hashtbl.t; (* (link index, epoch) -> busy cycles *)
   mutable distance_factor : float;
+  faults : Plan.t option;
   link_flits : Metrics.vec; (* noc.link_flits{from->to}, indexed by link id *)
   link_busy : Metrics.vec; (* noc.link_busy_cycles{from->to} *)
   msg_latency : Metrics.histogram;
+  fault_retries : Metrics.counter; (* fault.link_retries *)
+  fault_drops : Metrics.counter; (* fault.msg_drops *)
   trace : Trace.t;
 }
 
@@ -37,18 +41,37 @@ let link_labeler mesh =
     (Ndp_noc.Mesh.links mesh);
   fun i -> labels.(i)
 
-let create ?(obs = Ndp_obs.Sink.none) (config : Config.t) =
+let create ?(obs = Ndp_obs.Sink.none) ?faults (config : Config.t) =
   let mesh = Config.mesh config in
   let label = link_labeler mesh in
   let n = Ndp_noc.Mesh.num_links mesh in
+  let registry = obs.Ndp_obs.Sink.metrics in
+  (* fault.* instruments live in the registry only when a plan is present,
+     so fault-free metric dumps are byte-identical to pre-fault output. *)
+  let fault_registry =
+    match faults with Some _ -> registry | None -> Metrics.disabled
+  in
+  (match faults with
+  | None -> ()
+  | Some plan ->
+      (* Static plan shape, published once so [stats --format json] shows
+         what was injected alongside the dynamic fault.* counters. *)
+      let killed, degraded, stalled, mcs = Plan.counts plan in
+      Metrics.set_gauge (Metrics.gauge registry "fault.links_killed") (float_of_int killed);
+      Metrics.set_gauge (Metrics.gauge registry "fault.links_degraded") (float_of_int degraded);
+      Metrics.set_gauge (Metrics.gauge registry "fault.nodes_stalled") (float_of_int stalled);
+      Metrics.set_gauge (Metrics.gauge registry "fault.mcs_slowed") (float_of_int mcs));
   {
     mesh;
     config;
     util = Hashtbl.create 4096;
     distance_factor = 1.0;
-    link_flits = Metrics.vec obs.Ndp_obs.Sink.metrics "noc.link_flits" ~size:n ~label;
-    link_busy = Metrics.vec obs.Ndp_obs.Sink.metrics "noc.link_busy_cycles" ~size:n ~label;
-    msg_latency = Metrics.histogram obs.Ndp_obs.Sink.metrics "noc.msg_latency";
+    faults;
+    link_flits = Metrics.vec registry "noc.link_flits" ~size:n ~label;
+    link_busy = Metrics.vec registry "noc.link_busy_cycles" ~size:n ~label;
+    msg_latency = Metrics.histogram registry "noc.msg_latency";
+    fault_retries = Metrics.counter fault_registry "fault.link_retries";
+    fault_drops = Metrics.counter fault_registry "fault.msg_drops";
     trace = obs.Ndp_obs.Sink.trace;
   }
 
@@ -75,6 +98,29 @@ let send t ~time ~src ~dst ~bytes ~stats =
     let service = flits * t.config.Config.link_service_cycles in
     let traverse now link =
       let idx = Ndp_noc.Mesh.link_index t.mesh link in
+      (* Fault model: a degraded link serves flits more slowly (service
+         time scaled by its factor); a killed link times out
+         [max_retries] send attempts before the message is forced through
+         on the maintenance path — pure arithmetic on plan data, so runs
+         stay deterministic. [faults = None] leaves the pre-fault
+         arithmetic untouched. *)
+      let service, now =
+        match t.faults with
+        | None -> (service, now)
+        | Some plan ->
+            let f = Plan.link_factor plan idx in
+            let service =
+              if f = 1.0 then service
+              else int_of_float (ceil (float_of_int service *. f))
+            in
+            if Plan.link_killed plan idx then begin
+              let retries = Plan.max_retries plan in
+              Metrics.add t.fault_retries retries;
+              Metrics.incr t.fault_drops;
+              (service, now + (retries * Plan.retry_timeout plan))
+            end
+            else (service, now)
+      in
       let key = (idx, now lsr epoch_bits) in
       let load = Option.value (Hashtbl.find_opt t.util key) ~default:0 in
       Hashtbl.replace t.util key (load + service);

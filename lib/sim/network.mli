@@ -8,12 +8,19 @@
 
 type t
 
-val create : ?obs:Ndp_obs.Sink.t -> Config.t -> t
+val create : ?obs:Ndp_obs.Sink.t -> ?faults:Ndp_fault.Plan.t -> Config.t -> t
 (** With [obs], every traversal bumps per-link flit/busy counters
     ([noc.link_flits{x,y->x,y}], [noc.link_busy_cycles{...}]), message
     latencies feed the [noc.msg_latency] histogram, and each message emits
     a trace event. Disabled by default; observability never changes
-    arrival times or [stats]. *)
+    arrival times or [stats].
+
+    With [faults], degraded links scale their per-flit service time by the
+    plan's factor and killed links charge a bounded retry-with-timeout
+    penalty ([max_retries * retry_timeout] cycles per crossing), surfaced
+    through the [fault.link_retries] / [fault.msg_drops] counters and
+    [fault.links_*] gauges. Without a plan, arrival arithmetic is exactly
+    the pre-fault code path. *)
 
 val send : t -> time:int -> src:int -> dst:int -> bytes:int -> stats:Stats.t -> int
 (** Inject a message; returns its arrival time at [dst]. A [src = dst]

@@ -24,7 +24,7 @@ let fixture ?(options = None) placements =
   in
   let ctx =
     Context.create ~machine ~compiler_resolve:resolve ~runtime_resolve:resolve ~arrays
-      ~options:opts
+      ~options:opts ()
   in
   (* Warm the predictor so every placement is predicted L2-resident and
      GetNode returns the home bank, as in the paper's figures. *)
@@ -246,7 +246,7 @@ let baseline_assignment () =
   let machine = Ndp_sim.Machine.create Ndp_sim.Config.default in
   let ctx =
     Context.create ~machine ~compiler_resolve:resolve ~runtime_resolve:resolve ~arrays
-      ~options:(Context.default_options Ndp_sim.Config.default)
+      ~options:(Context.default_options Ndp_sim.Config.default) ()
   in
   let nest =
     Ndp_ir.Loop.nest ~sweeps:2 "n"

@@ -123,7 +123,7 @@ let codegen_window_programs () =
       ~compiler_resolve:(Ndp_ir.Inspector.compiler_resolver insp ~address_of)
       ~runtime_resolve:(Ndp_ir.Inspector.runtime_resolver insp ~address_of)
       ~arrays:k.Ndp_core.Kernel.program.Ndp_ir.Loop.arrays
-      ~options:(Ndp_core.Context.default_options config)
+      ~options:(Ndp_core.Context.default_options config) ()
   in
   let nest = List.hd k.Ndp_core.Kernel.program.Ndp_ir.Loop.nests in
   let env = List.hd (Ndp_ir.Loop.iterations nest) in

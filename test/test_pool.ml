@@ -115,7 +115,7 @@ let choose_size_matches_oracle () =
           ~compiler_resolve:(Ndp_ir.Inspector.compiler_resolver insp ~address_of)
           ~runtime_resolve:(Ndp_ir.Inspector.runtime_resolver insp ~address_of)
           ~arrays:kernel.Ndp_core.Kernel.program.Ndp_ir.Loop.arrays
-          ~options:(Ndp_core.Context.default_options config)
+          ~options:(Ndp_core.Context.default_options config) ()
       in
       let mesh_size = Ndp_noc.Mesh.size (Ndp_sim.Machine.mesh machine) in
       List.iter
