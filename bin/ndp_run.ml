@@ -114,6 +114,31 @@ module Args = struct
             "Reconcile the trace against the aggregate statistics (task-event count, finish \
              time, timestamp monotonicity) and exit nonzero on mismatch.")
 
+  let interval =
+    Arg.(
+      value
+      & opt int 1000
+      & info [ "interval" ] ~docv:"N"
+          ~doc:
+            "Timeline sampling interval in simulated cycles ($(b,profile) only). 0 disables \
+             the timeline and keeps just the movement ledger.")
+
+  let top =
+    Arg.(
+      value
+      & opt int 10
+      & info [ "top" ] ~docv:"K"
+          ~doc:"Rows shown in the top-K movement-source table ($(b,profile) only).")
+
+  let profile_out =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:
+            "Also write a Chrome/Perfetto trace — task events plus one counter track per \
+             timeline series — to FILE; \"-\" writes it to stdout.")
+
   let faults =
     Arg.(
       value
@@ -216,7 +241,11 @@ let metrics_human reg =
         | Metrics.Counter_v v -> string_of_int v
         | Metrics.Gauge_v v -> Ndp_prelude.Table.cell_f v
         | Metrics.Histogram_v h ->
-          Printf.sprintf "count=%d sum=%s" h.count (Ndp_prelude.Table.cell_f h.sum)
+          let p q =
+            Ndp_prelude.Table.cell_f (Metrics.percentile ~counts:h.counts ~bounds:h.bounds q)
+          in
+          Printf.sprintf "count=%d sum=%s p50=%s p95=%s p99=%s" h.count
+            (Ndp_prelude.Table.cell_f h.sum) (p 0.5) (p 0.95) (p 0.99)
       in
       Ndp_prelude.Table.add_row t [ name; value ])
     (Metrics.to_alist reg);
@@ -486,6 +515,11 @@ let trace_selfcheck tracer (r : Pipeline.result) =
   let failures = ref [] in
   let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
   let stats_tasks = Stats.tasks r.Pipeline.stats in
+  (* A lossy trace cannot vouch for anything: dropped events mean the ring
+     overwrote history, so the check fails rather than passing silently. *)
+  if Trace.dropped tracer > 0 then
+    fail "%d events dropped (ring capacity %d exceeded): the trace is not faithful"
+      (Trace.dropped tracer) (Trace.length tracer);
   if Trace.dropped tracer = 0 && List.length tasks <> stats_tasks then
     fail "task events %d <> stats tasks %d" (List.length tasks) stats_tasks;
   let max_end = List.fold_left (fun acc e -> max acc e.Trace.end_ts) 0 tasks in
@@ -533,6 +567,162 @@ let trace_act kernel cluster memory scheme window out format selfcheck jobs =
     Printf.printf "wrote %s (%d events, %d dropped)\n" file (Trace.length tracer)
       (Trace.dropped tracer));
   if selfcheck then trace_selfcheck tracer r
+
+(* ------------------------------------------------------------------ *)
+(* profile: movement attribution ledger + counter timeline             *)
+
+module Ledger = Ndp_obs.Ledger
+module Timeline = Ndp_obs.Timeline
+
+(* The reconciliation target: what the NoC itself counted, summed over
+   every link. The ledger charges [flits x links] per message, so the two
+   totals must agree exactly. *)
+let link_flits_total reg =
+  let prefix = "noc.link_flits{" in
+  List.fold_left
+    (fun acc (name, sample) ->
+      match sample with
+      | Metrics.Counter_v flits when Astring.String.is_prefix ~affix:prefix name -> acc + flits
+      | _ -> acc)
+    0 (Metrics.to_alist reg)
+
+let divergence_cell ~measured ~predicted =
+  if predicted = 0 then "-"
+  else Printf.sprintf "x%.2f" (float_of_int measured /. float_of_int predicted)
+
+let profile_human (r : Pipeline.result) ledger timeline ~top ~link_flits =
+  let buf = Buffer.create 2048 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  Buffer.add_string buf (result_human r);
+  pr "\n\n";
+  let stmts = Ledger.statements ledger in
+  let stmt_ratio =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (s : Ledger.stmt_total) ->
+        Hashtbl.replace tbl (s.Ledger.s_nest, s.Ledger.s_stmt)
+          (divergence_cell ~measured:s.Ledger.s_flit_hops ~predicted:s.Ledger.s_predicted))
+      stmts;
+    fun nest stmt -> Option.value (Hashtbl.find_opt tbl (nest, stmt)) ~default:"-"
+  in
+  let rows = Ledger.rows ledger in
+  let by_weight =
+    List.stable_sort
+      (fun (a : Ledger.row) (b : Ledger.row) -> compare b.Ledger.flit_hops a.Ledger.flit_hops)
+      rows
+  in
+  let shown = List.filteri (fun i _ -> i < top) by_weight in
+  let total = max 1 (Ledger.total_flit_hops ledger) in
+  pr "top %d of %d movement sources (by flit-hops):\n" (List.length shown) (List.length rows);
+  let t =
+    Ndp_prelude.Table.create
+      ~header:[ "nest"; "stmt"; "array"; "route"; "msgs"; "flits"; "flit-hops"; "share"; "divergence" ]
+  in
+  List.iter
+    (fun (row : Ledger.row) ->
+      Ndp_prelude.Table.add_row t
+        [
+          row.Ledger.nest;
+          string_of_int row.Ledger.stmt;
+          row.Ledger.array_name;
+          Printf.sprintf "%d->%d" row.Ledger.src row.Ledger.dst;
+          string_of_int row.Ledger.messages;
+          string_of_int row.Ledger.flits;
+          string_of_int row.Ledger.flit_hops;
+          Printf.sprintf "%.1f%%" (100.0 *. float_of_int row.Ledger.flit_hops /. float_of_int total);
+          stmt_ratio row.Ledger.nest row.Ledger.stmt;
+        ])
+    shown;
+  Buffer.add_string buf (Ndp_prelude.Table.render t);
+  pr "\npredicted vs measured movement per statement (flit-hops):\n";
+  let t =
+    Ndp_prelude.Table.create ~header:[ "nest"; "stmt"; "predicted"; "measured"; "divergence" ]
+  in
+  List.iter
+    (fun (s : Ledger.stmt_total) ->
+      Ndp_prelude.Table.add_row t
+        [
+          s.Ledger.s_nest;
+          string_of_int s.Ledger.s_stmt;
+          string_of_int s.Ledger.s_predicted;
+          string_of_int s.Ledger.s_flit_hops;
+          divergence_cell ~measured:s.Ledger.s_flit_hops ~predicted:s.Ledger.s_predicted;
+        ])
+    stmts;
+  Ndp_prelude.Table.add_row t
+    [
+      "(total)";
+      "";
+      string_of_int (Ledger.total_predicted ledger);
+      string_of_int (Ledger.total_flit_hops ledger);
+      divergence_cell ~measured:(Ledger.total_flit_hops ledger)
+        ~predicted:(Ledger.total_predicted ledger);
+    ];
+  Buffer.add_string buf (Ndp_prelude.Table.render t);
+  let measured = Ledger.total_flit_hops ledger in
+  pr "\nreconciliation: ledger %d flit-hops vs noc.link_flits %d -> %s\n" measured link_flits
+    (if measured = link_flits then "ok" else "MISMATCH");
+  (match Timeline.series timeline with
+  | [] -> ()
+  | series ->
+    let samples = List.fold_left (fun acc s -> acc + List.length s.Timeline.samples) 0 series in
+    let dropped = List.fold_left (fun acc s -> acc + s.Timeline.dropped) 0 series in
+    pr "timeline: %d series, interval %d cycles, %d samples, %d dropped"
+      (List.length series) (Timeline.interval timeline) samples dropped);
+  Buffer.contents buf
+
+let profile_act kernel cluster memory scheme window interval top out format jobs =
+  with_jobs jobs @@ fun pool ->
+  let want_trace = out <> "" in
+  let obs =
+    Ndp_obs.Sink.create ~metrics:true ~trace:want_trace ~ledger:true
+      ~timeline_interval:(max 0 interval) ()
+  in
+  let r =
+    pipeline_run ~config:(config_of cluster memory) ~obs pool (scheme_of scheme window) kernel
+  in
+  let ledger = obs.Ndp_obs.Sink.ledger in
+  let timeline = obs.Ndp_obs.Sink.timeline in
+  let reg = obs.Ndp_obs.Sink.metrics in
+  let link_flits = link_flits_total reg in
+  let measured = Ledger.total_flit_hops ledger in
+  let reconciled = measured = link_flits in
+  if want_trace then begin
+    let payload =
+      Trace.to_chrome ~counters:(Timeline.chrome_counter_events timeline) obs.Ndp_obs.Sink.trace
+    in
+    match out with
+    | "-" -> print_string payload
+    | file ->
+      let oc = open_out file in
+      output_string oc payload;
+      close_out oc;
+      Printf.printf "wrote %s (%d events + %d counter samples)\n" file
+        (Trace.length obs.Ndp_obs.Sink.trace)
+        (List.length (Timeline.chrome_counter_events timeline))
+  end;
+  let doc =
+    Render.Json.Obj
+      [
+        ("result", result_json r);
+        ("ledger", Ledger.to_json ledger);
+        ("timeline", Timeline.to_json timeline);
+        ( "reconciliation",
+          Render.Json.Obj
+            [
+              ("ledger_flit_hops", Render.Json.Int measured);
+              ("noc_link_flits", Render.Json.Int link_flits);
+              ("reconciled", Render.Json.Bool reconciled);
+            ] );
+      ]
+  in
+  let human () = profile_human r ledger timeline ~top ~link_flits in
+  print_endline (Render.output format ~human doc);
+  if not reconciled then begin
+    Printf.eprintf "ndp_run profile: ledger flit-hops %d do not reconcile with noc.link_flits %d\n"
+      measured link_flits;
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* list / codegen / dot / check                                        *)
@@ -676,6 +866,17 @@ let commands =
         Term.(
           const trace_act $ Args.kernel $ Args.cluster $ Args.memory $ Args.scheme $ Args.window
           $ Args.out_file $ Args.format $ Args.selfcheck $ Args.jobs);
+    };
+    {
+      name = "profile";
+      summary =
+        "Simulate with the data-movement attribution ledger and counter timeline enabled: \
+         top-K movement sources, predicted-vs-measured reconciliation, optional Perfetto \
+         counter tracks.";
+      term =
+        Term.(
+          const profile_act $ Args.kernel $ Args.cluster $ Args.memory $ Args.scheme
+          $ Args.window $ Args.interval $ Args.top $ Args.profile_out $ Args.format $ Args.jobs);
     };
     { name = "list"; summary = "List the application kernels."; term = Term.(const list_act $ const ()) };
     {

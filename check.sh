@@ -1,7 +1,9 @@
 #!/bin/sh
 # Repo verification gate: build, unit/property/golden tests, the
-# observability self-check, the fault-injection + schedule-repair
-# self-check, then the static analysis suite (IR lint + schedule race
+# observability self-check, the profiling reconciliation check (the
+# attribution ledger must account for every flit-hop the NoC carried),
+# the fault-injection + schedule-repair self-check, then the static
+# analysis suite (IR lint + schedule race
 # detection over all 12 workloads under the default and partitioned
 # schemes). Every phase runs even when an earlier one fails; the gate
 # exits nonzero naming each failed phase, so a broken build can no longer
@@ -56,6 +58,28 @@ obs_gate() (
   dune exec bin/ndp_run.exe -- stats fft --format json >/dev/null
 )
 
+profile_gate() (
+  # Profile an app and assert the attribution ledger reconciles exactly
+  # against the NoC's own link counters: every flit-hop the simulated
+  # network carried must be attributed to some (statement, array, route).
+  set -e
+  _prof=$(mktemp /tmp/ndp_profile.XXXXXX.json)
+  dune exec bin/ndp_run.exe -- profile mg --format json >"$_prof"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -c "
+import json, sys
+d = json.load(open(sys.argv[1]))
+r = d['reconciliation']
+assert r['reconciled'], 'ledger does not reconcile: %r' % r
+assert r['ledger_flit_hops'] == r['noc_link_flits'], r
+assert r['ledger_flit_hops'] > 0, 'empty ledger'
+assert d['ledger']['totals']['flit_hops'] == r['ledger_flit_hops'], 'totals mismatch'
+assert d['timeline']['series'], 'no timeline series'
+" "$_prof"
+  fi
+  rm -f "$_prof"
+)
+
 fault_gate() (
   # Inject a deterministic fault plan (killed link, stalled node, slowed
   # MC), repair the schedule around it, and run the built-in selfcheck:
@@ -70,6 +94,7 @@ fault_gate() (
 phase build dune build
 phase runtest dune runtest
 phase obs obs_gate
+phase profile profile_gate
 phase fault fault_gate
 phase check dune exec bin/ndp_run.exe -- check --jobs "$jobs"
 

@@ -180,6 +180,57 @@ let run ?(config = Config.default) ?(tweaks = no_tweaks) ?(validate = false) ?po
       ([], 0) kernel.Kernel.program.Loop.nests
   in
   let streams = List.rev streams in
+  let ledger = obs.Ndp_obs.Sink.ledger in
+  let ledger_on = Ndp_obs.Ledger.enabled ledger in
+  (* Predicted-cost hook: [record_predicted group movement] files the
+     compiler's [size x distance] estimate (in link units, one cache line
+     per unit) under the group's statement, normalized to the flit-hop
+     unit the ledger measures. Recording happens here — from the reports
+     of the windows actually emitted — and never inside [Window.compile],
+     which also runs on forked contexts during window-size estimation. *)
+  let record_predicted =
+    if not ledger_on then fun _ _ -> ()
+    else begin
+      let stmt_of_group = Array.make (max 1 total_groups) 0 in
+      List.iter
+        (fun ((nest : Loop.nest), metas) ->
+          List.iter
+            (fun (m : Window.meta) ->
+              stmt_of_group.(m.Window.group) <-
+                Ndp_obs.Ledger.stmt_id ledger ~nest:nest.Loop.nest_name
+                  ~stmt:m.Window.inst.Dep.stmt_idx)
+            metas)
+        streams;
+      Ndp_obs.Ledger.set_group_resolver ledger (fun g ->
+          if g >= 0 && g < total_groups then stmt_of_group.(g) else 0);
+      let ranges =
+        Array.of_list
+          (List.sort compare
+             (List.map
+                (fun (d : Ndp_ir.Array_decl.t) ->
+                  (d.base_va, d.base_va + (d.length * d.elem_size), Ndp_obs.Ledger.array_id ledger d.name))
+                kernel.Kernel.program.Loop.arrays))
+      in
+      Ndp_obs.Ledger.set_va_resolver ledger (fun va ->
+          let lo = ref 0 and hi = ref (Array.length ranges) in
+          let found = ref 0 in
+          while !lo < !hi do
+            let mid = (!lo + !hi) / 2 in
+            let base, limit, id = ranges.(mid) in
+            if va < base then hi := mid
+            else if va >= limit then lo := mid + 1
+            else begin
+              found := id;
+              lo := !hi
+            end
+          done;
+          !found);
+      let line_flits = Config.flits_of_bytes config config.Config.line_bytes in
+      fun group movement ->
+        Ndp_obs.Ledger.predict ledger ~stmt:stmt_of_group.(group)
+          ~flit_hops:(movement * line_flits)
+    end
+  in
   let parallelism = Array.make total_groups 1.0 in
   let group_syncs = Array.make total_groups 0 in
   let est_movement_total = ref 0 in
@@ -198,6 +249,10 @@ let run ?(config = Config.default) ?(tweaks = no_tweaks) ?(validate = false) ?po
               Baseline.compile_instance ctx ~group:m.Window.group ~node:m.Window.default_node
                 m.Window.inst
             in
+            if ledger_on then
+              record_predicted m.Window.group
+                (Splitter.default_movement ctx ~store_node:m.Window.default_node
+                   m.Window.inst.Dep.stmt m.Window.inst.Dep.env);
             incr tasks_emitted;
             if validate then nest_tasks := task :: !nest_tasks;
             Engine.run engine [ apply_tweaks tweaks task ])
@@ -261,6 +316,7 @@ let run ?(config = Config.default) ?(tweaks = no_tweaks) ?(validate = false) ?po
               (fun (r : Window.stmt_report) ->
                 parallelism.(r.Window.r_group) <- float_of_int r.Window.parallelism;
                 group_syncs.(r.Window.r_group) <- r.Window.syncs;
+                record_predicted r.Window.r_group r.Window.est_movement;
                 est_movement_total := !est_movement_total + r.Window.est_movement;
                 offload := Task.mix_add !offload r.Window.offload_mix)
               compiled.Window.reports;
@@ -285,6 +341,8 @@ let run ?(config = Config.default) ?(tweaks = no_tweaks) ?(validate = false) ?po
           (List.map (fun (t, _) -> apply_tweaks tweaks t) (Array.to_list ordered)))
       streams);
   let stats = Ndp_sim.Stats.copy (Engine.stats engine) in
+  (* End every timeline series at the run's last cycle, boundary or not. *)
+  Ndp_obs.Timeline.flush obs.Ndp_obs.Sink.timeline ~now:(Ndp_sim.Stats.finish_time stats);
   let group_hops = Array.init total_groups (fun g -> Engine.group_hops engine g) in
   let group_avg_latency =
     Array.init total_groups (fun g ->

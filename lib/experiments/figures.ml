@@ -249,6 +249,48 @@ let link_heatmap ?(app = "ocean") common =
   render "partitioned"
     (grid_of (Pipeline.Partitioned { Pipeline.partitioned_defaults with Pipeline.window = Pipeline.Adaptive }))
 
+(* Predicted vs. measured data movement from the attribution ledger: one
+   ledger-enabled run per (app, scheme) outside the memo cache (which never
+   threads a sink). "pred" is the compile-time estimate the partitioner
+   minimized (Kruskal MST / window movement, in flit-hops); "meas" is what
+   the simulated NoC actually carried (ledger total, reconciled against
+   noc.link_flits by construction). The ratio column is the honesty check
+   on the cost model: how much real traffic — request headers, fills,
+   prefetches, invalidations, forwarded results — rides on top of each
+   predicted flit-hop. *)
+let attribution common =
+  print_endline "== Attribution: predicted vs measured movement (flit-hops) ==";
+  let config = Ndp_sim.Config.default in
+  let measure scheme k =
+    let obs = Ndp_obs.Sink.create ~metrics:false ~trace:false ~ledger:true () in
+    ignore (Pipeline.run ~config ~obs scheme k);
+    let ledger = obs.Ndp_obs.Sink.ledger in
+    (Ndp_obs.Ledger.total_predicted ledger, Ndp_obs.Ledger.total_flit_hops ledger)
+  in
+  let ratio pred meas =
+    if pred = 0 then "-" else Printf.sprintf "x%.2f" (float_of_int meas /. float_of_int pred)
+  in
+  let part =
+    Pipeline.Partitioned { Pipeline.partitioned_defaults with Pipeline.window = Pipeline.Adaptive }
+  in
+  let t =
+    Table.create
+      ~header:
+        [ "app"; "def:pred"; "def:meas"; "def:x"; "part:pred"; "part:meas"; "part:x" ]
+  in
+  List.iter
+    (fun k ->
+      let dp, dm = measure Pipeline.Default k in
+      let pp, pm = measure part k in
+      Table.add_row t
+        [
+          name k;
+          string_of_int dp; string_of_int dm; ratio dp dm;
+          string_of_int pp; string_of_int pm; ratio pp pm;
+        ])
+    (Common.apps common);
+  Table.print t
+
 let fixed_window common k w =
   Common.run common
     (Pipeline.Partitioned { Pipeline.partitioned_defaults with Pipeline.window = Pipeline.Fixed w })
@@ -464,6 +506,7 @@ let all common =
   fig18 common;
   fig19 common;
   link_heatmap common;
+  attribution common;
   degradation common;
   fig20 common;
   fig21 common;

@@ -31,6 +31,12 @@ val link_heatmap : ?app:string -> Common.t -> unit
     [noc.link_flits{..}] metric family), default vs partitioned — the
     table form of the paper's traffic heatmaps. *)
 
+val attribution : Common.t -> unit
+(** Predicted (compile-time MST / window estimate) vs. measured (ledger)
+    data movement per application, default and partitioned — plus the
+    measured/predicted ratio, the honesty check on the cost model. Runs a
+    ledger-enabled pipeline per (app, scheme) outside the memo cache. *)
+
 val degradation : ?app:string -> Common.t -> unit
 (** Slowdown versus number of killed links (seed-chosen, 0-8), for the
     default placement, the partitioned scheme and the partitioned scheme

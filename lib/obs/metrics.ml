@@ -187,6 +187,34 @@ let merge regs =
     regs;
   out
 
+(* Quantile estimate from cumulative-style buckets: find the bucket the
+   rank lands in and interpolate linearly between its bounds (the first
+   bucket's lower bound is 0; the overflow bucket clamps to the largest
+   bound, the best statement the histogram can make). *)
+let percentile ~counts ~bounds q =
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then 0.0
+  else begin
+    let target = q *. float_of_int total in
+    let nb = Array.length bounds in
+    let top = if nb = 0 then 0.0 else bounds.(nb - 1) in
+    let rec go i cum =
+      if i >= Array.length counts then top
+      else begin
+        let cum' = cum + counts.(i) in
+        if counts.(i) > 0 && float_of_int cum' >= target then
+          if i >= nb then top
+          else begin
+            let lo = if i = 0 then 0.0 else bounds.(i - 1) in
+            let frac = (target -. float_of_int cum) /. float_of_int counts.(i) in
+            lo +. (frac *. (bounds.(i) -. lo))
+          end
+        else go (i + 1) cum'
+      end
+    in
+    go 0 0
+  end
+
 let to_json t =
   let sample_json = function
     | Counter_v n -> Render.Json.Int n
@@ -206,10 +234,14 @@ let to_json t =
                      ];
                  ]))
       in
+      let p q = Render.Json.Float (percentile ~counts ~bounds q) in
       Render.Json.Obj
         [
           ("count", Render.Json.Int count);
           ("sum", Render.Json.Float sum);
+          ("p50", p 0.5);
+          ("p95", p 0.95);
+          ("p99", p 0.99);
           ("buckets", Render.Json.List buckets);
         ]
   in

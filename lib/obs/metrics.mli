@@ -100,9 +100,17 @@ val merge : t list -> t
     gauges are evaluated and frozen. The result is independent of any
     concurrent schedule that produced the inputs. *)
 
+val percentile : counts:int array -> bounds:float array -> float -> float
+(** [percentile ~counts ~bounds q] estimates the [q]-quantile
+    ([0.0 <= q <= 1.0]) of a histogram sample by linear interpolation
+    within the containing bucket (lower bound 0 for the first bucket; the
+    overflow bucket clamps to the largest bound). Returns [0.0] for an
+    empty histogram. *)
+
 val to_json : t -> Render.Json.t
 (** [Obj] keyed by sample name; counters as ints, gauges as floats,
-    histograms as [{"count":..,"sum":..,"buckets":[[le,count],..]}]. *)
+    histograms as
+    [{"count":..,"sum":..,"p50":..,"p95":..,"p99":..,"buckets":[[le,count],..]}]. *)
 
 (** {1 Per-domain sharding} *)
 

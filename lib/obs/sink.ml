@@ -1,13 +1,29 @@
-type t = { metrics : Metrics.t; trace : Trace.t }
+type t = {
+  metrics : Metrics.t;
+  trace : Trace.t;
+  ledger : Ledger.t;
+  timeline : Timeline.t;
+}
 
-let none = { metrics = Metrics.disabled; trace = Trace.none }
+let none =
+  { metrics = Metrics.disabled; trace = Trace.none; ledger = Ledger.none; timeline = Timeline.none }
 
-let create ?(metrics = true) ?(trace = true) ?trace_capacity () =
+let create ?(metrics = true) ?(trace = true) ?trace_capacity ?(ledger = false)
+    ?(timeline_interval = 0) ?timeline_capacity () =
   {
     metrics = (if metrics then Metrics.create () else Metrics.disabled);
     trace = (if trace then Trace.create ?capacity:trace_capacity () else Trace.none);
+    ledger = (if ledger then Ledger.create () else Ledger.none);
+    timeline =
+      (if timeline_interval > 0 then
+         Timeline.create ?capacity:timeline_capacity ~interval:timeline_interval ()
+       else Timeline.none);
   }
 
 let metrics_enabled t = Metrics.enabled t.metrics
 
 let trace_enabled t = Trace.enabled t.trace
+
+let ledger_enabled t = Ledger.enabled t.ledger
+
+let timeline_enabled t = Timeline.enabled t.timeline

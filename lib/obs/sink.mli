@@ -1,17 +1,38 @@
 (** The observability handle threaded through the simulator and compiler:
-    one metrics registry plus one event tracer. Subsystem constructors
+    one metrics registry, one event tracer, one data-movement attribution
+    ledger and one counter timeline. Subsystem constructors
     ([Machine.create], [Engine.create], [Pipeline.run], ...) take
     [?obs:Sink.t] defaulting to {!none}, so unobserved runs pay only the
     inert-handle branches. *)
 
-type t = { metrics : Metrics.t; trace : Trace.t }
+type t = {
+  metrics : Metrics.t;
+  trace : Trace.t;
+  ledger : Ledger.t;
+  timeline : Timeline.t;
+}
 
 val none : t
-(** Disabled metrics and disabled trace — the default everywhere. *)
+(** Everything disabled — the default everywhere. *)
 
-val create : ?metrics:bool -> ?trace:bool -> ?trace_capacity:int -> unit -> t
-(** Enable the requested parts (both default to [true]). *)
+val create :
+  ?metrics:bool ->
+  ?trace:bool ->
+  ?trace_capacity:int ->
+  ?ledger:bool ->
+  ?timeline_interval:int ->
+  ?timeline_capacity:int ->
+  unit ->
+  t
+(** Enable the requested parts. [metrics] and [trace] default to [true];
+    the profiling layers default to off ([ledger = false],
+    [timeline_interval = 0]) so existing callers keep their exact
+    pre-profiling behaviour. *)
 
 val metrics_enabled : t -> bool
 
 val trace_enabled : t -> bool
+
+val ledger_enabled : t -> bool
+
+val timeline_enabled : t -> bool

@@ -110,13 +110,13 @@ let chrome_event e =
   let args = ("id", e.id) :: e.args in
   common @ shape @ [ ("args", Obj (List.map (fun (k, v) -> (k, Int v)) args)) ]
 
-let to_chrome t =
+let to_chrome ?(counters = []) t =
   let open Render.Json in
   let events = List.map (fun e -> Obj (chrome_event e)) (sorted_events t) in
   to_string
     (Obj
        [
-         ("traceEvents", List events);
+         ("traceEvents", List (events @ counters));
          ("displayTimeUnit", Str "ns");
          ("otherData", Obj [ ("emitted", Int (total t)); ("dropped", Int (dropped t)) ]);
        ])

@@ -58,13 +58,15 @@ val total : t -> int
 val dropped : t -> int
 (** [total - length]: events overwritten by the ring. *)
 
-val to_chrome : t -> string
+val to_chrome : ?counters:Render.Json.t list -> t -> string
 (** One Chrome [trace_event] JSON document:
     [{"traceEvents": [...], "displayTimeUnit": "ns", ...}]. Tasks and
     messages are complete ("X") events with [pid] 0 and [tid] = node
     (cycles as microseconds); syncs are instant ("i") events. Events are
     sorted by start cycle, so timestamps are globally (and per-node)
-    non-decreasing. *)
+    non-decreasing. [counters] are pre-rendered extra events — e.g.
+    {!Timeline.chrome_counter_events} counter tracks — appended after the
+    task events (Perfetto orders by timestamp itself). *)
 
 val to_jsonl : t -> string
 (** One JSON object per line, same field names as {!to_chrome} events,

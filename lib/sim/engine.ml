@@ -1,5 +1,7 @@
 module Metrics = Ndp_obs.Metrics
 module Trace = Ndp_obs.Trace
+module Ledger = Ndp_obs.Ledger
+module Timeline = Ndp_obs.Timeline
 
 type exec_record = { node : int; start : int; finish : int; group : int }
 
@@ -42,6 +44,9 @@ type t = {
   group_spans : (int * int) list Slots.t; (* group -> (start, finish) *)
   node_busy : int array;
   trace : Trace.t;
+  ledger : Ledger.t;
+  timeline : Timeline.t;
+  result_array : int; (* interned ledger array id for forwarded partials *)
   m_tasks : Metrics.vec; (* core.tasks{node} *)
   m_busy : Metrics.vec; (* core.busy_cycles{node} *)
   m_syncs : Metrics.vec; (* core.syncs{node} *)
@@ -52,9 +57,21 @@ let create ?(obs = Ndp_obs.Sink.none) ?faults machine =
   let n = Ndp_noc.Mesh.size (Machine.mesh machine) in
   let reg = obs.Ndp_obs.Sink.metrics in
   let node_label i = Printf.sprintf "node=%d" i in
+  let stats = Stats.create ~metrics:reg () in
+  let timeline = obs.Ndp_obs.Sink.timeline in
+  if Timeline.enabled timeline then begin
+    (* Timeline instruments: closures over counters the engine already
+       maintains, sampled on the finish-time envelope as tasks retire. *)
+    Timeline.register timeline "noc.flit_hops" (fun () -> Stats.hops stats);
+    Timeline.register timeline "noc.messages" (fun () -> Stats.messages stats);
+    Timeline.register timeline "core.tasks" (fun () -> Stats.tasks stats);
+    Timeline.register timeline "mem.l1_misses" (fun () -> Stats.l1_misses stats);
+    Timeline.register timeline "mem.l2_misses" (fun () -> Stats.l2_misses stats);
+    Timeline.register timeline "sim.syncs" (fun () -> Stats.syncs stats)
+  end;
   {
     machine;
-    stats = Stats.create ~metrics:reg ();
+    stats;
     faults;
     node_free = Array.make n 0;
     finished = Slots.create None;
@@ -63,6 +80,9 @@ let create ?(obs = Ndp_obs.Sink.none) ?faults machine =
     group_spans = Slots.create [];
     node_busy = Array.make n 0;
     trace = obs.Ndp_obs.Sink.trace;
+    ledger = obs.Ndp_obs.Sink.ledger;
+    timeline;
+    result_array = Ledger.array_id obs.Ndp_obs.Sink.ledger "(result)";
     m_tasks = Metrics.vec reg "core.tasks" ~size:n ~label:node_label;
     m_busy = Metrics.vec reg "core.busy_cycles" ~size:n ~label:node_label;
     m_syncs = Metrics.vec reg "core.syncs" ~size:n ~label:node_label;
@@ -85,6 +105,7 @@ let attribute_group t group ~hops_before ~lat_before ~msgs_before =
 let run ?(on_load = fun ~va:_ ~l1_hit:_ ~l2_hit:_ -> ()) t tasks =
   let config = Machine.config t.machine in
   let exec (task : Task.t) =
+    Ledger.enter_group t.ledger task.group;
     let hops_before = Stats.hops t.stats in
     let lat_before = Stats.latency_sum t.stats in
     let msgs_before = Stats.messages t.stats in
@@ -109,9 +130,11 @@ let run ?(on_load = fun ~va:_ ~l1_hit:_ ~l2_hit:_ -> ()) t tasks =
         | None -> invalid_arg "Engine.run: tasks not in producer-before-consumer order"
         | Some r ->
           if r.node = task.node then r.finish
-          else
+          else begin
+            Ledger.enter_array t.ledger t.result_array;
             Network.send (Machine.network t.machine) ~time:r.finish ~src:r.node ~dst:task.node
-              ~bytes ~stats:t.stats)
+              ~bytes ~stats:t.stats
+          end)
     in
     let load_ops, result_ops =
       List.partition (function Task.Load _ -> true | Task.Result _ -> false) task.operands
@@ -164,6 +187,7 @@ let run ?(on_load = fun ~va:_ ~l1_hit:_ ~l2_hit:_ -> ()) t tasks =
       ~group:task.group;
     if task.syncs > 0 then
       Trace.sync t.trace ~node:task.node ~ts:data_ready ~producer:(-1) ~consumer:task.id;
+    Timeline.tick t.timeline ~now:(Stats.finish_time t.stats);
     attribute_group t task.group ~hops_before ~lat_before ~msgs_before
   in
   List.iter exec tasks

@@ -3,6 +3,7 @@ module Cache = Ndp_mem.Cache
 module Snuca = Ndp_mem.Snuca
 module Page_alloc = Ndp_mem.Page_alloc
 module Metrics = Ndp_obs.Metrics
+module Ledger = Ndp_obs.Ledger
 
 type t = {
   config : Config.t;
@@ -25,6 +26,7 @@ type t = {
   m_l2_bank_misses : Metrics.vec;
   m_mc_requests : Metrics.vec; (* mem.mc_requests{node}: L2-miss service per MC *)
   m_mc_penalty : Metrics.counter; (* fault.mc_penalty_cycles *)
+  ledger : Ledger.t;
 }
 
 type outcome = { arrival : int; l1_hit : bool; l2_hit : bool option }
@@ -81,6 +83,7 @@ let create ?(obs = Ndp_obs.Sink.none) ?faults (config : Config.t) =
     m_mc_penalty =
       (* Registered only under a plan, keeping fault-free dumps unchanged. *)
       Metrics.counter (match faults with Some _ -> reg | None -> Metrics.disabled) "fault.mc_penalty_cycles";
+    ledger = obs.Ndp_obs.Sink.ledger;
   }
 
 let set_hot_ranges t ranges = t.hot_ranges <- ranges
@@ -162,6 +165,7 @@ let prefetch_next t ~node ~va ~time ~stats =
   if t.config.Config.prefetch_next_line then begin
     let next_va = ((line_of t va) + 1) * t.config.Config.line_bytes in
     if not (Cache.probe t.l1s.(node) next_va) then begin
+      Ledger.enter_va t.ledger next_va;
       let pa = translate t next_va in
       let home = Snuca.home_node t.snuca pa in
       ignore (Network.send t.network ~time ~src:node ~dst:home ~bytes:request_bytes ~stats);
@@ -182,6 +186,7 @@ let mc_for t ~va ~pa =
 
 let load t ~node ~va ~bytes ~time ~stats =
   ignore bytes;
+  Ledger.enter_va t.ledger va;
   let c = t.config in
   (* Data always moves at cache-line granularity on the mesh. *)
   let fill_bytes = c.Config.line_bytes in
@@ -257,6 +262,7 @@ let load t ~node ~va ~bytes ~time ~stats =
 
 let store t ~node ~va ~bytes ~time ~stats =
   ignore bytes;
+  Ledger.enter_va t.ledger va;
   let pa = translate t va in
   let home = Snuca.home_node t.snuca pa in
   invalidate_sharers t ~writer:node ~va ~time ~stats;

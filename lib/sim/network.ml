@@ -1,5 +1,6 @@
 module Metrics = Ndp_obs.Metrics
 module Trace = Ndp_obs.Trace
+module Ledger = Ndp_obs.Ledger
 module Plan = Ndp_fault.Plan
 
 type t = {
@@ -18,6 +19,7 @@ type t = {
   fault_retries : Metrics.counter; (* fault.link_retries *)
   fault_drops : Metrics.counter; (* fault.msg_drops *)
   trace : Trace.t;
+  ledger : Ledger.t;
 }
 
 let epoch_bits = 8
@@ -73,6 +75,7 @@ let create ?(obs = Ndp_obs.Sink.none) ?faults (config : Config.t) =
     fault_retries = Metrics.counter fault_registry "fault.link_retries";
     fault_drops = Metrics.counter fault_registry "fault.msg_drops";
     trace = obs.Ndp_obs.Sink.trace;
+    ledger = obs.Ndp_obs.Sink.ledger;
   }
 
 let set_distance_factor t f =
@@ -132,6 +135,10 @@ let send t ~time ~src ~dst ~bytes ~stats =
     in
     let arrival = List.fold_left traverse time route in
     let hops = List.length route in
+    (* Each traversed link also received [flits] in [noc.link_flits], so
+       charging [flits x hops] here keeps the ledger total reconciled with
+       the link-flit total by construction. *)
+    Ledger.account t.ledger ~src ~dst ~flits ~links:hops;
     Stats.add_hops stats (hops * flits);
     Stats.incr_messages stats;
     let latency = arrival - time in

@@ -5,6 +5,8 @@
 
 module M = Ndp_obs.Metrics
 module T = Ndp_obs.Trace
+module L = Ndp_obs.Ledger
+module TL = Ndp_obs.Timeline
 module Sink = Ndp_obs.Sink
 module P = Ndp_core.Pipeline
 module Stats = Ndp_sim.Stats
@@ -311,6 +313,148 @@ let metrics_json_parses () =
     Alcotest.(check bool) "sim aggregate present" true (List.mem_assoc "sim.tasks" kvs)
   | _ -> Alcotest.fail "metrics json is not an object"
 
+(* {1 Percentiles} *)
+
+let percentile_estimates () =
+  (* 10 observations <= 10, 10 more <= 20: p50 lands at the first bucket's
+     upper bound, p75 halfway through the second. *)
+  let counts = [| 10; 10 |] and bounds = [| 10.0; 20.0 |] in
+  Alcotest.(check (float 1e-9)) "p50" 10.0 (M.percentile ~counts ~bounds 0.5);
+  Alcotest.(check (float 1e-9)) "p75" 15.0 (M.percentile ~counts ~bounds 0.75);
+  Alcotest.(check (float 1e-9)) "p100" 20.0 (M.percentile ~counts ~bounds 1.0);
+  Alcotest.(check (float 1e-9)) "empty histogram" 0.0 (M.percentile ~counts:[| 0; 0 |] ~bounds 0.5);
+  (* Overflow-bucket mass clamps to the largest bound. *)
+  Alcotest.(check (float 1e-9)) "overflow clamps" 20.0
+    (M.percentile ~counts:[| 0; 0; 5 |] ~bounds 0.99)
+
+(* {1 Movement ledger} *)
+
+let link_flits_total reg =
+  List.fold_left
+    (fun acc (name, s) ->
+      match s with
+      | M.Counter_v v when Astring.String.is_prefix ~affix:"noc.link_flits{" name -> acc + v
+      | _ -> acc)
+    0 (M.to_alist reg)
+
+let profiled_sink () = Sink.create ~metrics:true ~trace:false ~ledger:true ()
+
+(* The central invariant: the ledger charges [flits x links] per message
+   while the NoC adds [flits] to each traversed link's counter, so their
+   totals must agree exactly — for every workload, under both schemes. *)
+let ledger_reconciles_suite () =
+  List.iter
+    (fun name ->
+      let k = Ndp_workloads.Suite.find name in
+      List.iter
+        (fun (scheme_name, scheme) ->
+          let obs = profiled_sink () in
+          ignore (P.run ~obs scheme k);
+          Alcotest.(check int)
+            (Printf.sprintf "%s/%s ledger == link flits" name scheme_name)
+            (link_flits_total obs.Sink.metrics)
+            (L.total_flit_hops obs.Sink.ledger))
+        [ ("default", P.Default); ("partitioned", P.Partitioned P.partitioned_defaults) ])
+    Ndp_workloads.Suite.names
+
+let ledger_attributes_and_predicts () =
+  let obs = profiled_sink () in
+  ignore (P.run ~obs (P.Partitioned P.partitioned_defaults) (water ()));
+  let ledger = obs.Sink.ledger in
+  let rows = L.rows ledger in
+  Alcotest.(check bool) "rows present" true (rows <> []);
+  (* Resolvers are registered, so real traffic lands on real provenance:
+     named nests and arrays, not the "(other)" fallback. *)
+  let attributed = List.filter (fun (r : L.row) -> r.L.nest <> "(other)") rows in
+  Alcotest.(check bool) "most traffic attributed to statements" true
+    (List.length attributed > List.length rows / 2);
+  Alcotest.(check bool) "some array-resolved traffic" true
+    (List.exists (fun (r : L.row) -> r.L.array_name <> "(other)" && r.L.array_name <> "(result)") rows);
+  (* The compiler recorded its Kruskal/window estimates. *)
+  Alcotest.(check bool) "predicted cost recorded" true (L.total_predicted ledger > 0);
+  let stmts = L.statements ledger in
+  Alcotest.(check bool) "statement aggregation present" true (stmts <> []);
+  let sum_stmt = List.fold_left (fun acc (s : L.stmt_total) -> acc + s.L.s_flit_hops) 0 stmts in
+  Alcotest.(check int) "statement totals partition row totals" (L.total_flit_hops ledger) sum_stmt
+
+let ledger_output_deterministic_across_jobs () =
+  let render jobs =
+    let run obs pool = ignore (P.run ?pool ~obs (P.Partitioned P.partitioned_defaults) (water ())) in
+    let obs = profiled_sink () in
+    (match jobs with
+    | 1 -> run obs None
+    | j -> Pool.with_pool ~jobs:j (fun pool -> run obs (Some pool)));
+    Ndp_obs.Render.Json.to_string (L.to_json obs.Sink.ledger)
+  in
+  let serial = render 1 in
+  Alcotest.(check string) "jobs=4 byte-identical" serial (render 4);
+  Alcotest.(check string) "jobs=7 byte-identical" serial (render 7)
+
+(* {1 Timeline} *)
+
+let timeline_samples_run () =
+  let interval = 500 in
+  let obs = Sink.create ~metrics:true ~trace:false ~timeline_interval:interval () in
+  let r = P.run ~obs (P.Partitioned P.partitioned_defaults) (water ()) in
+  let series = TL.series obs.Sink.timeline in
+  Alcotest.(check bool) "series registered" true (series <> []);
+  let finish = Stats.finish_time r.P.stats in
+  List.iter
+    (fun (s : TL.series) ->
+      Alcotest.(check bool) (s.TL.name ^ " sampled") true (s.TL.samples <> []);
+      let rec monotone = function
+        | (t1, v1) :: ((t2, v2) :: _ as rest) ->
+          t1 <= t2 && v1 <= v2 (* counters never decrease *) && monotone rest
+        | _ -> true
+      in
+      Alcotest.(check bool) (s.TL.name ^ " monotone") true (monotone s.TL.samples);
+      List.iter
+        (fun (ts, _) ->
+          if ts <> finish then
+            Alcotest.(check int) (s.TL.name ^ " on-boundary sample") 0 (ts mod interval))
+        s.TL.samples;
+      (* The flush pinned the series' end to the run's last cycle. *)
+      let last_ts = List.fold_left (fun _ (ts, _) -> ts) 0 s.TL.samples in
+      Alcotest.(check int) (s.TL.name ^ " ends at finish") finish last_ts)
+    series;
+  (* The final flit-hop sample agrees with the aggregate counter. *)
+  let hops_series = List.find (fun (s : TL.series) -> s.TL.name = "noc.flit_hops") series in
+  let _, last_v = List.nth hops_series.TL.samples (List.length hops_series.TL.samples - 1) in
+  Alcotest.(check int) "final sample == stats hops" (Stats.hops r.P.stats) last_v
+
+let timeline_merge_sums () =
+  let mk samples =
+    let t = TL.create ~interval:10 () in
+    let v = ref 0 in
+    TL.register t "c" (fun () -> !v);
+    List.iter
+      (fun (ts, value) ->
+        v := value;
+        TL.tick t ~now:ts)
+      samples;
+    t
+  in
+  let a = mk [ (10, 1); (20, 2) ] in
+  let b = mk [ (10, 5); (30, 9) ] in
+  let merged = TL.merge [ a; b ] in
+  match TL.series merged with
+  | [ s ] ->
+    Alcotest.(check (list (pair int int))) "step-summed union"
+      [ (10, 6); (20, 7); (30, 11) ] s.TL.samples
+  | ss -> Alcotest.fail (Printf.sprintf "expected 1 merged series, got %d" (List.length ss))
+
+let timeline_bounded () =
+  let t = TL.create ~capacity:3 ~interval:10 () in
+  TL.register t "c" (fun () -> 1);
+  for i = 1 to 10 do
+    TL.tick t ~now:(i * 10)
+  done;
+  match TL.series t with
+  | [ s ] ->
+    Alcotest.(check int) "capacity respected" 3 (List.length s.TL.samples);
+    Alcotest.(check int) "overflow counted as dropped" 7 s.TL.dropped
+  | _ -> Alcotest.fail "expected one series"
+
 (* {1 Observation must not perturb} *)
 
 let observed_run_identical () =
@@ -320,7 +464,15 @@ let observed_run_identical () =
   Alcotest.(check bool) "stats equal" true (Stats.equal bare.P.stats seen.P.stats);
   Alcotest.(check int) "exec_time equal" bare.P.exec_time seen.P.exec_time;
   Alcotest.(check (list (pair string int))) "windows equal" bare.P.windows_chosen
-    seen.P.windows_chosen
+    seen.P.windows_chosen;
+  (* The profiling layers (ledger + timeline) must be just as inert. *)
+  let full =
+    Sink.create ~metrics:true ~trace:true ~ledger:true ~timeline_interval:1000 ()
+  in
+  let profiled = P.run ~obs:full (P.Partitioned P.partitioned_defaults) (water ()) in
+  Alcotest.(check bool) "stats equal under profiling" true
+    (Stats.equal bare.P.stats profiled.P.stats);
+  Alcotest.(check int) "exec_time equal under profiling" bare.P.exec_time profiled.P.exec_time
 
 let observed_run_identical_under_pool () =
   let bare = P.run (P.Partitioned P.partitioned_defaults) (water ()) in
@@ -364,6 +516,14 @@ let tests =
         Alcotest.test_case "chrome trace well-formed" `Quick trace_chrome_well_formed;
         Alcotest.test_case "jsonl lines parse" `Quick trace_jsonl_lines_parse;
         Alcotest.test_case "metrics json parses" `Quick metrics_json_parses;
+        Alcotest.test_case "percentile estimates" `Quick percentile_estimates;
+        Alcotest.test_case "ledger reconciles across suite" `Quick ledger_reconciles_suite;
+        Alcotest.test_case "ledger attributes and predicts" `Quick ledger_attributes_and_predicts;
+        Alcotest.test_case "ledger deterministic across jobs" `Quick
+          ledger_output_deterministic_across_jobs;
+        Alcotest.test_case "timeline samples a run" `Quick timeline_samples_run;
+        Alcotest.test_case "timeline merge sums" `Quick timeline_merge_sums;
+        Alcotest.test_case "timeline bounded" `Quick timeline_bounded;
         Alcotest.test_case "observed run identical" `Quick observed_run_identical;
         Alcotest.test_case "observed run identical under pool" `Quick observed_run_identical_under_pool;
         Alcotest.test_case "stats alist shape" `Quick stats_alist_shape;
