@@ -196,24 +196,32 @@ let micro ?(json = false) () =
            in
            Ndp_core.Pipeline.run ~obs fixed2 kernel))
   in
-  (* Window-size preprocessing on a 256-instance sample: the sliced
-     implementation analyzes dependences once and slices per chunk; the
-     reanalyze oracle re-runs the analysis for every (candidate, chunk). *)
+  (* Window-size preprocessing on a 256-instance sample. The sampled
+     implementation compiles every (candidate, chunk) pair with the
+     dependence analysis done once and sliced per chunk; the reanalyze
+     oracle re-runs the analysis for every pair; the analytic path prices
+     instances once with the closed-form cost model and compiles only to
+     break ties. *)
   let cs_ctx, cs_metas = choose_size_fixture () in
-  let bench_choose_sliced =
-    Test.make ~name:"choose-size-sliced-256"
+  let bench_choose_sampled =
+    Test.make ~name:"choose-size-sampled-256"
       (Staged.stage (fun () -> Ndp_core.Window.choose_size cs_ctx cs_metas ~max:8))
   in
   let bench_choose_reanalyze =
     Test.make ~name:"choose-size-reanalyze-256"
       (Staged.stage (fun () -> Ndp_core.Window.choose_size_reanalyze cs_ctx cs_metas ~max:8))
   in
+  let bench_choose_analytic =
+    Test.make ~name:"choose-size-analytic-256"
+      (Staged.stage (fun () -> Ndp_core.Window.choose_size_analytic cs_ctx cs_metas ~max:8))
+  in
   let tests =
     Test.make_grouped ~name:"ndp"
       [
         bench_mst; bench_route; bench_nested; bench_parse; bench_pipeline;
         bench_metrics_disabled; bench_metrics_enabled; bench_pipeline_obs;
-        bench_dep_bucketed; bench_dep_naive; bench_choose_sliced; bench_choose_reanalyze;
+        bench_dep_bucketed; bench_dep_naive; bench_choose_sampled; bench_choose_reanalyze;
+        bench_choose_analytic;
         bench_inject_disabled; bench_inject_enabled;
       ]
   in

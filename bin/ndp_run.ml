@@ -63,11 +63,41 @@ module Args = struct
       & opt memory_conv Ndp_sim.Config.Flat
       & info [ "memory" ] ~doc:"Memory mode: flat, cache or hybrid.")
 
+  let window_conv =
+    let parse s =
+      if String.lowercase_ascii s = "analytic" then Ok `Analytic
+      else
+        match int_of_string_opt s with
+        | Some k -> Ok (`Fixed k)
+        | None -> Error (`Msg (Printf.sprintf "expected a window size or \"analytic\", got %S" s))
+    in
+    Arg.conv
+      ( parse,
+        fun ppf -> function
+          | `Analytic -> Format.pp_print_string ppf "analytic"
+          | `Fixed k -> Format.pp_print_int ppf k )
+
   let window =
     Arg.(
       value
-      & opt (some int) None
-      & info [ "window" ] ~doc:"Fixed window size (default: adaptive per nest).")
+      & opt (some window_conv) None
+      & info [ "window" ]
+          ~doc:
+            "Window size: a fixed integer, or $(b,analytic) to size each nest with the \
+             closed-form static cost model instead of sampled compilation (default: adaptive \
+             sampled sizing per nest).")
+
+  let threshold =
+    Arg.(
+      value
+      & opt float 4.0
+      & info [ "threshold" ] ~docv:"R"
+          ~doc:
+            "Maximum tolerated total divergence ratio between the static cost model and the \
+             measured ledger, as max(static,measured)/min(static,measured) ($(b,analyze) \
+             only). The static model prices compiler-visible movement; runtime adds traffic \
+             it cannot see (misses, syncs, inspector), so suite ratios sit between x1 and \
+             x3.2. Exceeding the threshold exits nonzero.")
 
   let scheme =
     Arg.(
@@ -179,7 +209,10 @@ let scheme_of scheme window =
   | `Default -> Pipeline.Default
   | `Partitioned ->
     let w =
-      match window with None -> Pipeline.Adaptive | Some k -> Pipeline.Fixed k
+      match window with
+      | None -> Pipeline.Adaptive
+      | Some `Analytic -> Pipeline.Analytic
+      | Some (`Fixed k) -> Pipeline.Fixed k
     in
     Pipeline.Partitioned { Pipeline.partitioned_defaults with Pipeline.window = w }
 
@@ -725,6 +758,171 @@ let profile_act kernel cluster memory scheme window interval top out format jobs
   end
 
 (* ------------------------------------------------------------------ *)
+(* analyze: static cost table reconciled against a measured run        *)
+
+module Cost = Ndp_analysis.Cost
+
+(* Symmetric divergence: how far apart two totals are, as a >=1 ratio.
+   Equal zeroes agree perfectly; a zero against a nonzero is infinitely
+   divergent (rendered as null in JSON, "-" in the table). *)
+let divergence_ratio ~static ~measured =
+  if static = 0 && measured = 0 then 1.0
+  else if static = 0 || measured = 0 then infinity
+  else
+    let a = float_of_int static and b = float_of_int measured in
+    if a > b then a /. b else b /. a
+
+let ratio_cell r = if Float.is_finite r then Printf.sprintf "x%.2f" r else "-"
+
+let analyze_human (r : Pipeline.result) (table : Cost.t) stmt_of ~threshold ~ratio ~within =
+  let buf = Buffer.create 2048 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "%s / %s static cost model\n\n" r.Pipeline.kernel_name r.Pipeline.scheme_name;
+  pr "footprints and reuse (lines = nest-wide footprint in cache lines):\n";
+  let t = Ndp_prelude.Table.create ~header:[ "nest"; "stmt"; "ref"; "affine"; "lines"; "reuse" ] in
+  List.iter
+    (fun (row : Cost.stmt_row) ->
+      List.iter
+        (fun (rr : Cost.ref_row) ->
+          Ndp_prelude.Table.add_row t
+            [
+              row.Cost.c_nest;
+              string_of_int row.Cost.c_stmt;
+              rr.Cost.r_text;
+              (if rr.Cost.r_affine then "yes" else "no");
+              (match rr.Cost.r_lines with Some n -> string_of_int n | None -> "-");
+              Ndp_ir.Reuse.to_string rr.Cost.r_reuse;
+            ])
+        row.Cost.c_refs)
+    table.Cost.rows;
+  Buffer.add_string buf (Ndp_prelude.Table.render t);
+  pr "\nstatic vs measured movement per statement (flit-hops):\n";
+  let t =
+    Ndp_prelude.Table.create
+      ~header:[ "nest"; "stmt"; "instances"; "static"; "predicted"; "measured"; "divergence" ]
+  in
+  List.iter
+    (fun (row : Cost.stmt_row) ->
+      let predicted, measured = stmt_of row.Cost.c_nest row.Cost.c_stmt in
+      Ndp_prelude.Table.add_row t
+        [
+          row.Cost.c_nest;
+          string_of_int row.Cost.c_stmt;
+          string_of_int row.Cost.c_instances;
+          string_of_int row.Cost.c_flit_hops;
+          string_of_int predicted;
+          string_of_int measured;
+          ratio_cell (divergence_ratio ~static:row.Cost.c_flit_hops ~measured);
+        ])
+    table.Cost.rows;
+  let measured_total = List.fold_left (fun acc r -> acc + snd (stmt_of r.Cost.c_nest r.Cost.c_stmt)) 0 table.Cost.rows in
+  let predicted_total = List.fold_left (fun acc r -> acc + fst (stmt_of r.Cost.c_nest r.Cost.c_stmt)) 0 table.Cost.rows in
+  Ndp_prelude.Table.add_row t
+    [
+      "(total)";
+      "";
+      "";
+      string_of_int table.Cost.total_flit_hops;
+      string_of_int predicted_total;
+      string_of_int measured_total;
+      ratio_cell ratio;
+    ];
+  Buffer.add_string buf (Ndp_prelude.Table.render t);
+  (match table.Cost.windows with
+  | [] -> ()
+  | ws ->
+    pr "\nanalytic windows: %s\n"
+      (String.concat ", " (List.map (fun (n, w) -> Printf.sprintf "%s=%d" n w) ws)));
+  pr "\nreconciliation: static %d vs measured %d flit-hops -> %s (threshold x%.2f)"
+    table.Cost.total_flit_hops measured_total
+    (if within then ratio_cell ratio ^ ", ok" else ratio_cell ratio ^ ", DIVERGED")
+    threshold;
+  Buffer.contents buf
+
+let analyze_act kernel cluster memory scheme window threshold format jobs =
+  with_jobs jobs @@ fun pool ->
+  let config = config_of cluster memory in
+  let scheme_v = scheme_of scheme window in
+  let table = Cost.table ~config ~scheme:scheme_v kernel in
+  let obs = Ndp_obs.Sink.create ~metrics:false ~trace:false ~ledger:true () in
+  let r = pipeline_run ~config ~obs pool scheme_v kernel in
+  let ledger = obs.Ndp_obs.Sink.ledger in
+  let stmt_of =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (s : Ledger.stmt_total) ->
+        Hashtbl.replace tbl (s.Ledger.s_nest, s.Ledger.s_stmt)
+          (s.Ledger.s_predicted, s.Ledger.s_flit_hops))
+      (Ledger.statements ledger);
+    fun nest stmt -> Option.value (Hashtbl.find_opt tbl (nest, stmt)) ~default:(0, 0)
+  in
+  let measured_total = Ledger.total_flit_hops ledger in
+  let ratio = divergence_ratio ~static:table.Cost.total_flit_hops ~measured:measured_total in
+  let within = ratio <= threshold in
+  let stmt_json (row : Cost.stmt_row) =
+    let predicted, measured = stmt_of row.Cost.c_nest row.Cost.c_stmt in
+    Render.Json.Obj
+      [
+        ("nest", Render.Json.Str row.Cost.c_nest);
+        ("stmt", Render.Json.Int row.Cost.c_stmt);
+        ("text", Render.Json.Str row.Cost.c_text);
+        ("instances", Render.Json.Int row.Cost.c_instances);
+        ( "refs",
+          Render.Json.List
+            (List.map
+               (fun (rr : Cost.ref_row) ->
+                 Render.Json.Obj
+                   [
+                     ("ref", Render.Json.Str rr.Cost.r_text);
+                     ("array", Render.Json.Str rr.Cost.r_array);
+                     ("affine", Render.Json.Bool rr.Cost.r_affine);
+                     ( "lines",
+                       match rr.Cost.r_lines with
+                       | Some n -> Render.Json.Int n
+                       | None -> Render.Json.Null );
+                     ("reuse", Render.Json.Str (Ndp_ir.Reuse.to_string rr.Cost.r_reuse));
+                   ])
+               row.Cost.c_refs) );
+        ("static_links", Render.Json.Int row.Cost.c_links);
+        ("static_flit_hops", Render.Json.Int row.Cost.c_flit_hops);
+        ("predicted_flit_hops", Render.Json.Int predicted);
+        ("measured_flit_hops", Render.Json.Int measured);
+        ( "divergence",
+          Render.Json.Float (divergence_ratio ~static:row.Cost.c_flit_hops ~measured) );
+      ]
+  in
+  let doc =
+    Render.Json.Obj
+      [
+        ("app", Render.Json.Str r.Pipeline.kernel_name);
+        ("scheme", Render.Json.Str r.Pipeline.scheme_name);
+        ("statements", Render.Json.List (List.map stmt_json table.Cost.rows));
+        ( "windows",
+          Render.Json.Obj (List.map (fun (n, w) -> (n, Render.Json.Int w)) table.Cost.windows) );
+        ( "totals",
+          Render.Json.Obj
+            [
+              ("static_links", Render.Json.Int table.Cost.total_links);
+              ("static_flit_hops", Render.Json.Int table.Cost.total_flit_hops);
+              ("predicted_flit_hops", Render.Json.Int (Ledger.total_predicted ledger));
+              ("measured_flit_hops", Render.Json.Int measured_total);
+              ("divergence", Render.Json.Float ratio);
+            ] );
+        ("threshold", Render.Json.Float threshold);
+        ("within_threshold", Render.Json.Bool within);
+      ]
+  in
+  let human () = analyze_human r table stmt_of ~threshold ~ratio ~within in
+  print_endline (Render.output format ~human doc);
+  if not within then begin
+    Printf.eprintf
+      "ndp_run analyze: static model diverges from the measured ledger: static %d vs measured \
+       %d flit-hops (%s > x%.2f)\n"
+      table.Cost.total_flit_hops measured_total (ratio_cell ratio) threshold;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* list / codegen / dot / check                                        *)
 
 let list_act () =
@@ -813,7 +1011,10 @@ let check_act kernel cluster memory window format jobs =
   in
   let jobs = match jobs with Some j -> max 1 j | None -> Ndp_prelude.Pool.default_jobs () in
   let schemes = [ Pipeline.Default; scheme_of `Partitioned window ] in
-  let reports = Ndp_analysis.Checker.check_suite ~config ?window ~jobs ~schemes kernels in
+  (* W204 checks a concrete size against each nest; only a fixed window
+     gives it one. *)
+  let fixed = match window with Some (`Fixed k) -> Some k | Some `Analytic | None -> None in
+  let reports = Ndp_analysis.Checker.check_suite ~config ?window:fixed ~jobs ~schemes kernels in
   print_endline (Ndp_analysis.Checker.render ~format reports);
   if Ndp_analysis.Checker.has_errors reports then exit 1
 
@@ -877,6 +1078,17 @@ let commands =
         Term.(
           const profile_act $ Args.kernel $ Args.cluster $ Args.memory $ Args.scheme
           $ Args.window $ Args.interval $ Args.top $ Args.profile_out $ Args.format $ Args.jobs);
+    };
+    {
+      name = "analyze";
+      summary =
+        "Static cost model: symbolic footprints, reuse classes and closed-form per-statement \
+         movement, reconciled against the measured ledger of one run; exit nonzero when the \
+         totals diverge beyond --threshold.";
+      term =
+        Term.(
+          const analyze_act $ Args.kernel $ Args.cluster $ Args.memory $ Args.scheme
+          $ Args.window $ Args.threshold $ Args.format $ Args.jobs);
     };
     { name = "list"; summary = "List the application kernels."; term = Term.(const list_act $ const ()) };
     {

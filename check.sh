@@ -2,6 +2,8 @@
 # Repo verification gate: build, unit/property/golden tests, the
 # observability self-check, the profiling reconciliation check (the
 # attribution ledger must account for every flit-hop the NoC carried),
+# the static-cost-model reconciliation (the closed-form table must stay
+# within the divergence threshold of the measured ledger),
 # the fault-injection + schedule-repair self-check, then the static
 # analysis suite (IR lint + schedule race
 # detection over all 12 workloads under the default and partitioned
@@ -80,6 +82,28 @@ assert d['timeline']['series'], 'no timeline series'
   rm -f "$_prof"
 )
 
+analyze_gate() (
+  # Reconcile the static cost model against a measured run: the analyze
+  # subcommand itself gates on the divergence threshold (exit nonzero),
+  # and the JSON must carry a non-empty per-statement table whose static
+  # total matches the sum of its rows.
+  set -e
+  _an=$(mktemp /tmp/ndp_analyze.XXXXXX.json)
+  dune exec bin/ndp_run.exe -- analyze mg --format json >"$_an"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -c "
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d['statements'], 'empty static cost table'
+assert d['within_threshold'], 'divergence above threshold: %r' % d['totals']
+t = d['totals']
+assert t['static_flit_hops'] == sum(s['static_flit_hops'] for s in d['statements']), 'total != sum of rows'
+assert t['static_flit_hops'] > 0 and t['measured_flit_hops'] > 0, 'empty totals'
+" "$_an"
+  fi
+  rm -f "$_an"
+)
+
 fault_gate() (
   # Inject a deterministic fault plan (killed link, stalled node, slowed
   # MC), repair the schedule around it, and run the built-in selfcheck:
@@ -95,6 +119,7 @@ phase build dune build
 phase runtest dune runtest
 phase obs obs_gate
 phase profile profile_gate
+phase analyze analyze_gate
 phase fault fault_gate
 phase check dune exec bin/ndp_run.exe -- check --jobs "$jobs"
 

@@ -1,40 +1,3 @@
-open Ndp_ir
-
-type outcome =
-  | Range of int * int
-  | Unbound of string
-  | Non_affine
-
-let of_affine ~bounds coeffs const =
-  let step acc (v, c) =
-    match acc with
-    | Unbound _ | Non_affine -> acc
-    | Range (lo, hi) -> (
-      match bounds v with
-      | None -> Unbound v
-      | Some (vlo, vhi) ->
-        (* vhi is exclusive; a coefficient's sign decides which end of the
-           iteration range minimizes or maximizes the term. *)
-        if vhi <= vlo then Range (lo, hi) (* empty loop: term contributes nothing *)
-        else begin
-          let a = c * vlo and b = c * (vhi - 1) in
-          Range (lo + min a b, hi + max a b)
-        end)
-  in
-  List.fold_left step (Range (const, const)) coeffs
-
-let of_subscript ~bounds = function
-  | Subscript.Affine { coeffs; const } -> of_affine ~bounds coeffs const
-  | Subscript.Indirect _ -> Non_affine
-
-let rec inner_of_indirect = function
-  | Subscript.Affine _ -> None
-  | Subscript.Indirect { index_array; inner } -> (
-    match inner with
-    | Subscript.Affine _ -> Some (index_array, inner)
-    | Subscript.Indirect _ -> inner_of_indirect inner)
-
-let bounds_of_nest (nest : Loop.nest) var =
-  List.find_map
-    (fun (v : Loop.loop_var) -> if v.Loop.var = var then Some (v.Loop.lo, v.Loop.hi) else None)
-    nest.Loop.vars
+(* Relocated to [Ndp_ir.Affine_range] so that IR-level passes
+   ([Ndp_ir.Reuse]) can share it; re-exported here for compatibility. *)
+include Ndp_ir.Affine_range

@@ -1,0 +1,53 @@
+(** Static (closed-form) movement cost tables and the W4xx lint family.
+
+    A purely compile-time counterpart of the Ledger: per statement, the
+    symbolic footprint and reuse class of every array reference, plus a
+    closed-form movement estimate in the splitter's link units (and its
+    flit-hop normalization, the unit the Ledger measures). [ndp_run
+    analyze] renders the table and reconciles it against a measured run;
+    the W4xx lints surface the places where the static model is blind or
+    fragile. *)
+
+type ref_row = {
+  r_array : string;
+  r_text : string;  (** printed reference *)
+  r_affine : bool;
+  r_lines : int option;
+      (** nest-wide footprint in cache lines; [None] when non-affine *)
+  r_reuse : Ndp_ir.Reuse.t;
+}
+
+type stmt_row = {
+  c_nest : string;
+  c_stmt : int;  (** statement index within the nest body *)
+  c_text : string;
+  c_instances : int;  (** instances over the full stream (all sweeps) *)
+  c_refs : ref_row list;  (** output first, then inputs *)
+  c_links : int;  (** static movement over all instances, link units *)
+  c_flit_hops : int;  (** [c_links] normalized to the Ledger's unit *)
+}
+
+type t = {
+  rows : stmt_row list;
+  windows : (string * int) list;
+      (** analytic window size per nest (partitioned schemes only) *)
+  total_links : int;
+  total_flit_hops : int;
+}
+
+val table : ?config:Ndp_sim.Config.t -> scheme:Ndp_core.Pipeline.scheme -> Ndp_core.Kernel.t -> t
+(** The static cost table for a kernel under a scheme. [Default] prices
+    every instance at its default movement; partitioned schemes run the
+    analytic window model ([Window.analytic_of]) under the scheme's window
+    policy (adaptive and analytic policies both size nests with
+    {!Ndp_core.Window.choose_size_analytic} — no sampled compilation). *)
+
+val lint_kernel : ?config:Ndp_sim.Config.t -> Ndp_core.Kernel.t -> Diagnostic.t list
+(** The W4xx family, sorted by {!Diagnostic.compare_diag}:
+
+    - [W401] — a reference with classified reuse has a footprint larger
+      than the modelled L1 reuse window, so the reuse will mostly miss;
+    - [W402] — a non-affine reference defeats static analysis entirely;
+    - [W403] — one statement contributes ≥90% of a multi-statement nest's
+      predicted movement, making the partitioner's decisions hinge on a
+      single estimate. *)

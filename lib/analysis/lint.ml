@@ -157,4 +157,6 @@ let check_kernel ?window (kernel : Ndp_core.Kernel.t) =
              ~loc:(D.location kname ~reference:name)
              "array %s is written but never read: every store to it is dead" name))
     (List.sort_uniq compare written);
-  List.stable_sort D.compare_diag (List.rev !diags)
+  (* The W4xx family comes from the static cost model; merge and re-sort
+     so codes interleave deterministically with the structural findings. *)
+  List.stable_sort D.compare_diag (List.rev !diags @ Cost.lint_kernel kernel)

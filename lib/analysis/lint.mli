@@ -15,7 +15,12 @@
     - [W201] array is written but never read (dead stores)
     - [W202] non-affine reference without inspector coverage
     - [W203] degenerate (empty) loop bounds
-    - [W204] window size exceeds a nest's statement-instance count *)
+    - [W204] window size exceeds a nest's statement-instance count
+
+    The static cost model's W4xx family ({!Cost.lint_kernel}: W401
+    footprint-exceeds-window, W402 non-affine reference defeats static
+    analysis, W403 single-statement movement domination) is merged into
+    the result. *)
 
 val check_kernel : ?window:int -> Ndp_core.Kernel.t -> Diagnostic.t list
 (** Lint one kernel; [?window] additionally checks a fixed window size

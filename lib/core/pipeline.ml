@@ -5,7 +5,7 @@ module Task = Ndp_sim.Task
 module Dep = Ndp_ir.Dependence
 module Loop = Ndp_ir.Loop
 
-type window_policy = Adaptive | Fixed of int
+type window_policy = Adaptive | Analytic | Fixed of int
 
 type part_options = {
   window : window_policy;
@@ -80,6 +80,7 @@ let scheme_name = function
   | Partitioned o -> (
     match o.window with
     | Adaptive -> "partitioned(adaptive)"
+    | Analytic -> "partitioned(analytic)"
     | Fixed k -> Printf.sprintf "partitioned(w=%d)" k)
 
 (* Enumerate the statement-instance stream of a nest, in execution order.
@@ -270,6 +271,7 @@ let run ?(config = Config.default) ?(tweaks = no_tweaks) ?(validate = false) ?po
           match opts.window with
           | Fixed k -> max 1 k
           | Adaptive -> Window.choose_size ?pool ctx metas ~max:config.Config.max_window
+          | Analytic -> Window.choose_size_analytic ?pool ctx metas ~max:config.Config.max_window
         in
         windows_chosen := (nest.Loop.nest_name, w) :: !windows_chosen;
         let pending : (int, bool Queue.t) Hashtbl.t = Hashtbl.create 64 in
@@ -385,6 +387,11 @@ let run ?(config = Config.default) ?(tweaks = no_tweaks) ?(validate = false) ?po
     node_busy = Engine.node_busy engine;
     traces = List.rev !traces;
   }
+
+let static_context ?(config = Config.default) scheme kernel =
+  make_context ~config ~tweaks:no_tweaks scheme kernel
+
+let nest_stream = instance_stream
 
 let profile_page_accesses ?(config = Config.default) kernel =
   let ctx = make_context ~config ~tweaks:no_tweaks Default kernel in

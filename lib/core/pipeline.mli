@@ -7,7 +7,7 @@
     (the profiling-on-beginning-iterations effect of Section 4.5), and the
     simulated L1s see exactly the schedule the compiler produced. *)
 
-type window_policy = Adaptive | Fixed of int
+type window_policy = Adaptive | Analytic | Fixed of int
 
 type part_options = {
   window : window_policy;
@@ -123,3 +123,14 @@ val profile_page_accesses :
   ?config:Ndp_sim.Config.t -> Kernel.t -> (int * int) list
 (** [(virtual page, node)] samples under the default placement — the
     profile input of the Figure 23 data-to-MC mapping. *)
+
+val static_context : ?config:Ndp_sim.Config.t -> scheme -> Kernel.t -> Context.t
+(** The compilation context exactly as {!run} would build it for the
+    scheme — hot ranges, inspector execution, resolver choice, context
+    options — but with no engine and no observability attached. This is
+    the entry point for static analysis passes that must see the same
+    compile-time world as the pipeline. *)
+
+val nest_stream : Context.t -> Ndp_ir.Loop.nest -> first_group:int -> Window.meta list * int
+(** The statement-instance stream of one nest in execution order, with the
+    default iteration assignment applied — [(metas, next_first_group)]. *)

@@ -41,6 +41,15 @@ let chunk list size =
   in
   go [] [] 0 list
 
+(* Splitting must clear this margin over the default before it is worth
+   doing (see the comment at the use site in [compile]); the analytic
+   estimator applies the identical rule so the two agree statement by
+   statement. *)
+let margin_num, margin_den = (7, 10)
+
+let margin_ruled ~default_est est =
+  if est * margin_den < default_est * margin_num then est else default_est
+
 let compile ?deps (ctx : Context.t) metas =
   Context.clear_reuse ctx;
   (* Task ids allocated during this compile form the dense range
@@ -63,7 +72,6 @@ let compile ?deps (ctx : Context.t) metas =
         (* The estimate counts links only; synchronization and partial-
            result forwarding are not in it, so splitting must clear a
            margin before it is worth doing. *)
-        let margin_num, margin_den = (7, 10) in
         let split =
           if split.Splitter.est_movement * margin_den < default_est * margin_num then split
           else { (Splitter.unsplit split) with Splitter.est_movement = default_est }
@@ -267,15 +275,29 @@ let estimate_sliced (ctx : Context.t) sample all_deps ~window =
    characterize the nest. *)
 let preprocessing_sample = 256
 
+(* A nest whose references are all indirect gives the movement estimate
+   nothing to discriminate on: every candidate size scores the inspector
+   fallback identically, so the sampled search is pure waste. Such nests
+   run at window size 1 (and lint surfaces a W402). *)
+let all_non_affine metas =
+  metas <> []
+  && List.for_all
+       (fun m ->
+         let stmt = m.inst.Dep.stmt in
+         List.for_all
+           (fun r -> not (Ndp_ir.Reference.analyzable r))
+           (Ndp_ir.Stmt.output stmt :: Ndp_ir.Stmt.inputs stmt))
+       metas
+
 let choose_size ?pool (ctx : Context.t) metas ~max:max_size =
-  let sample = Array.of_list (List.filteri (fun i _ -> i < preprocessing_sample) metas) in
-  let all_deps =
-    Dep.analyze ctx.Context.compiler_resolve
-      (Array.to_list (Array.map (fun m -> m.inst) sample))
-  in
-  let estimate w = estimate_sliced ctx sample all_deps ~window:w in
-  if max_size < 1 then 1
+  if max_size < 1 || all_non_affine metas then 1
   else begin
+    let sample = Array.of_list (List.filteri (fun i _ -> i < preprocessing_sample) metas) in
+    let all_deps =
+      Dep.analyze ctx.Context.compiler_resolve
+        (Array.to_list (Array.map (fun m -> m.inst) sample))
+    in
+    let estimate w = estimate_sliced ctx sample all_deps ~window:w in
     (* Size 1 is evaluated first and serially: it resolves (and thereby
        page-allocates) every address the sample can reach, so the
        remaining candidates — possibly running concurrently on forked
@@ -293,6 +315,208 @@ let choose_size ?pool (ctx : Context.t) metas ~max:max_size =
         (1, m1) rest estimates
     in
     best_w
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Analytic (closed-form) movement estimation.
+
+   [compile] prices a candidate window by actually building it: splitting,
+   scheduling, repairing and sync-minimizing every statement of the sample
+   once per candidate size. The analytic path prices the same objective
+   from one walk over the sample plus integer arithmetic per candidate:
+   movement comes from the splitter's per-statement estimates under the
+   two reuse regimes (window captures the providers / window cut them
+   off), synchronization from the dependence pairs whose endpoints share a
+   chunk. What it forgoes — schedule placements landing on exec nodes,
+   join arcs, transitive sync reduction — are second-order against the
+   movement term, and the chooser falls back to the sampled estimator
+   whenever the analytic curve is too flat to call the winner. *)
+
+type analytic = { a_est : int array; a_syncs : int }
+
+(* Mirror of [compile]'s variable2node propagation without running the
+   scheduler. The schedule consumes a lone data item at its parent
+   combine — almost always the root, which is pinned to the store node —
+   and runs a multi-item combine on the MST vertex itself, so lines land
+   at the store node except where a vertex holds two or more items. The
+   margin rule is applied first: a collapsed statement notes everything at
+   its store node, exactly like [Schedule.single_node_schedule]. *)
+let note_analytic (ctx : Context.t) ~store_node ~kept (split : Splitter.t) =
+  List.iter
+    (fun (node, locs) ->
+      let target =
+        if kept && node <> store_node && List.length locs >= 2 then node else store_node
+      in
+      List.iter
+        (fun (loc : Location.t) ->
+          match loc.Location.va with
+          | Some va -> Context.note_cached ctx ~line:(Location.line_of ctx va) ~node:target
+          | None -> ())
+        locs)
+    split.Splitter.items_at;
+  match split.Splitter.store with
+  | Some (va, _) -> Context.note_cached ctx ~line:(Location.line_of ctx va) ~node:store_node
+  | None -> ()
+
+let analytic_of ?deps (ctx : Context.t) metas ~window =
+  if window <= 0 then invalid_arg "Window.analytic_of: window must be positive";
+  let ctx = Context.fork_for_estimate ctx in
+  let arr = Array.of_list metas in
+  let n = Array.length arr in
+  let a_est = Array.make (max 1 n) 0 in
+  let syncs = ref 0 in
+  let rec go lo =
+    if lo < n then begin
+      let hi = min n (lo + window) in
+      Context.clear_reuse ctx;
+      for i = lo to hi - 1 do
+        let m = arr.(i) in
+        let stmt = m.inst.Dep.stmt and env = m.inst.Dep.env in
+        let store_node = store_node_of ctx m in
+        let split = Splitter.split ctx ~store_node stmt env in
+        let default_est = Splitter.default_movement ctx ~store_node stmt env in
+        let kept = split.Splitter.est_movement * margin_den < default_est * margin_num in
+        a_est.(i) <- (if kept then split.Splitter.est_movement else default_est);
+        Context.advance_statement ctx;
+        note_analytic ctx ~store_node ~kept split
+      done;
+      (* In-chunk dependences whose endpoints sit on different nodes each
+         cost one handshake; duplicate (producer, consumer) pairs collapse
+         like [compile]'s arc set does. *)
+      let chunk_deps =
+        match deps with
+        | Some d -> List.filter (fun (d : Dep.dep) -> d.Dep.src >= lo && d.Dep.dst < hi) d
+        | None ->
+          let insts = List.init (hi - lo) (fun k -> arr.(lo + k).inst) in
+          List.map
+            (fun (d : Dep.dep) -> { d with Dep.src = d.Dep.src + lo; Dep.dst = d.Dep.dst + lo })
+            (Dep.analyze ctx.Context.compiler_resolve insts)
+      in
+      let pairs = Hashtbl.create 16 in
+      List.iter
+        (fun (d : Dep.dep) ->
+          if
+            arr.(d.Dep.src).default_node <> arr.(d.Dep.dst).default_node
+            && not (Hashtbl.mem pairs (d.Dep.src, d.Dep.dst))
+          then begin
+            Hashtbl.add pairs (d.Dep.src, d.Dep.dst) ();
+            incr syncs
+          end)
+        chunk_deps;
+      go hi
+    end
+  in
+  go 0;
+  { a_est = (if n = 0 then [||] else a_est); a_syncs = !syncs }
+
+(* Candidates whose analytic total lands within this fraction of the
+   analytic minimum are re-scored with the sampled estimator; an
+   uncontested analytic winner skips sampling entirely. *)
+let analytic_tie_margin = 0.10
+
+let choose_size_analytic ?pool (ctx : Context.t) metas ~max:max_size =
+  if max_size < 1 || metas = [] || all_non_affine metas then 1
+  else begin
+    let sample = Array.of_list (List.filteri (fun i _ -> i < preprocessing_sample) metas) in
+    let n = Array.length sample in
+    let all_deps =
+      Dep.analyze ctx.Context.compiler_resolve
+        (Array.to_list (Array.map (fun m -> m.inst) sample))
+    in
+    (* One un-chunked walk over the sample decomposes every candidate
+       size. Statement [i]'s estimate depends on chunking only through
+       which in-window providers survive the chunk boundary: [est_full]
+       prices it with its providers visible, [est_none] with the reuse map
+       cold. Providers are read straight off the variable2node stamps
+       ([note_cached] records the noting statement's clock, so stamp-1 is
+       the provider's sample index); entries within [reuse_horizon] can
+       never have been capacity-evicted, so the provider set is exact. *)
+    let ectx = Context.fork_for_estimate ctx in
+    Context.clear_reuse ectx;
+    let nctx = { ectx with Context.options = { ectx.Context.options with Context.reuse_aware = false } } in
+    let est_full = Array.make (max 1 n) 0 in
+    let est_none = Array.make (max 1 n) 0 in
+    let providers = Array.make (max 1 n) [] in
+    for i = 0 to n - 1 do
+      let m = sample.(i) in
+      let stmt = m.inst.Dep.stmt and env = m.inst.Dep.env in
+      let store_node = store_node_of ectx m in
+      let provs = ref [] in
+      List.iter
+        (fun r ->
+          match ectx.Context.compiler_resolve r env with
+          | Some va -> (
+            let line = Location.line_of ectx va in
+            match Hashtbl.find_opt ectx.Context.var2node line with
+            | Some (_, stamp) when ectx.Context.stmt_clock - stamp <= Context.reuse_horizon ->
+              let p = stamp - 1 in
+              if p >= 0 && not (List.mem p !provs) then provs := p :: !provs
+            | _ -> ())
+          | None -> ())
+        (Ndp_ir.Stmt.inputs stmt);
+      providers.(i) <- !provs;
+      let split = Splitter.split ectx ~store_node stmt env in
+      let default_est = Splitter.default_movement ectx ~store_node stmt env in
+      let kept = split.Splitter.est_movement * margin_den < default_est * margin_num in
+      est_full.(i) <- (if kept then split.Splitter.est_movement else default_est);
+      (* [default_movement] never consults the reuse map, so the default
+         estimate is shared between the two regimes. *)
+      est_none.(i) <-
+        (if !provs = [] then est_full.(i)
+         else margin_ruled ~default_est (Splitter.split nctx ~store_node stmt env).Splitter.est_movement);
+      Context.advance_statement ectx;
+      note_analytic ectx ~store_node ~kept split
+    done;
+    let sync_links = sync_links_of ectx in
+    let total w =
+      let movement = ref 0 in
+      for i = 0 to n - 1 do
+        let captured = providers.(i) <> [] && List.for_all (fun p -> p / w = i / w) providers.(i) in
+        movement := !movement + (if providers.(i) = [] || captured then est_full.(i) else est_none.(i))
+      done;
+      let pairs = Hashtbl.create 64 in
+      let syncs = ref 0 in
+      List.iter
+        (fun (d : Dep.dep) ->
+          if
+            d.Dep.src / w = d.Dep.dst / w
+            && sample.(d.Dep.src).default_node <> sample.(d.Dep.dst).default_node
+            && not (Hashtbl.mem pairs (d.Dep.src, d.Dep.dst))
+          then begin
+            Hashtbl.add pairs (d.Dep.src, d.Dep.dst) ();
+            incr syncs
+          end)
+        all_deps;
+      !movement + (sync_links * !syncs)
+    in
+    let candidates = List.init max_size (fun k -> k + 1) in
+    let totals = List.map total candidates in
+    let best = List.fold_left min (List.hd totals) totals in
+    let cut = float_of_int best *. (1. +. analytic_tie_margin) in
+    let ties =
+      List.filteri (fun k _ -> float_of_int (List.nth totals k) <= cut) candidates
+    in
+    match ties with
+    | [ w ] -> w
+    | ties ->
+      (* Too close to call analytically: re-score only the contested
+         candidates with the sampled estimator, keeping [choose_size]'s
+         smallest-window tie-break. The walk above already resolved (and
+         page-allocated) every address the sample reaches, so pooled
+         evaluation only reads shared machine state. *)
+      let estimate w = estimate_sliced ctx sample all_deps ~window:w in
+      let estimates =
+        match pool with
+        | Some p -> Ndp_prelude.Pool.parallel_map p estimate ties
+        | None -> List.map estimate ties
+      in
+      let best_w, _ =
+        List.fold_left2
+          (fun (best_w, best_m) w m -> if m < best_m then (w, m) else (best_w, best_m))
+          (List.hd ties, List.hd estimates)
+          (List.tl ties) (List.tl estimates)
+      in
+      best_w
   end
 
 let choose_size_reanalyze (ctx : Context.t) metas ~max:max_size =

@@ -61,6 +61,41 @@ val choose_size : ?pool:Ndp_prelude.Pool.t -> Context.t -> meta list -> max:int 
     are read-only on shared machine state). The chosen size is
     independent of [pool]. *)
 
+type analytic = {
+  a_est : int array;
+      (** margin-ruled movement estimate per instance, in links — the same
+          quantity [compile] reports as [est_movement] *)
+  a_syncs : int;  (** modeled cross-node synchronization handshakes *)
+}
+
+val analytic_of : ?deps:Ndp_ir.Dependence.dep list -> Context.t -> meta list -> window:int -> analytic
+(** Closed-form counterpart of compiling the stream under a fixed window
+    size: per-statement movement from the splitter's estimates with the
+    variable2node map maintained at located (rather than scheduled) nodes,
+    and one handshake per distinct in-chunk cross-node dependence pair.
+    No tasks are built and no schedule is run. [deps], when given, must be
+    the dependence analysis of exactly these instances (indices local to
+    the list). *)
+
+val choose_size_analytic : ?pool:Ndp_prelude.Pool.t -> Context.t -> meta list -> max:int -> int
+(** Analytic window-size preprocessing: one walk over the nest sample
+    prices every candidate size (each statement keeps its reuse-aware
+    estimate when its L1 providers share the chunk, and its cold estimate
+    when the boundary cuts them off), and the sampled estimator
+    ({!choose_size}'s engine) is consulted only for candidates within 25%
+    of the analytic minimum. Nests with only non-affine references
+    short-circuit to size 1. *)
+
+val sync_links_of : Context.t -> int
+(** Cost of one synchronization handshake expressed in links — the unit
+    that makes movement and synchronization commensurable in the
+    preprocessing objective. *)
+
+val all_non_affine : meta list -> bool
+(** No reference of any instance is compile-time analyzable: the movement
+    estimate cannot discriminate between window sizes (everything resolves
+    through the inspector), so sizing falls back to 1 with a W402 lint. *)
+
 val choose_size_reanalyze : Context.t -> meta list -> max:int -> int
 (** The pre-optimization preprocessing loop: re-runs the full per-chunk
     dependence analysis for every candidate size. Kept as the oracle for

@@ -82,7 +82,10 @@ let scheme_key = function
   | Pipeline.Default -> "default"
   | Pipeline.Partitioned o ->
     Printf.sprintf "part(w=%s,r=%b,s=%b,l=%b,bt=%s,id=%b,insp=%b)"
-      (match o.Pipeline.window with Pipeline.Adaptive -> "a" | Pipeline.Fixed k -> string_of_int k)
+      (match o.Pipeline.window with
+      | Pipeline.Adaptive -> "a"
+      | Pipeline.Analytic -> "an"
+      | Pipeline.Fixed k -> string_of_int k)
       o.Pipeline.reuse_aware o.Pipeline.sync_minimize o.Pipeline.level_based
       (match o.Pipeline.balance_threshold with None -> "-" | Some f -> Printf.sprintf "%h" f)
       o.Pipeline.ideal_data o.Pipeline.use_inspector

@@ -1,0 +1,143 @@
+type outcome =
+  | Range of int * int
+  | Unbound of string
+  | Non_affine
+
+let of_affine ~bounds coeffs const =
+  let step acc (v, c) =
+    match acc with
+    | Unbound _ | Non_affine -> acc
+    | Range (lo, hi) -> (
+      match bounds v with
+      | None -> Unbound v
+      | Some (vlo, vhi) ->
+        (* vhi is exclusive; a coefficient's sign decides which end of the
+           iteration range minimizes or maximizes the term. *)
+        if vhi <= vlo then Range (lo, hi) (* empty loop: term contributes nothing *)
+        else begin
+          let a = c * vlo and b = c * (vhi - 1) in
+          Range (lo + min a b, hi + max a b)
+        end)
+  in
+  List.fold_left step (Range (const, const)) coeffs
+
+let of_subscript ~bounds = function
+  | Subscript.Affine { coeffs; const } -> of_affine ~bounds coeffs const
+  | Subscript.Indirect _ -> Non_affine
+
+let rec inner_of_indirect = function
+  | Subscript.Affine _ -> None
+  | Subscript.Indirect { index_array; inner } -> (
+    match inner with
+    | Subscript.Affine _ -> Some (index_array, inner)
+    | Subscript.Indirect _ -> inner_of_indirect inner)
+
+let bounds_of_nest (nest : Loop.nest) var =
+  List.find_map
+    (fun (v : Loop.loop_var) -> if v.Loop.var = var then Some (v.Loop.lo, v.Loop.hi) else None)
+    nest.Loop.vars
+
+(* ------------------------------------------------------------------ *)
+(* Per-variable stride profile and line-granular footprints.           *)
+
+type stride = { s_var : string; s_coeff : int; s_trip : int }
+
+(* Duplicate variables folded, zero coefficients and empty loops dropped:
+   what remains is exactly the set of variables that move the subscript. *)
+let strides ~bounds = function
+  | Subscript.Indirect _ -> None
+  | Subscript.Affine { coeffs; const = _ } ->
+    let merged =
+      List.fold_left
+        (fun acc (v, c) ->
+          match List.assoc_opt v acc with
+          | Some c0 -> (v, c0 + c) :: List.remove_assoc v acc
+          | None -> (v, c) :: acc)
+        [] coeffs
+    in
+    let rec build acc = function
+      | [] -> Some (List.rev acc)
+      | (v, c) :: rest -> (
+        match bounds v with
+        | None -> None
+        | Some (vlo, vhi) ->
+          let trip = max 0 (vhi - vlo) in
+          if c = 0 || trip = 0 then build acc rest
+          else build ({ s_var = v; s_coeff = c; s_trip = trip } :: acc) rest)
+    in
+    build [] (List.rev merged)
+
+(* Distinct lines of one arithmetic progression [base, base+s, ...,
+   base+(n-1)s] (s > 0). With s >= line_words every term advances the
+   line, so all n are distinct; with s < line_words consecutive floors
+   differ by at most one, so the lines form one contiguous run. *)
+let progression_lines ~line_words ~base ~stride:s ~n =
+  if n <= 0 then 0
+  else if s >= line_words then n
+  else
+    let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b) in
+    fdiv (base + ((n - 1) * s)) line_words - fdiv base line_words + 1
+
+(* Beyond this many iteration points the exact per-point enumeration is
+   abandoned for the interval bound; every nest in the suite stays well
+   under it. *)
+let enumeration_cap = 1 lsl 16
+
+let footprint_lines ~line_words ~bounds sub =
+  if line_words <= 0 then invalid_arg "Affine_range.footprint_lines: line_words must be positive";
+  match sub with
+  | Subscript.Indirect _ -> None
+  | Subscript.Affine { coeffs; const } -> (
+    match strides ~bounds sub with
+    | None -> None
+    | Some [] ->
+      (* The subscript is constant over the whole iteration space — but an
+         empty enclosing loop means the statement never runs at all. *)
+      let empty =
+        List.exists
+          (fun (v, _) ->
+            match bounds v with Some (lo, hi) -> hi <= lo | None -> false)
+          coeffs
+      in
+      Some (if empty then 0 else 1)
+    | Some strides ->
+      (* Normalize each variable to a zero-based trip with positive
+         stride: v in [lo, hi) contributes c*lo (or c*(hi-1) for c < 0)
+         to the base and |c| per step. *)
+      let base, dims =
+        List.fold_left
+          (fun (base, dims) s ->
+            match bounds s.s_var with
+            | None -> (base, dims) (* unreachable: strides checked bounds *)
+            | Some (vlo, vhi) ->
+              if s.s_coeff > 0 then (base + (s.s_coeff * vlo), (s.s_coeff, s.s_trip) :: dims)
+              else (base + (s.s_coeff * (vhi - 1)), (-s.s_coeff, s.s_trip) :: dims))
+          (const, []) strides
+      in
+      match dims with
+      | [] -> Some 1
+      | [ (s, n) ] -> Some (progression_lines ~line_words ~base ~stride:s ~n)
+      | dims ->
+        let points = List.fold_left (fun acc (_, n) -> acc * n) 1 dims in
+        if points <= enumeration_cap then begin
+          (* Exact: enumerate the iteration box once, collecting distinct
+             line indices. *)
+          let lines = Hashtbl.create 1024 in
+          let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b) in
+          let rec walk v = function
+            | [] -> Hashtbl.replace lines (fdiv v line_words) ()
+            | (s, n) :: rest ->
+              for k = 0 to n - 1 do
+                walk (v + (k * s)) rest
+              done
+          in
+          walk base dims;
+          Some (Hashtbl.length lines)
+        end
+        else begin
+          (* Interval bound: the footprint cannot exceed the line span of
+             the value range, nor the number of iteration points. *)
+          let span = List.fold_left (fun acc (s, n) -> acc + (s * (n - 1))) 0 dims in
+          let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b) in
+          Some (min points (fdiv (base + span) line_words - fdiv base line_words + 1))
+        end)

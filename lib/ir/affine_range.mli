@@ -1,0 +1,49 @@
+(** Interval and footprint evaluation of affine subscripts over loop bounds.
+
+    An affine subscript [c0 + c1*v1 + ... + ck*vk] attains its extrema at
+    the corners of the iteration box, so the inclusive value range follows
+    directly from each variable's bounds and its coefficient's sign. Beyond
+    the corner extrema, the per-variable stride profile ([strides]) makes
+    line-granular footprints ([footprint_lines]) exact: each variable is an
+    arithmetic progression, and distinct-line counts of progressions have
+    closed forms. *)
+
+type outcome =
+  | Range of int * int (** inclusive [min, max] over the iteration space *)
+  | Unbound of string (** a subscript variable no enclosing loop binds *)
+  | Non_affine (** indirect subscript: not statically boundable *)
+
+val of_subscript : bounds:(string -> (int * int) option) -> Subscript.t -> outcome
+(** [bounds v] is the half-open iteration range of loop variable [v]
+    ([lo, hi)), or [None] when [v] is not bound. Variables of empty loops
+    contribute nothing (the statement never executes). *)
+
+val inner_of_indirect : Subscript.t -> (string * Subscript.t) option
+(** The innermost indirection of a subscript: the index array together with
+    the affine subscript indexing it; [None] for affine subscripts. *)
+
+val bounds_of_nest : Loop.nest -> string -> (int * int) option
+(** The [bounds] function of one loop nest. *)
+
+type stride = {
+  s_var : string;  (** loop variable *)
+  s_coeff : int;  (** its (folded) coefficient in the subscript *)
+  s_trip : int;  (** trip count of the binding loop *)
+}
+
+val strides : bounds:(string -> (int * int) option) -> Subscript.t -> stride list option
+(** Per-variable stride profile of an affine subscript, outermost variable
+    first. Duplicate variables are folded; zero coefficients and empty
+    loops are dropped, so the result lists exactly the variables that move
+    the subscript. [None] for indirect subscripts and for variables no
+    enclosing loop binds. *)
+
+val footprint_lines :
+  line_words:int -> bounds:(string -> (int * int) option) -> Subscript.t -> int option
+(** Number of distinct [line_words]-element cache lines the subscript
+    touches over its whole iteration space, assuming the array base is
+    line-aligned (arrays are page-aligned by [Array_decl.layout]). Exact
+    for zero or one moving variable (closed form) and for multi-variable
+    boxes up to 2^16 iteration points (enumeration); a [min]-of-bounds
+    over-approximation beyond. [None] when the subscript is indirect or a
+    variable is unbound. Raises [Invalid_argument] if [line_words <= 0]. *)

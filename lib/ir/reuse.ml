@@ -1,0 +1,123 @@
+(* Reuse classification of array references within one loop nest.
+
+   A reference "reuses" a cache line when the line it touches at one
+   iteration is touched again within a short window — by itself at a later
+   iteration (self reuse) or by an equal-stride sibling reference (group
+   reuse). Only short-distance reuse matters to the partitioner: the
+   window scheduler's L1 map remembers lines for [Context.reuse_horizon]
+   statements, so reuse carried by an outer loop almost never survives. *)
+
+type t =
+  | Self_temporal
+  | Self_spatial
+  | Group of { with_stmt : int; delta : int }
+  | None_
+
+let to_string = function
+  | Self_temporal -> "self-temporal"
+  | Self_spatial -> "self-spatial"
+  | Group { with_stmt; delta } -> Printf.sprintf "group(s%d,%+d)" with_stmt delta
+  | None_ -> "none"
+
+(* Folded (var, coeff) profile with zeros dropped, sorted by variable, for
+   structural comparison of two affine subscripts. *)
+let profile = function
+  | Subscript.Indirect _ -> None
+  | Subscript.Affine { coeffs; const } ->
+    let merged =
+      List.fold_left
+        (fun acc (v, c) ->
+          match List.assoc_opt v acc with
+          | Some c0 -> (v, c0 + c) :: List.remove_assoc v acc
+          | None -> (v, c) :: acc)
+        [] coeffs
+    in
+    let moving = List.filter (fun (_, c) -> c <> 0) merged in
+    Some (List.sort compare moving, const)
+
+let classify_nest ~line_words (nest : Loop.nest) =
+  let bounds = Affine_range.bounds_of_nest nest in
+  let trip v = match bounds v with Some (lo, hi) -> max 0 (hi - lo) | None -> 0 in
+  (* Every reference of the body with its position: 0 is the statement's
+     output, inputs follow in order. *)
+  let refs =
+    List.concat
+      (List.mapi
+         (fun si (stmt : Stmt.t) ->
+           List.mapi
+             (fun pos (r : Reference.t) -> ((si, pos), r))
+             (Stmt.output stmt :: Stmt.inputs stmt))
+         nest.Loop.body)
+  in
+  let self (r : Reference.t) =
+    match Affine_range.strides ~bounds r.Reference.subscript with
+    | None -> None_
+    | Some strides ->
+      let moving = List.map (fun (s : Affine_range.stride) -> s.Affine_range.s_var) strides in
+      (* Temporal: some multi-trip nest variable does not move the
+         subscript, so its iterations re-touch the same element. *)
+      let temporal =
+        List.exists
+          (fun (lv : Loop.loop_var) ->
+            trip lv.Loop.var > 1 && not (List.mem lv.Loop.var moving))
+          nest.Loop.vars
+      in
+      if temporal then Self_temporal
+      else begin
+        (* Spatial: the innermost moving variable advances by less than a
+           line per iteration. *)
+        let lw = line_words r.Reference.array in
+        let innermost =
+          List.find_opt
+            (fun (lv : Loop.loop_var) -> List.mem lv.Loop.var moving)
+            (List.rev nest.Loop.vars)
+        in
+        match innermost with
+        | Some lv -> (
+          match
+            List.find_opt
+              (fun (s : Affine_range.stride) -> s.Affine_range.s_var = lv.Loop.var)
+              strides
+          with
+          | Some s when abs s.Affine_range.s_coeff < lw && trip lv.Loop.var > 1 -> Self_spatial
+          | _ -> None_)
+        | None -> None_
+      end
+  in
+  List.map
+    (fun ((si, pos), (r : Reference.t)) ->
+      match profile r.Reference.subscript with
+      | None -> ((si, pos), (r, None_))
+      | Some (coeffs, const) -> (
+        (* A reference follows the earliest structurally-equal sibling
+           (same array, same folded coefficients) whose constant lands
+           within a line of ours: the leader keeps its self
+           classification, followers are group reuse. *)
+        let leader =
+          List.find_opt
+            (fun ((si', pos'), (r' : Reference.t)) ->
+              (si', pos') < (si, pos)
+              && r'.Reference.array = r.Reference.array
+              && match profile r'.Reference.subscript with
+                 | Some (coeffs', const') ->
+                   coeffs' = coeffs && abs (const - const') < line_words r.Reference.array
+                 | None -> false)
+            refs
+        in
+        match leader with
+        | Some ((si', _), (r' : Reference.t)) ->
+          let const' =
+            match profile r'.Reference.subscript with Some (_, c) -> c | None -> const
+          in
+          ((si, pos), (r, Group { with_stmt = si'; delta = const - const' }))
+        | None -> ((si, pos), (r, self r))))
+    refs
+
+let classify ~line_words nest ~stmt_idx (r : Reference.t) =
+  match
+    List.find_opt
+      (fun ((si, _), (r', _)) -> si = stmt_idx && Reference.equal r' r)
+      (classify_nest ~line_words nest)
+  with
+  | Some (_, (_, cls)) -> cls
+  | None -> None_

@@ -1,0 +1,32 @@
+(** Reuse classification of array references within one loop nest.
+
+    Mirrors the classical self/group, temporal/spatial taxonomy, restricted
+    to what the window scheduler can actually exploit: short-distance reuse
+    that lands inside the L1 window ([Context.reuse_horizon] statements).
+    The classification is purely symbolic — no sampling, no simulation. *)
+
+type t =
+  | Self_temporal
+      (** some multi-trip nest variable is absent from the subscript:
+          successive iterations re-touch the same element *)
+  | Self_spatial
+      (** the innermost moving variable advances by less than a cache line
+          per iteration: successive iterations stay in-line *)
+  | Group of { with_stmt : int; delta : int }
+      (** an earlier reference of statement [with_stmt] with identical
+          coefficients touches the same line, [delta] elements away; that
+          leader carries the fetch, this reference rides it *)
+  | None_  (** no short-distance reuse, or the subscript is indirect *)
+
+val to_string : t -> string
+
+val classify_nest :
+  line_words:(string -> int) -> Loop.nest -> ((int * int) * (Reference.t * t)) list
+(** Classification of every reference of the nest body, keyed by
+    [(statement index, reference position)] where position 0 is the
+    statement's output and inputs follow in order. [line_words a] is the
+    number of elements of array [a] per cache line. *)
+
+val classify : line_words:(string -> int) -> Loop.nest -> stmt_idx:int -> Reference.t -> t
+(** Classification of one reference of statement [stmt_idx] (the first
+    positional match when the same reference text appears twice). *)

@@ -106,6 +106,56 @@ let lint_oversized_window () =
   Alcotest.(check bool) "fitting window is silent" false
     (has_code "W204" (Lint.check_kernel ~window:4 k))
 
+(* W4xx: the static cost model critiquing kernels it cannot price well. *)
+
+let lint_footprint_exceeds_window () =
+  (* a[i] has self-temporal reuse across j, but its 500-line footprint can
+     never sit inside the 256-line L1 reuse window. *)
+  let k =
+    Spec.kernel ~name:"bad-footprint" ~description:"reuse footprint larger than the L1 window"
+      ~arrays:[ ("a", 4000, 8); ("b", 4, 8) ]
+      ~nests:[ Spec.nest "big" [ ("i", 0, 4000); ("j", 0, 2) ] [ "a[i] = a[i] + b[j]" ] ]
+      ()
+  in
+  let diags = Lint.check_kernel k in
+  Alcotest.(check bool) "W401 reported" true (has_code "W401" diags);
+  Alcotest.(check int) "warning, not error" 0 (List.length (errors diags))
+
+let lint_non_affine_defeats_static () =
+  (* Inspector coverage silences W202 but cannot make the reference
+     statically analyzable: W402 still fires. *)
+  let k =
+    Spec.kernel ~name:"bad-static" ~description:"indirect access with inspector data"
+      ~arrays:[ ("x", 16, 8); ("y", 16, 8); ("idx", 8, 4) ]
+      ~nests:[ Spec.nest "n" [ ("i", 0, 8) ] [ "x[idx[i]] = y[i] + x[i]" ] ]
+      ~index_arrays:[ ("idx", Array.init 8 (fun i -> i)) ]
+      ()
+  in
+  let diags = Lint.check_kernel k in
+  Alcotest.(check bool) "W402 reported" true (has_code "W402" diags);
+  Alcotest.(check bool) "inspector coverage silences W202" false (has_code "W202" diags)
+
+let lint_movement_domination () =
+  (* One 12-operand statement against a single-operand one: the first
+     carries essentially all of the nest's predicted movement. *)
+  let wide =
+    "s[i] = a0[i] + a1[i] + a2[i] + a3[i] + a4[i] + a5[i] + a6[i] + a7[i] + a8[i] + a9[i] + \
+     aa[i] + ab[i]"
+  in
+  let arrays =
+    [ ("s", 16, 8); ("t", 16, 8); ("c0", 16, 8) ]
+    @ List.map
+        (fun n -> (n, 16, 8))
+        [ "a0"; "a1"; "a2"; "a3"; "a4"; "a5"; "a6"; "a7"; "a8"; "a9"; "aa"; "ab" ]
+  in
+  let k =
+    Spec.kernel ~name:"bad-dominated" ~description:"one statement dominates predicted movement"
+      ~arrays
+      ~nests:[ Spec.nest "n" [ ("i", 0, 8) ] [ wide; "t[i] = c0[i]" ] ]
+      ()
+  in
+  Alcotest.(check bool) "W403 reported" true (has_code "W403" (Lint.check_kernel k))
+
 let lint_suite_error_free () =
   List.iter
     (fun k ->
@@ -329,6 +379,10 @@ let tests =
         Alcotest.test_case "W202 no inspector coverage" `Quick lint_no_inspector;
         Alcotest.test_case "W203 degenerate loop" `Quick lint_degenerate_loop;
         Alcotest.test_case "W204 oversized window" `Quick lint_oversized_window;
+        Alcotest.test_case "W401 footprint exceeds window" `Quick lint_footprint_exceeds_window;
+        Alcotest.test_case "W402 non-affine defeats static analysis" `Quick
+          lint_non_affine_defeats_static;
+        Alcotest.test_case "W403 movement domination" `Quick lint_movement_domination;
         Alcotest.test_case "whole suite lints error-free" `Quick lint_suite_error_free;
       ] );
     ( "analysis.validate",

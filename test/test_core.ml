@@ -236,6 +236,41 @@ let window_movement_estimate_reuse () =
   let m2 = Window.movement_estimate ctx metas ~window:2 in
   Alcotest.(check bool) "window of 2 moves no more data" true (m2 <= m1)
 
+let window_analytic_matches_sampled () =
+  (* The closed-form window model must agree with the sampled oracle on
+     every nest of the whole suite — the property that lets the analytic
+     path replace sampled compilation. *)
+  List.iter
+    (fun name ->
+      let kernel = Ndp_workloads.Suite.find name in
+      let scheme = Pipeline.Partitioned Pipeline.partitioned_defaults in
+      let _ =
+        List.fold_left
+          (fun g (nest : Ndp_ir.Loop.nest) ->
+            let sampled_ctx = Pipeline.static_context scheme kernel in
+            let analytic_ctx = Pipeline.static_context scheme kernel in
+            let metas, g' = Pipeline.nest_stream sampled_ctx nest ~first_group:g in
+            let ws = Window.choose_size sampled_ctx metas ~max:8 in
+            let wa = Window.choose_size_analytic analytic_ctx metas ~max:8 in
+            Alcotest.(check int)
+              (Printf.sprintf "%s/%s analytic = sampled" name nest.Ndp_ir.Loop.nest_name)
+              ws wa;
+            g')
+          0 kernel.Kernel.program.Ndp_ir.Loop.nests
+      in
+      ())
+    Ndp_workloads.Suite.names
+
+let window_non_affine_short_circuit () =
+  (* A nest whose every reference is indirect gives the static model
+     nothing to work with: both sizers fall back to w=1. *)
+  let ctx, _ = fixture [ ("x", 3); ("y", 4); ("w", 5) ] in
+  let stmt = Ndp_ir.Parser.statement "x[y[i]] = w[y[i]]" in
+  let metas = List.init 16 (fun i -> meta_of ctx stmt i (i mod 36)) in
+  Alcotest.(check bool) "all non-affine" true (Window.all_non_affine metas);
+  Alcotest.(check int) "sampled short-circuits" 1 (Window.choose_size ctx metas ~max:8);
+  Alcotest.(check int) "analytic short-circuits" 1 (Window.choose_size_analytic ctx metas ~max:8)
+
 let baseline_assignment () =
   let arrays = Ndp_ir.Array_decl.layout [ ("a", 4096, 8); ("b", 4096, 8) ] in
   let resolve (r : Ndp_ir.Reference.t) env =
@@ -338,6 +373,8 @@ let tests =
         Alcotest.test_case "window compile basics" `Quick window_compile_basics;
         Alcotest.test_case "window choose size bounds" `Quick window_choose_size_bounds;
         Alcotest.test_case "window reuse estimate" `Quick window_movement_estimate_reuse;
+        Alcotest.test_case "window analytic = sampled (suite)" `Slow window_analytic_matches_sampled;
+        Alcotest.test_case "window non-affine short-circuit" `Quick window_non_affine_short_circuit;
         Alcotest.test_case "baseline assignment" `Quick baseline_assignment;
         Alcotest.test_case "codegen renders" `Quick codegen_renders;
         Alcotest.test_case "graphviz outputs" `Quick graphviz_outputs;

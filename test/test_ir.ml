@@ -207,6 +207,89 @@ let qcheck_parser_roundtrip =
       let e = Parser.expr src in
       Parser.expr (Expr.to_string e) = e)
 
+(* ---- Affine_range footprints / strides and reuse classification ---- *)
+
+(* A subscript from source, without caring about the rest of the statement. *)
+let sub_of src = (Stmt.output (Parser.statement (src ^ " = q[0]"))).Reference.subscript
+
+let bounds_of l v = List.assoc_opt v l
+
+let footprint_unit_stride () =
+  (* a[i], i in [0,100), 8 words/line: elements 0..99 live in lines 0..12. *)
+  Alcotest.(check (option int)) "13 lines" (Some 13)
+    (Affine_range.footprint_lines ~line_words:8 ~bounds:(bounds_of [ ("i", (0, 100)) ])
+       (sub_of "a[i]"))
+
+let footprint_line_stride () =
+  (* Stride = line size: every iteration lands on a fresh line. *)
+  Alcotest.(check (option int)) "100 lines" (Some 100)
+    (Affine_range.footprint_lines ~line_words:8 ~bounds:(bounds_of [ ("i", (0, 100)) ])
+       (sub_of "a[8*i]"))
+
+let footprint_sub_line_stride () =
+  (* a[2*i], i in [0,50): values 0,2,..,98 -> lines 0..12. *)
+  Alcotest.(check (option int)) "13 lines" (Some 13)
+    (Affine_range.footprint_lines ~line_words:8 ~bounds:(bounds_of [ ("i", (0, 50)) ])
+       (sub_of "a[2*i]"))
+
+let footprint_constant () =
+  Alcotest.(check (option int)) "constant: 1 line" (Some 1)
+    (Affine_range.footprint_lines ~line_words:8 ~bounds:(bounds_of [ ("i", (0, 10)) ])
+       (sub_of "a[5]"))
+
+let footprint_two_vars_exact () =
+  (* a[16*i+j], i in [0,4), j in [0,16): covers 0..63 contiguously. *)
+  Alcotest.(check (option int)) "8 lines" (Some 8)
+    (Affine_range.footprint_lines ~line_words:8
+       ~bounds:(bounds_of [ ("i", (0, 4)); ("j", (0, 16)) ])
+       (sub_of "a[16*i+j]"))
+
+let footprint_not_static () =
+  let bounds = bounds_of [ ("i", (0, 10)) ] in
+  Alcotest.(check (option int)) "unbound var" None
+    (Affine_range.footprint_lines ~line_words:8 ~bounds (sub_of "a[k]"));
+  Alcotest.(check (option int)) "indirect" None
+    (Affine_range.footprint_lines ~line_words:8 ~bounds (sub_of "x[y[i]]"))
+
+let stride_profile () =
+  match
+    Affine_range.strides ~bounds:(bounds_of [ ("i", (0, 4)); ("j", (0, 3)) ]) (sub_of "a[2*i+j]")
+  with
+  | Some [ si; sj ] ->
+    Alcotest.(check string) "outer var" "i" si.Affine_range.s_var;
+    Alcotest.(check int) "outer coeff" 2 si.Affine_range.s_coeff;
+    Alcotest.(check int) "outer trip" 4 si.Affine_range.s_trip;
+    Alcotest.(check string) "inner var" "j" sj.Affine_range.s_var;
+    Alcotest.(check int) "inner coeff" 1 sj.Affine_range.s_coeff;
+    Alcotest.(check int) "inner trip" 3 sj.Affine_range.s_trip
+  | other ->
+    Alcotest.failf "expected two strides, got %s"
+      (match other with None -> "None" | Some l -> string_of_int (List.length l) ^ " strides")
+
+let reuse_classes () =
+  let words _ = 8 in
+  let nest vars stmts = Loop.nest "n" vars (List.map Parser.statement stmts) in
+  let i0_4 = { Loop.var = "i"; lo = 0; hi = 4 } and j0_4 = { Loop.var = "j"; lo = 0; hi = 4 } in
+  (* j moves but is absent from b[i]: successive j iterations re-touch it. *)
+  let n = nest [ i0_4; j0_4 ] [ "a[i+j] = b[i]" ] in
+  Alcotest.(check string) "self-temporal" "self-temporal"
+    (Reuse.to_string (Reuse.classify ~line_words:words n ~stmt_idx:0 (List.hd (Stmt.inputs (List.hd n.Loop.body)))));
+  (* Unit stride under an 8-word line stays in-line. *)
+  let n = nest [ i0_4 ] [ "a[i] = b[i]" ] in
+  Alcotest.(check string) "self-spatial" "self-spatial"
+    (Reuse.to_string (Reuse.classify ~line_words:words n ~stmt_idx:0 (Stmt.output (List.hd n.Loop.body))));
+  (* Full-line stride: every iteration is a fresh line, nothing to reuse. *)
+  let n = nest [ i0_4 ] [ "a[8*i] = b[8*i]" ] in
+  Alcotest.(check string) "no reuse" "none"
+    (Reuse.to_string (Reuse.classify ~line_words:words n ~stmt_idx:0 (Stmt.output (List.hd n.Loop.body))));
+  (* b[8*i+1] rides the line statement 0's b[8*i] fetched. *)
+  let n = nest [ i0_4 ] [ "x[8*i] = b[8*i]"; "y[8*i] = b[8*i+1]" ] in
+  (match Reuse.classify ~line_words:words n ~stmt_idx:1 (List.hd (Stmt.inputs (List.nth n.Loop.body 1))) with
+  | Reuse.Group { with_stmt; delta } ->
+    Alcotest.(check int) "group leader stmt" 0 with_stmt;
+    Alcotest.(check int) "group delta" 1 delta
+  | other -> Alcotest.failf "expected group reuse, got %s" (Reuse.to_string other))
+
 let tests =
   [
     ( "ir",
@@ -232,6 +315,14 @@ let tests =
         Alcotest.test_case "dependence may on indirect" `Quick dependence_may_on_indirect;
         Alcotest.test_case "inspector resolution" `Quick inspector_resolution;
         Alcotest.test_case "op properties" `Quick op_properties;
+        Alcotest.test_case "footprint: unit stride" `Quick footprint_unit_stride;
+        Alcotest.test_case "footprint: line stride" `Quick footprint_line_stride;
+        Alcotest.test_case "footprint: sub-line stride" `Quick footprint_sub_line_stride;
+        Alcotest.test_case "footprint: constant" `Quick footprint_constant;
+        Alcotest.test_case "footprint: two vars exact" `Quick footprint_two_vars_exact;
+        Alcotest.test_case "footprint: not static" `Quick footprint_not_static;
+        Alcotest.test_case "stride profile" `Quick stride_profile;
+        Alcotest.test_case "reuse classes" `Quick reuse_classes;
         QCheck_alcotest.to_alcotest qcheck_parser_roundtrip;
       ] );
   ]

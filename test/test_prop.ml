@@ -313,6 +313,104 @@ let empty_plan_is_identity () =
       else Ok ())
 
 (* -------------------------------------------------------------------- *)
+(* Analytic window model vs. the sampled estimator.                      *)
+
+(* Restricted kernels on which the closed form is provably exact: every
+   statement touches its own arrays (no dependences, so no sync arcs and
+   an empty chunk slice), and every subscript strides a full cache line
+   (8 words at 8-byte elements), so the reuse map never hits and both
+   paths price every instance with the same margin rule. On this class
+   [Window.movement_estimate] must equal the analytic total exactly, for
+   every window size. *)
+type analytic_case = { a_trip : int; a_stmts : int * int list (* inputs per stmt *) }
+
+let gen_analytic_case rng =
+  let nstmts = 1 + Rng.int rng 3 in
+  { a_trip = 4 + Rng.int rng 7; a_stmts = (nstmts, List.init nstmts (fun _ -> 1 + Rng.int rng 3)) }
+
+let analytic_kernel { a_trip; a_stmts = nstmts, inputs } =
+  let arrays = ref [] in
+  let body =
+    List.init nstmts (fun k ->
+        let out = Printf.sprintf "o%d" k in
+        let ins = List.init (List.nth inputs k) (fun j -> Printf.sprintf "x%d_%d" k j) in
+        arrays := (out :: ins) @ !arrays;
+        Printf.sprintf "%s[8*i+%d] = %s" out (k mod 8)
+          (String.concat " + " (List.map (fun a -> Printf.sprintf "%s[8*i+%d]" a (k mod 8)) ins)))
+  in
+  Spec.kernel ~name:"prop-analytic" ~description:"affine-only, dependence-free"
+    ~arrays:(List.map (fun a -> (a, (8 * a_trip) + 8, 8)) (List.sort_uniq compare !arrays))
+    ~nests:[ Spec.nest ~sweeps:1 "n" [ ("i", 0, a_trip) ] body ]
+    ()
+
+let print_analytic_case c =
+  Printf.sprintf "trip %d, inputs per stmt [%s]" c.a_trip
+    (String.concat "; " (List.map string_of_int (snd c.a_stmts)))
+
+let analytic_equals_sampled_estimate () =
+  forall ~count:60 ~name:"analytic = sampled estimate on affine-only kernels"
+    { gen = gen_analytic_case; shrink = (fun _ -> []); print = print_analytic_case }
+    (fun case ->
+      let kernel = analytic_kernel case in
+      let scheme = Pipeline.Partitioned Pipeline.partitioned_defaults in
+      let nest = List.hd kernel.Ndp_core.Kernel.program.Ndp_ir.Loop.nests in
+      let rec check_w w =
+        if w > 4 then Ok ()
+        else begin
+          let sampled_ctx = Pipeline.static_context scheme kernel in
+          let analytic_ctx = Pipeline.static_context scheme kernel in
+          let metas, _ = Pipeline.nest_stream sampled_ctx nest ~first_group:0 in
+          let sampled = Ndp_core.Window.movement_estimate sampled_ctx metas ~window:w in
+          let a = Ndp_core.Window.analytic_of analytic_ctx metas ~window:w in
+          let analytic =
+            Array.fold_left ( + ) 0 a.Ndp_core.Window.a_est
+            + (Ndp_core.Window.sync_links_of analytic_ctx * a.Ndp_core.Window.a_syncs)
+          in
+          if sampled <> analytic then
+            Error
+              (Printf.sprintf "window %d: sampled estimate %d vs analytic %d" w sampled analytic)
+          else check_w (w + 1)
+        end
+      in
+      check_w 1)
+
+(* -------------------------------------------------------------------- *)
+(* Static cost table vs. the measured ledger, whole suite.               *)
+
+let divergence ~static ~measured =
+  if static = 0 && measured = 0 then 1.0
+  else if static = 0 || measured = 0 then infinity
+  else
+    let a = float_of_int static and b = float_of_int measured in
+    if a > b then a /. b else b /. a
+
+let analyze_reconciles_suite () =
+  (* The same gate `ndp_run analyze` applies, over every workload and both
+     schemes: the static table must stay within the divergence threshold
+     of what the simulated NoC actually carried. *)
+  let threshold = 4.0 in
+  List.iter
+    (fun name ->
+      let kernel = Ndp_workloads.Suite.find name in
+      List.iter
+        (fun scheme ->
+          let table = Ndp_analysis.Cost.table ~scheme kernel in
+          let obs = Ndp_obs.Sink.create ~metrics:false ~trace:false ~ledger:true () in
+          let _ = Pipeline.run ~obs scheme kernel in
+          let measured = Ndp_obs.Ledger.total_flit_hops obs.Ndp_obs.Sink.ledger in
+          let ratio = divergence ~static:table.Ndp_analysis.Cost.total_flit_hops ~measured in
+          if ratio > threshold then
+            Alcotest.failf "%s under %s: static %d vs measured %d flit-hops (x%.2f > x%.2f)" name
+              (Pipeline.scheme_name scheme) table.Ndp_analysis.Cost.total_flit_hops measured ratio
+              threshold)
+        [
+          Pipeline.Default;
+          Pipeline.Partitioned
+            { Pipeline.partitioned_defaults with Pipeline.window = Pipeline.Analytic };
+        ])
+    Ndp_workloads.Suite.names
+
+(* -------------------------------------------------------------------- *)
 (* The shrinker itself: a deliberately false property must minimize.     *)
 
 let shrinker_minimizes () =
@@ -350,6 +448,10 @@ let tests =
         Alcotest.test_case "random schedules pass race validator" `Slow
           schedules_pass_race_validator;
         Alcotest.test_case "empty fault plan is identity" `Slow empty_plan_is_identity;
+        Alcotest.test_case "analytic = sampled estimate (affine-only)" `Quick
+          analytic_equals_sampled_estimate;
+        Alcotest.test_case "static cost table reconciles with ledger (suite)" `Slow
+          analyze_reconciles_suite;
         Alcotest.test_case "shrinker reaches a minimal counterexample" `Quick shrinker_minimizes;
       ] );
   ]
