@@ -215,6 +215,68 @@ let micro ?(json = false) () =
     Test.make ~name:"choose-size-analytic-256"
       (Staged.stage (fun () -> Ndp_core.Window.choose_size_analytic cs_ctx cs_metas ~max:8))
   in
+  (* Layer microbenchmarks for the flat-engine hot paths: a burst of
+     [Network.send]s over varied routes, the Machine L1-hit and deep-miss
+     load paths, and one [Engine.run] of a representative combine task.
+     Each keeps its machine/network alive across samples (per-link
+     occupancy and clocks accumulate, as in a real run); only the
+     per-operation slope is reported. *)
+  let bench_net_send =
+    let net = Ndp_sim.Network.create Ndp_sim.Config.default in
+    let stats = Ndp_sim.Stats.create () in
+    let t = ref 0 in
+    Test.make ~name:"network-send-256"
+      (Staged.stage (fun () ->
+           t := !t + 1000;
+           for i = 0 to 255 do
+             ignore
+               (Ndp_sim.Network.send net ~time:!t ~src:(i mod 36) ~dst:(((i * 7) + 5) mod 36)
+                  ~bytes:64 ~stats)
+           done))
+  in
+  let bench_load_hit =
+    let machine = Ndp_sim.Machine.create Ndp_sim.Config.default in
+    let stats = Ndp_sim.Stats.create () in
+    let t = ref 0 in
+    ignore (Ndp_sim.Machine.load machine ~node:0 ~va:4096 ~bytes:8 ~time:0 ~stats);
+    Test.make ~name:"machine-load-hit"
+      (Staged.stage (fun () ->
+           incr t;
+           ignore (Ndp_sim.Machine.load machine ~node:0 ~va:4096 ~bytes:8 ~time:!t ~stats)))
+  in
+  let bench_load_miss =
+    let machine = Ndp_sim.Machine.create Ndp_sim.Config.default in
+    let stats = Ndp_sim.Stats.create () in
+    let t = ref 0 in
+    let va = ref 0 in
+    Test.make ~name:"machine-load-miss"
+      (Staged.stage (fun () ->
+           t := !t + 100;
+           (* 64 MB wrap with a line-sized offset so every access misses
+              both the L1 and the home L2 bank. *)
+           va := (!va + 4160) land 0x3FFFFFF;
+           ignore (Ndp_sim.Machine.load machine ~node:1 ~va:!va ~bytes:8 ~time:!t ~stats)))
+  in
+  let bench_exec_task =
+    let machine = Ndp_sim.Machine.create Ndp_sim.Config.default in
+    let engine = Ndp_sim.Engine.create machine in
+    let ops = Ndp_ir.Expr.ops stmt.Ndp_ir.Stmt.rhs in
+    let id = ref 0 in
+    Test.make ~name:"engine-exec-task"
+      (Staged.stage (fun () ->
+           incr id;
+           let base = !id * 64 in
+           let task =
+             Ndp_sim.Task.make ~id:!id ~group:0 ~node:(!id mod 36) ~ops
+               ~operands:
+                 [
+                   Ndp_sim.Task.Load { va = base; bytes = 8 };
+                   Ndp_sim.Task.Load { va = base + 8192; bytes = 8 };
+                 ]
+               ~store:(base + 16384, 8) ~label:"bench" ()
+           in
+           Ndp_sim.Engine.run engine [ task ]))
+  in
   let tests =
     Test.make_grouped ~name:"ndp"
       [
@@ -223,6 +285,7 @@ let micro ?(json = false) () =
         bench_dep_bucketed; bench_dep_naive; bench_choose_sampled; bench_choose_reanalyze;
         bench_choose_analytic;
         bench_inject_disabled; bench_inject_enabled;
+        bench_net_send; bench_load_hit; bench_load_miss; bench_exec_task;
       ]
   in
   (* The profile pair gets its own longer quota: at ~40 ms per run the
@@ -333,6 +396,75 @@ let () =
         name = "micro";
         summary = "Bechamel micro-benchmarks; --json also writes BENCH_micro.json";
         run = (fun args -> micro ~json:(List.mem "--json" args) ());
+      };
+      {
+        name = "sweep";
+        summary = "compile cholesky once, replay the schedule across cost-model variants";
+        run =
+          (fun args ->
+            let kernel = Ndp_workloads.Suite.find (match args with k :: _ -> k | [] -> "cholesky") in
+            let scheme =
+              Ndp_core.Pipeline.Partitioned Ndp_core.Pipeline.partitioned_defaults
+            in
+            let d = Ndp_sim.Config.default in
+            let nt = Ndp_core.Pipeline.no_tweaks in
+            (* Simulation-side variants only: address-shape parameters
+               (mesh, line/page size) must match the capture config. *)
+            let variants =
+              [
+                ("baseline", d, nt);
+                ("hop-cycles-8", { d with Ndp_sim.Config.hop_cycles = 8 }, nt);
+                ("hop-cycles-32", { d with Ndp_sim.Config.hop_cycles = 32 }, nt);
+                ("ddr-cycles-520", { d with Ndp_sim.Config.ddr_cycles = 520 }, nt);
+                ("op-cycles-16", { d with Ndp_sim.Config.op_cycles = 16 }, nt);
+                ("l2-hit-cycles-36", { d with Ndp_sim.Config.l2_hit_cycles = 36 }, nt);
+                ("distance-x0.5", d, { nt with Ndp_core.Pipeline.distance_factor = 0.5 });
+                ("compute-/2", d, { nt with Ndp_core.Pipeline.cost_scale = 2.0 });
+              ]
+            in
+            let t0 = Unix.gettimeofday () in
+            let r = Ndp_core.Pipeline.run ~capture:true scheme kernel in
+            let compile_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+            let t1 = Unix.gettimeofday () in
+            let replays =
+              Ndp_prelude.Pool.with_pool (fun pool ->
+                  Ndp_prelude.Pool.parallel_map pool
+                    (fun (name, config, tweaks) ->
+                      (name, Ndp_core.Pipeline.replay ~config ~tweaks kernel r.Ndp_core.Pipeline.emitted))
+                    variants)
+            in
+            let replay_ms = (Unix.gettimeofday () -. t1) *. 1000.0 in
+            Printf.printf "== %s / %s: one compile, %d replays ==\n" kernel.Ndp_core.Kernel.name
+              r.Ndp_core.Pipeline.scheme_name (List.length variants);
+            Printf.printf "%-18s %12s %10s %10s %12s\n" "variant" "exec-cycles" "vs-base" "hops"
+              "load-wait";
+            let base_exec = r.Ndp_core.Pipeline.exec_time in
+            List.iter
+              (fun (name, (rp : Ndp_core.Pipeline.replayed)) ->
+                Printf.printf "%-18s %12d %9.2fx %10d %12d\n" name rp.Ndp_core.Pipeline.rp_exec_time
+                  (float_of_int rp.Ndp_core.Pipeline.rp_exec_time /. float_of_int base_exec)
+                  (Ndp_sim.Stats.hops rp.Ndp_core.Pipeline.rp_stats)
+                  (Ndp_sim.Stats.load_wait rp.Ndp_core.Pipeline.rp_stats))
+              replays;
+            Printf.printf
+              "compile+capture %.1f ms, %d replays %.1f ms (%.1f ms/variant vs %.1f ms for a full \
+               recompile each)\n"
+              compile_ms (List.length variants) replay_ms
+              (replay_ms /. float_of_int (List.length variants))
+              compile_ms);
+      };
+      {
+        name = "equiv";
+        summary = "print the run-digest table consumed by test_equiv.ml";
+        run =
+          (fun _ ->
+            List.iter
+              (fun (name, scheme, mode) ->
+                let kernel = Ndp_workloads.Suite.find name in
+                let d = E.Equiv.run ~mode ~scheme kernel in
+                Printf.printf "    (%S, %S);\n%!"
+                  (E.Equiv.combo_key name scheme mode) d)
+              (E.Equiv.all_combos ()));
       };
     ]
     @ List.map

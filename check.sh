@@ -129,6 +129,14 @@ if [ -n "$failures" ]; then
 fi
 
 total=$(($(now) - t_start))
+# Wall-clock budget: warn (without failing) when the full gate overruns,
+# so a perf regression surfaces in every run, not only when someone
+# re-benchmarks. BENCH_micro.json records the measured gate time.
+budget=90
+echo "gate budget: ${total}s of ${budget}s"
+if [ "$total" -gt "$budget" ]; then
+  echo "check.sh: WARNING: full gate took ${total}s (> ${budget}s budget)" >&2
+fi
 baseline_file=.check_serial_seconds
 if [ "$jobs" -le 1 ]; then
   echo "$total" >"$baseline_file"

@@ -22,7 +22,11 @@ type t = {
   compiler_resolve : Ndp_ir.Dependence.resolver;
   runtime_resolve : Ndp_ir.Dependence.resolver;
   arrays : Ndp_ir.Array_decl.t list;
+  decls : Ndp_ir.Array_decl.t array; (* [arrays] staged for scanning *)
+  scratch_guf : Ndp_graph.Union_find.t; (* splitter scratch, mesh-sized *)
+  mutable scratch_mst : Ndp_graph.Union_find.t; (* splitter scratch, grown on demand *)
   loads : int array;
+  mutable loads_total : int; (* running sum of [loads], for [balanced] *)
   var2node : (int, int * int) Hashtbl.t; (* line -> node, statement stamp *)
   var2node_fifo : int Queue.t;
   var2node_cap : int;
@@ -45,7 +49,11 @@ let create ~machine ~compiler_resolve ~runtime_resolve ~arrays ?repair ~options 
     compiler_resolve;
     runtime_resolve;
     arrays;
+    decls = Array.of_list arrays;
+    scratch_guf = Ndp_graph.Union_find.create (Ndp_noc.Mesh.size (Ndp_sim.Machine.mesh machine));
+    scratch_mst = Ndp_graph.Union_find.create 16;
     loads = Array.make (Ndp_noc.Mesh.size (Ndp_sim.Machine.mesh machine)) 0;
+    loads_total = 0;
     var2node = Hashtbl.create 256;
     var2node_fifo = Queue.create ();
     var2node_cap = config.Ndp_sim.Config.l1_size / config.Ndp_sim.Config.line_bytes;
@@ -75,8 +83,34 @@ let fresh_task_id t =
   t.next_task <- id + 1;
   id
 
+(* Same lookup [Array_decl.find] performs, on the staged array with a
+   physical-equality fast path: references reuse the parser's interned
+   name strings, and this runs once per reference per statement visit. *)
 let bytes_of t (r : Ndp_ir.Reference.t) =
-  (Ndp_ir.Array_decl.find t.arrays r.Ndp_ir.Reference.array).Ndp_ir.Array_decl.elem_size
+  let name = r.Ndp_ir.Reference.array in
+  let n = Array.length t.decls in
+  let rec find j =
+    if j >= n then raise Not_found
+    else
+      let d = t.decls.(j) in
+      if d.Ndp_ir.Array_decl.name == name || String.equal d.Ndp_ir.Array_decl.name name then
+        d.Ndp_ir.Array_decl.elem_size
+      else find (j + 1)
+  in
+  find 0
+
+(* Splitter scratch: one mesh-sized union-find reused across [split]
+   calls, plus a second grown on demand for the per-level MSTs. Forked
+   contexts get fresh instances, so pooled estimation never shares them. *)
+let scratch_guf t =
+  Ndp_graph.Union_find.reset t.scratch_guf;
+  t.scratch_guf
+
+let scratch_mst t ~at_least =
+  if Ndp_graph.Union_find.capacity t.scratch_mst < at_least then
+    t.scratch_mst <- Ndp_graph.Union_find.create at_least
+  else Ndp_graph.Union_find.reset t.scratch_mst;
+  t.scratch_mst
 
 let mesh t = Ndp_sim.Machine.mesh t.machine
 
@@ -105,11 +139,13 @@ let note_cached t ~line ~node =
   Hashtbl.replace t.var2node line (node, t.stmt_clock)
 
 let cached_node t ~line =
-  match Hashtbl.find_opt t.var2node line with
-  | Some (node, stamp) when t.stmt_clock - stamp <= reuse_horizon -> Some node
-  | Some _ | None -> None
+  match Hashtbl.find t.var2node line with
+  | exception Not_found -> None
+  | node, stamp -> if t.stmt_clock - stamp <= reuse_horizon then Some node else None
 
-let add_load t ~node ~cost = t.loads.(node) <- t.loads.(node) + cost
+let add_load t ~node ~cost =
+  t.loads.(node) <- t.loads.(node) + cost;
+  t.loads_total <- t.loads_total + cost
 
 let balanced t ~node ~cost =
   (* The paper phrases the rule as "no more than 10% extra load than the
@@ -118,14 +154,15 @@ let balanced t ~node ~cost =
      the fleet mean instead, which vetoes any emerging hot spot while
      leaving evenly-loaded nodes free. The [cost] grace keeps the very
      first assignments from being vetoed while the mean is still zero. *)
-  let total = Array.fold_left ( + ) 0 t.loads in
-  let mean = float_of_int total /. float_of_int (Array.length t.loads) in
+  let mean = float_of_int t.loads_total /. float_of_int (Array.length t.loads) in
   let would = float_of_int (t.loads.(node) + cost) in
   would <= ((1.0 +. t.options.balance_threshold) *. mean) +. float_of_int cost
 
 let fork_for_estimate t =
   {
     t with
+    scratch_guf = Ndp_graph.Union_find.create (Ndp_graph.Union_find.capacity t.scratch_guf);
+    scratch_mst = Ndp_graph.Union_find.create 16;
     loads = Array.copy t.loads;
     var2node = Hashtbl.copy t.var2node;
     var2node_fifo = Queue.copy t.var2node_fifo;

@@ -23,7 +23,11 @@ type t = {
   compiler_resolve : Ndp_ir.Dependence.resolver;
   runtime_resolve : Ndp_ir.Dependence.resolver;
   arrays : Ndp_ir.Array_decl.t list;
+  decls : Ndp_ir.Array_decl.t array; (** [arrays] staged for scanning *)
+  scratch_guf : Ndp_graph.Union_find.t; (** splitter scratch, mesh-sized *)
+  mutable scratch_mst : Ndp_graph.Union_find.t; (** splitter scratch, grown on demand *)
   loads : int array; (** accumulated op cost per node, for balancing *)
+  mutable loads_total : int; (** running sum of [loads] *)
   var2node : (int, int * int) Hashtbl.t;
       (** VA cache line -> (node holding it in L1, statement stamp) *)
   var2node_fifo : int Queue.t;
@@ -57,6 +61,14 @@ val avoided : t -> int -> bool
 val fresh_task_id : t -> int
 
 val bytes_of : t -> Ndp_ir.Reference.t -> int
+
+val scratch_guf : t -> Ndp_graph.Union_find.t
+(** The context's statement-global union-find scratch, reset to all
+    singletons. Valid until the next [scratch_guf] call on this context. *)
+
+val scratch_mst : t -> at_least:int -> Ndp_graph.Union_find.t
+(** Per-MST union-find scratch with at least [at_least] elements, reset to
+    all singletons. Valid until the next [scratch_mst] call. *)
 
 val mesh : t -> Ndp_noc.Mesh.t
 

@@ -16,7 +16,24 @@ let inspector t =
   List.iter (fun (name, contents) -> Inspector.declare_index_array insp name contents) t.index_arrays;
   insp
 
-let address_of t name i = Array_decl.address (Array_decl.find t.program.Loop.arrays name) i
+(* Staged on the kernel: resolvers call the returned closure once per
+   reference resolution, so the name lookup must be cheap. Declaration
+   lists are short and references reuse the parser's interned name
+   strings, so a linear scan with a physical-equality fast path beats
+   both the old repeated [Array_decl.find] and a string-hashing table. *)
+let address_of t =
+  let decls = Array.of_list t.program.Loop.arrays in
+  let n = Array.length decls in
+  fun name i ->
+    let rec find j =
+      if j >= n then raise Not_found
+      else
+        let d = decls.(j) in
+        if d.Array_decl.name == name || String.equal d.Array_decl.name name then
+          Array_decl.address d i
+        else find (j + 1)
+    in
+    find 0
 
 let hot_ranges t ~budget =
   let add (used, acc) name =

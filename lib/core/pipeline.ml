@@ -73,6 +73,10 @@ type result = {
   node_finish : int array;
   node_busy : int array;
   traces : schedule_trace list;
+  emitted : Task.t list list;
+      (** the task stream as issued to the engine (one sublist per
+          [Engine.run] call, pre-tweaks); captured only with
+          [~capture:true], for {!replay} *)
 }
 
 let scheme_name = function
@@ -167,11 +171,12 @@ let apply_tweaks tweaks (task : Task.t) =
 
 let line_of config va = va / config.Config.line_bytes
 
-let run ?(config = Config.default) ?(tweaks = no_tweaks) ?(validate = false) ?pool
-    ?(obs = Ndp_obs.Sink.none) ?faults ?(repair = false) scheme kernel =
+let run ?(config = Config.default) ?(tweaks = no_tweaks) ?(validate = false) ?(capture = false)
+    ?pool ?(obs = Ndp_obs.Sink.none) ?faults ?(repair = false) scheme kernel =
   let repair_plan = if repair then faults else None in
   let ctx = make_context ~config ~tweaks ~obs ?faults ?repair:repair_plan scheme kernel in
   let traces = ref [] in
+  let emitted = ref [] in
   let engine = Engine.create ~obs ?faults ctx.Context.machine in
   let streams, total_groups =
     List.fold_left
@@ -256,6 +261,7 @@ let run ?(config = Config.default) ?(tweaks = no_tweaks) ?(validate = false) ?po
                    m.Window.inst.Dep.stmt m.Window.inst.Dep.env);
             incr tasks_emitted;
             if validate then nest_tasks := task :: !nest_tasks;
+            if capture then emitted := [ task ] :: !emitted;
             Engine.run engine [ apply_tweaks tweaks task ])
           metas;
         if validate then
@@ -305,9 +311,35 @@ let run ?(config = Config.default) ?(tweaks = no_tweaks) ?(validate = false) ?po
             | None -> Ndp_mem.Miss_predictor.note_access ctx.Context.predictor va)
         in
         let nest_tasks = ref [] in
-        List.iter
-          (fun window_metas ->
-            let compiled = Window.compile ctx window_metas in
+        (* One dependence analysis per nest, sliced per window: a pair
+           inside a chunk is exactly what analyzing the chunk alone finds
+           (the analysis is pairwise — see [Window.estimate_sliced]), and
+           [analyze] emits deps in ascending (src, dst) order, so each
+           chunk's slice is one pointer walk instead of a re-analysis that
+           re-resolves every reference in the window. *)
+        let deps_arr =
+          Array.of_list
+            (Dep.analyze ctx.Context.compiler_resolve
+               (List.map (fun (m : Window.meta) -> m.Window.inst) metas))
+        in
+        let dp = ref 0 in
+        List.iteri
+          (fun ci window_metas ->
+            let lo = ci * w in
+            let hi = lo + List.length window_metas in
+            while !dp < Array.length deps_arr && deps_arr.(!dp).Dep.src < lo do
+              incr dp
+            done;
+            let sliced = ref [] in
+            let p = ref !dp in
+            while !p < Array.length deps_arr && deps_arr.(!p).Dep.src < hi do
+              let d = deps_arr.(!p) in
+              if d.Dep.dst < hi then
+                sliced := { d with Dep.src = d.Dep.src - lo; Dep.dst = d.Dep.dst - lo } :: !sliced;
+              incr p
+            done;
+            dp := !p;
+            let compiled = Window.compile ~deps:(List.rev !sliced) ctx window_metas in
             if validate then
               traces :=
                 Windowed
@@ -339,8 +371,10 @@ let run ?(config = Config.default) ?(tweaks = no_tweaks) ?(validate = false) ?po
           Array.stable_sort (fun ((_ : Task.t), la) ((_ : Task.t), lb) -> compare la lb) arr;
           arr
         in
+        if capture then
+          emitted := Array.fold_right (fun (t, _) acc -> t :: acc) ordered [] :: !emitted;
         Engine.run ~on_load engine
-          (List.map (fun (t, _) -> apply_tweaks tweaks t) (Array.to_list ordered)))
+          (Array.fold_right (fun (t, _) acc -> apply_tweaks tweaks t :: acc) ordered []))
       streams);
   let stats = Ndp_sim.Stats.copy (Engine.stats engine) in
   (* End every timeline series at the run's last cycle, boundary or not. *)
@@ -386,6 +420,104 @@ let run ?(config = Config.default) ?(tweaks = no_tweaks) ?(validate = false) ?po
     node_finish = Engine.node_clocks engine;
     node_busy = Engine.node_busy engine;
     traces = List.rev !traces;
+    emitted = List.rev !emitted;
+  }
+
+(* --- Batched simulation ------------------------------------------------ *)
+
+type batch_job = {
+  job_scheme : scheme;
+  job_kernel : Kernel.t;
+  job_config : Config.t;
+  job_tweaks : tweaks;
+  job_faults : Ndp_fault.Plan.t option;
+  job_repair : bool;
+}
+
+let batch_job ?(config = Config.default) ?(tweaks = no_tweaks) ?faults ?(repair = false) scheme
+    kernel =
+  {
+    job_scheme = scheme;
+    job_kernel = kernel;
+    job_config = config;
+    job_tweaks = tweaks;
+    job_faults = faults;
+    job_repair = repair;
+  }
+
+(* Each job builds its own machine, engine, context and inspector, and a
+   [Kernel.t] is immutable, so jobs share no mutable state and each result
+   is byte-identical to the corresponding solo [run]. Metrics follow the
+   [Sharded] discipline with a twist: every JOB (not domain) fills a
+   private registry — two jobs sharing a per-domain shard would also share
+   [Stats] counter handles and read each other's counts — and the private
+   registries are merged in input order and absorbed as one shard, so the
+   merged totals are identical at any pool size. *)
+let run_batch ?pool ?metrics jobs =
+  let with_reg =
+    match metrics with Some sh -> Ndp_obs.Metrics.Sharded.enabled sh | None -> false
+  in
+  let run_job j =
+    let reg = if with_reg then Ndp_obs.Metrics.create () else Ndp_obs.Metrics.disabled in
+    let obs =
+      if with_reg then { Ndp_obs.Sink.none with Ndp_obs.Sink.metrics = reg }
+      else Ndp_obs.Sink.none
+    in
+    let r =
+      run ~config:j.job_config ~tweaks:j.job_tweaks ~obs ?faults:j.job_faults
+        ~repair:j.job_repair j.job_scheme j.job_kernel
+    in
+    (r, reg)
+  in
+  let outcomes =
+    match pool with
+    | None -> List.map run_job jobs
+    | Some pool -> Ndp_prelude.Pool.parallel_map pool run_job jobs
+  in
+  (match metrics with
+  | Some sh when with_reg ->
+    Ndp_obs.Metrics.Sharded.add_shard sh (Ndp_obs.Metrics.merge (List.map snd outcomes))
+  | _ -> ());
+  List.map fst outcomes
+
+type replayed = {
+  rp_stats : Ndp_sim.Stats.t;
+  rp_energy : Ndp_sim.Energy.breakdown;
+  rp_exec_time : int;
+  rp_node_finish : int array;
+  rp_node_busy : int array;
+}
+
+(* Re-simulate a captured task stream on a fresh machine, skipping
+   compilation entirely. The schedule is the one compiled under the
+   capture run's config; replaying it under a different cost model asks
+   "how would this fixed schedule perform on that hardware" — the
+   design-space question a sweep explores. Address-shape parameters
+   (mesh dimensions, line size, page size) must match the capture config,
+   since task operands carry resolved virtual addresses. *)
+let replay ?(config = Config.default) ?(tweaks = no_tweaks) ?(obs = Ndp_obs.Sink.none) kernel
+    emitted =
+  let machine = Machine.create ~obs config in
+  (match config.Config.memory_mode with
+  | Config.Flat ->
+    Machine.set_hot_ranges machine (Kernel.hot_ranges kernel ~budget:config.Config.mcdram_capacity)
+  | Config.Hybrid ->
+    Machine.set_hot_ranges machine
+      (Kernel.hot_ranges kernel ~budget:(config.Config.mcdram_capacity / 2))
+  | Config.Cache_mode -> ());
+  Machine.set_l1_boost machine tweaks.l1_boost;
+  Ndp_sim.Network.set_distance_factor (Machine.network machine) tweaks.distance_factor;
+  Machine.set_mc_overrides machine tweaks.mc_overrides;
+  let engine = Engine.create ~obs machine in
+  List.iter (fun batch -> Engine.run engine (List.map (apply_tweaks tweaks) batch)) emitted;
+  let stats = Ndp_sim.Stats.copy (Engine.stats engine) in
+  Ndp_obs.Timeline.flush obs.Ndp_obs.Sink.timeline ~now:(Ndp_sim.Stats.finish_time stats);
+  {
+    rp_stats = stats;
+    rp_energy = Ndp_sim.Energy.of_stats stats;
+    rp_exec_time = Ndp_sim.Stats.finish_time stats;
+    rp_node_finish = Engine.node_clocks engine;
+    rp_node_busy = Engine.node_busy engine;
   }
 
 let static_context ?(config = Config.default) scheme kernel =

@@ -85,12 +85,18 @@ type result = {
   node_finish : int array; (** per-node completion times *)
   node_busy : int array; (** per-node busy cycles (occupancy) *)
   traces : schedule_trace list; (** empty unless run with [~validate:true] *)
+  emitted : Ndp_sim.Task.t list list;
+      (** the task stream as issued to the engine, one sublist per engine
+          call, before counterfactual tweaks; empty unless run with
+          [~capture:true]. Feed to {!replay} to re-simulate the schedule
+          under a different cost model without recompiling. *)
 }
 
 val run :
   ?config:Ndp_sim.Config.t ->
   ?tweaks:tweaks ->
   ?validate:bool ->
+  ?capture:bool ->
   ?pool:Ndp_prelude.Pool.t ->
   ?obs:Ndp_obs.Sink.t ->
   ?faults:Ndp_fault.Plan.t ->
@@ -118,6 +124,67 @@ val run :
     sweeps up anything still placed on one. Every subcomputation that ends
     up on a different node than under the fault-free assignment is counted
     in [remapped_tasks] and the [fault.remapped_tasks] counter. *)
+
+(** {1 Batched and replayed simulation} *)
+
+type batch_job = {
+  job_scheme : scheme;
+  job_kernel : Kernel.t;
+  job_config : Ndp_sim.Config.t;
+  job_tweaks : tweaks;
+  job_faults : Ndp_fault.Plan.t option;
+  job_repair : bool;
+}
+
+val batch_job :
+  ?config:Ndp_sim.Config.t ->
+  ?tweaks:tweaks ->
+  ?faults:Ndp_fault.Plan.t ->
+  ?repair:bool ->
+  scheme ->
+  Kernel.t ->
+  batch_job
+
+val run_batch :
+  ?pool:Ndp_prelude.Pool.t ->
+  ?metrics:Ndp_obs.Metrics.Sharded.t ->
+  batch_job list ->
+  result list
+(** Run every job, concurrently when given a [pool], returning results in
+    input order. Each job is an independent simulation — its own machine,
+    engine, context and inspector — so a batch is deterministic at any
+    pool size and each result is byte-identical to the corresponding solo
+    {!run}. [metrics] applies the [Metrics.Sharded] discipline at job
+    granularity: every job fills its own private registry (jobs must not
+    share instrument handles — a shared [Stats] counter would bleed one
+    simulation's counts into another's result), and the registries are
+    merged in input order and absorbed as one shard, so [Sharded.merged]
+    afterwards yields totals identical at any pool size. *)
+
+type replayed = {
+  rp_stats : Ndp_sim.Stats.t;
+  rp_energy : Ndp_sim.Energy.breakdown;
+  rp_exec_time : int;
+  rp_node_finish : int array;
+  rp_node_busy : int array;
+}
+
+val replay :
+  ?config:Ndp_sim.Config.t ->
+  ?tweaks:tweaks ->
+  ?obs:Ndp_obs.Sink.t ->
+  Kernel.t ->
+  Ndp_sim.Task.t list list ->
+  replayed
+(** Re-simulate a task stream captured by [run ~capture:true] on a fresh
+    machine, skipping compilation. With the capture run's config and
+    tweaks the replay is cycle-identical to the original simulation; with
+    a different config it answers how the {e fixed} schedule performs
+    under that cost model — the amortized inner loop of [bench sweep].
+    Address-shape parameters (mesh dimensions, line/page size) must match
+    the capture config, since operands carry resolved virtual addresses.
+    Replay is fault-free: counterfactual hardware sweeps assume a healthy
+    mesh. *)
 
 val profile_page_accesses :
   ?config:Ndp_sim.Config.t -> Kernel.t -> (int * int) list

@@ -72,17 +72,17 @@ let choose_exec_node (ctx : Context.t) ~pinned ~preferred ~alternatives ~ops_cos
       | [] -> candidates
       | healthy -> healthy
     in
-    let chosen =
-      match List.find_opt (fun n -> Context.balanced ctx ~node:n ~cost:(occ n)) candidates with
-      | Some n -> n
-      | None ->
-        List.fold_left
-          (fun best n ->
-            if ctx.Context.loads.(n) + occ n < ctx.Context.loads.(best) + occ best then n
-            else best)
-          (List.hd candidates) candidates
-    in
-    (chosen, occ chosen)
+    (* Occupancy is pure in the candidate, so price each one once: the
+       balance scan and the fallback minimum below both read the cache
+       instead of re-walking the item list per comparison. *)
+    let priced = List.map (fun n -> (n, occ n)) candidates in
+    match List.find_opt (fun (n, o) -> Context.balanced ctx ~node:n ~cost:o) priced with
+    | Some hit -> hit
+    | None ->
+      List.fold_left
+        (fun ((bn, bo) as best) ((n, o) as cand) ->
+          if ctx.Context.loads.(n) + o < ctx.Context.loads.(bn) + bo then cand else best)
+        (List.hd priced) priced
   end
 
 let schedule (ctx : Context.t) ~group (split : Splitter.t) stmt env =
@@ -100,7 +100,33 @@ let schedule (ctx : Context.t) ~group (split : Splitter.t) stmt env =
   let join_arcs = ref [] in
   let placements = ref [] in
   let offload = ref Task.zero_mix in
-  let levels : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  (* Task ids drawn during this call are contiguous from [id_base], so the
+     per-task level table is a growable array instead of a hashtable. *)
+  let id_base = ctx.Context.next_task in
+  let levels = ref (Array.make 16 0) in
+  let set_level id l =
+    let i = id - id_base in
+    let a = !levels in
+    let a =
+      if i < Array.length a then a
+      else begin
+        let n = ref (Array.length a * 2) in
+        while i >= !n do
+          n := !n * 2
+        done;
+        let grown = Array.make !n 0 in
+        Array.blit a 0 grown 0 (Array.length a);
+        levels := grown;
+        grown
+      end
+    in
+    a.(i) <- l
+  in
+  let level_of id =
+    let i = id - id_base in
+    let a = !levels in
+    if i >= 0 && i < Array.length a then a.(i) else 0
+  in
   let note_placement exec (loc : Location.t) =
     match loc.Location.va with
     | Some va -> placements := (Location.line_of ctx va, exec) :: !placements
@@ -112,7 +138,7 @@ let schedule (ctx : Context.t) ~group (split : Splitter.t) stmt env =
     tasks := task :: !tasks;
     Context.add_load ctx ~node ~cost:(max 1 bcost);
     if node <> split.Splitter.store_node then offload := Task.mix_add !offload task.Task.mix;
-    Hashtbl.replace levels id level;
+    set_level id level;
     task
   in
   (* Degenerate case: the whole statement's data sits on one node. *)
@@ -125,7 +151,7 @@ let schedule (ctx : Context.t) ~group (split : Splitter.t) stmt env =
     in
     let task =
       emit ~node ~ops:final_ops ~operands ~store:split.Splitter.store
-        ~label:(Printf.sprintf "g%d:final" group)
+        ~label:("g" ^ string_of_int group ^ ":final")
         ~level:1 ~bcost
     in
     List.iter (note_placement node) locs;
@@ -179,16 +205,13 @@ let schedule (ctx : Context.t) ~group (split : Splitter.t) stmt env =
              travels toward the parent anyway, so every node on the mesh
              route to the parent can host the combine without adding a
              single link of movement; the children are equally free. *)
-          let en_route =
-            match Tree.parent tree vertex with
-            | None -> []
-            | Some parent ->
-              let mesh = Context.mesh ctx in
-              List.map
-                (fun (l : Ndp_noc.Mesh.link) -> l.Ndp_noc.Mesh.to_node)
-                (Ndp_noc.Mesh.xy_route mesh ~src:vertex ~dst:parent)
-          in
-          List.sort_uniq compare (children @ en_route)
+          match Tree.parent tree vertex with
+          | None -> List.sort_uniq compare children
+          | Some parent ->
+            (* The shared per-mesh route table; same node sequence
+               [xy_route] yields, with no per-visit route allocation. *)
+            let nodes = Ndp_noc.Mesh.route_nodes (Context.mesh ctx) ~src:vertex ~dst:parent in
+            List.sort_uniq compare (Array.fold_right (fun n acc -> n :: acc) nodes children)
         in
         let exec, bcost =
           choose_exec_node ctx ~pinned:is_root ~preferred:vertex ~alternatives
@@ -196,8 +219,7 @@ let schedule (ctx : Context.t) ~group (split : Splitter.t) stmt env =
         in
         let level =
           let producer_level = function
-            | Task.Result { producer; bytes = _ } ->
-              Option.value (Hashtbl.find_opt levels producer) ~default:0
+            | Task.Result { producer; bytes = _ } -> level_of producer
             | Task.Load _ -> 0
           in
           1 + List.fold_left (fun acc op -> max acc (producer_level op)) 0 result_ops
@@ -205,8 +227,8 @@ let schedule (ctx : Context.t) ~group (split : Splitter.t) stmt env =
         let operands = local_loads @ deferred_loads @ result_ops in
         let store = if is_root then split.Splitter.store else None in
         let label =
-          if is_root then Printf.sprintf "g%d:final" group
-          else Printf.sprintf "g%d:sub@%d" group exec
+          if is_root then "g" ^ string_of_int group ^ ":final"
+          else "g" ^ string_of_int group ^ ":sub@" ^ string_of_int exec
         in
         let task = emit ~node:exec ~ops ~operands ~store ~label ~level ~bcost in
         List.iter (note_placement exec) (locs @ deferred_locs);
@@ -230,13 +252,16 @@ let schedule (ctx : Context.t) ~group (split : Splitter.t) stmt env =
       | [] -> assert false
     in
     let parallelism =
-      let counts = Hashtbl.create 8 in
+      let max_level =
+        List.fold_left (fun acc (t : Task.t) -> max acc (level_of t.Task.id)) 1 tasks
+      in
+      let counts = Array.make (max_level + 1) 0 in
       List.iter
         (fun (t : Task.t) ->
-          let l = Option.value (Hashtbl.find_opt levels t.Task.id) ~default:1 in
-          Hashtbl.replace counts l (Option.value (Hashtbl.find_opt counts l) ~default:0 + 1))
+          let l = level_of t.Task.id in
+          counts.(l) <- counts.(l) + 1)
         tasks;
-      Hashtbl.fold (fun _ c acc -> max c acc) counts 1
+      Array.fold_left max 1 counts
     in
     {
       tasks;

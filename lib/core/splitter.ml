@@ -34,29 +34,85 @@ let min_pair ctx a b =
    MSTedges set, so an edge whose endpoints are already physically
    connected (by a sibling level's tree) would create a cycle and is
    skipped — the existing path is reused. *)
+let mst_over_generic ctx ~guf ~uf components =
+  let n = List.length components in
+  let arr = Array.of_list components in
+  let candidates = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let u, v, w = min_pair ctx arr.(i) arr.(j) in
+      candidates := (w, i, j, u, v) :: !candidates
+    done
+  done;
+  let sorted = List.sort compare !candidates in
+  let pick acc (w, i, j, u, v) =
+    if Ndp_graph.Union_find.union uf i j then
+      (* A zero-weight merge means the components share a physical node:
+         no link is traversed, so no tree edge is recorded. *)
+      if w = 0 || not (Ndp_graph.Union_find.union guf u v) then acc
+      else { Kruskal.u; v; weight = w } :: acc
+    else acc
+  in
+  List.fold_left pick [] sorted
+
+(* Allocation-free fast path of [mst_over_generic]: each candidate edge is
+   packed into a single int with the fields in the significance order the
+   tuple sort compared them — (weight, i, j, u, v), 6 bits per id field —
+   so sorting the packed array is the identical total order and the
+   Kruskal walk below visits candidates exactly as the list version did.
+   Component counts and node ids stay under 64 on any mesh this simulator
+   builds; the weight has the remaining 38 bits, far above any fault-plan
+   route cost. The generic path remains for anything larger. *)
+let field_mask = 0x3f
+
 let mst_over ctx ~guf components =
   let n = List.length components in
   if n <= 1 then []
+  else if n > field_mask || Ndp_graph.Union_find.capacity guf > field_mask + 1 then
+    mst_over_generic ctx ~guf ~uf:(Ndp_graph.Union_find.create n) components
   else begin
     let arr = Array.of_list components in
-    let candidates = ref [] in
+    let cands = Array.make (n * (n - 1) / 2) 0 in
+    let k = ref 0 in
+    let overflow = ref false in
     for i = 0 to n - 1 do
       for j = i + 1 to n - 1 do
-        let u, v, w = min_pair ctx arr.(i) arr.(j) in
-        candidates := (w, i, j, u, v) :: !candidates
+        let bu = ref (-1) and bv = ref (-1) and bw = ref max_int in
+        List.iter
+          (fun u ->
+            List.iter
+              (fun v ->
+                let w = Context.distance ctx u v in
+                if w < !bw then begin
+                  bu := u;
+                  bv := v;
+                  bw := w
+                end)
+              arr.(j).members)
+          arr.(i).members;
+        if !bw lsr 38 <> 0 then overflow := true;
+        cands.(!k) <- (((((!bw lsl 6) lor i) lsl 6) lor j) lsl 12) lor (!bu lsl 6) lor !bv;
+        incr k
       done
     done;
-    let sorted = List.sort compare !candidates in
-    let uf = Ndp_graph.Union_find.create n in
-    let pick acc (w, i, j, u, v) =
-      if Ndp_graph.Union_find.union uf i j then
-        (* A zero-weight merge means the components share a physical node:
-           no link is traversed, so no tree edge is recorded. *)
-        if w = 0 || not (Ndp_graph.Union_find.union guf u v) then acc
-        else { Kruskal.u; v; weight = w } :: acc
-      else acc
-    in
-    List.fold_left pick [] sorted
+    if !overflow then mst_over_generic ctx ~guf ~uf:(Ndp_graph.Union_find.create n) components
+    else begin
+      Array.sort (fun (a : int) b -> compare a b) cands;
+      let uf = Context.scratch_mst ctx ~at_least:n in
+      let edges = ref [] in
+      Array.iter
+        (fun packed ->
+          let v = packed land field_mask in
+          let u = (packed lsr 6) land field_mask in
+          let j = (packed lsr 12) land field_mask in
+          let i = (packed lsr 18) land field_mask in
+          let w = packed lsr 24 in
+          if Ndp_graph.Union_find.union uf i j then
+            if not (w = 0 || not (Ndp_graph.Union_find.union guf u v)) then
+              edges := { Kruskal.u; v; weight = w } :: !edges)
+        cands;
+      !edges
+    end
   end
 
 let flat_refs stmt = Ndp_ir.Stmt.inputs stmt
@@ -75,7 +131,11 @@ let split (ctx : Context.t) ~store_node stmt env =
     loc
   in
   let edges = ref [] in
-  let guf = Ndp_graph.Union_find.create (Mesh.size mesh) in
+  let guf =
+    if Mesh.size mesh = Ndp_graph.Union_find.capacity ctx.Context.scratch_guf then
+      Context.scratch_guf ctx
+    else Ndp_graph.Union_find.create (Mesh.size mesh)
+  in
   (* Process one nested-set level: place every item, recurse into sub-sets,
      then connect the level's components with an MST. Returns the member
      node set of the completed level. *)

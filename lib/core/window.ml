@@ -157,7 +157,9 @@ let compile ?deps (ctx : Context.t) metas =
   let finalize (task : Task.t) =
     let extras = extra_operands.(task.Task.id - id_base) in
     let syncs = Option.value (Hashtbl.find_opt sync_of task.Task.id) ~default:0 in
-    { task with Task.operands = task.Task.operands @ extras; Task.syncs }
+    match extras with
+    | [] -> if syncs = task.Task.syncs then task else { task with Task.syncs }
+    | _ -> { task with Task.operands = task.Task.operands @ extras; Task.syncs }
   in
   let tasks =
     Array.of_list

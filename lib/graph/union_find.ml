@@ -2,6 +2,15 @@ type t = { parent : int array; rank : int array; mutable sets : int }
 
 let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0; sets = n }
 
+let reset t =
+  for i = 0 to Array.length t.parent - 1 do
+    t.parent.(i) <- i;
+    t.rank.(i) <- 0
+  done;
+  t.sets <- Array.length t.parent
+
+let capacity t = Array.length t.parent
+
 let rec find t x =
   let p = t.parent.(x) in
   if p = x then x

@@ -5,6 +5,13 @@ type t
 val create : int -> t
 (** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
 
+val reset : t -> unit
+(** Return every element to its own singleton set, as freshly created —
+    lets hot callers reuse one instance instead of allocating per use. *)
+
+val capacity : t -> int
+(** The [n] the structure was created with. *)
+
 val find : t -> int -> int
 (** Representative of the set containing the element. *)
 

@@ -51,6 +51,20 @@ let analyze resolver instances =
   let arr = Array.of_list instances in
   let resolved = Array.map (accesses resolver) arr in
   let n = Array.length arr in
+  if n <= 12 then begin
+    (* Compilation windows are a handful of instances; the all-pairs scan
+       beats paying three hashtable setups, and the bucketed path below
+       reproduces its output exactly, so the dispatch is invisible. *)
+    let deps = ref [] in
+    let add src dst kind may = deps := { src; dst; kind; may } :: !deps in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        pair_deps add resolved.(i) resolved.(j) i j
+      done
+    done;
+    List.rev !deps
+  end
+  else begin
   (* A pair can only carry a dependence when some access pair shares an
      array AND the addresses match or a side is unresolvable. So bucket
      resolved accesses by (array, address) and unresolvable ones by array:
@@ -117,6 +131,7 @@ let analyze resolver instances =
       (List.sort compare !js)
   done;
   List.rev !deps
+  end
 
 let kind_to_string = function Flow -> "flow" | Anti -> "anti" | Output -> "output"
 

@@ -6,10 +6,15 @@ let bind name value t = (name, value) :: List.remove_assoc name t
 
 let lookup t name = List.assoc_opt name t
 
+(* The hot lookup of subscript evaluation: no option allocation, and a
+   physical-equality fast path before the string compare (binding and
+   reference names usually share the parser's interned strings). *)
 let get t name =
-  match lookup t name with
-  | Some v -> v
-  | None -> raise Not_found
+  let rec go = function
+    | [] -> raise Not_found
+    | (n, v) :: tl -> if n == name || String.equal n name then v else go tl
+  in
+  go t
 
 let of_list l = List.fold_left (fun acc (n, v) -> bind n v acc) empty l
 

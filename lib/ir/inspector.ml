@@ -15,12 +15,16 @@ let lookup t name i =
     let n = Array.length a in
     a.(((i mod n) + n) mod n)
 
-let resolve_exn t ~address_of (r : Reference.t) env =
-  let index = Subscript.eval ~lookup:(lookup t) env r.subscript in
-  address_of r.array index
+(* The resolvers are staged on their first two arguments: [make_context]
+   partially applies them once, and every subsequent resolution reuses the
+   same closure instead of re-building [lookup t] per reference. *)
+let runtime_resolver t ~address_of =
+  let lk = lookup t in
+  fun (r : Reference.t) env ->
+    try Some (address_of r.array (Subscript.eval ~lookup:lk env r.subscript))
+    with Not_found -> None
 
-let runtime_resolver t ~address_of r env =
-  try Some (resolve_exn t ~address_of r env) with Not_found -> None
-
-let compiler_resolver t ~address_of r env =
-  if Reference.analyzable r || t.ran then runtime_resolver t ~address_of r env else None
+let compiler_resolver t ~address_of =
+  let resolve = runtime_resolver t ~address_of in
+  fun (r : Reference.t) env ->
+    if Reference.analyzable r || t.ran then resolve r env else None

@@ -18,9 +18,15 @@ and vars = function
   | Affine { coeffs; _ } -> List.sort_uniq compare (List.map fst coeffs)
   | Indirect { inner; _ } -> vars inner
 
+(* Top-level accumulation loop: a [fold_left] here would allocate its
+   closure on every evaluation, and this runs once per reference
+   resolution — the compiler's innermost loop. *)
+let rec eval_coeffs env acc = function
+  | [] -> acc
+  | (v, c) :: tl -> eval_coeffs env (acc + (c * Env.get env v)) tl
+
 let rec eval ~lookup env = function
-  | Affine { coeffs; const } ->
-    List.fold_left (fun acc (v, c) -> acc + (c * Env.get env v)) const coeffs
+  | Affine { coeffs; const } -> eval_coeffs env const coeffs
   | Indirect { index_array; inner } -> lookup index_array (eval ~lookup env inner)
 
 let eval_affine env = function

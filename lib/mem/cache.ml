@@ -48,12 +48,15 @@ let create ?(metrics = Ndp_obs.Metrics.disabled) ?(metric_name = "cache") ~size_
 
 let set_of t block = block land (t.num_sets - 1)
 
-let find_way t block =
+(* Allocation-free way lookup (-1 = miss): the cache is probed several
+   times per simulated memory access, so the option the original
+   returned was a measurable share of the simulator's minor heap. *)
+let find_slot t block =
   let s = set_of t block in
   let base = s * t.assoc in
   let rec go i =
-    if i = t.assoc then None
-    else if t.tags.(base + i) = block then Some (base + i)
+    if i = t.assoc then -1
+    else if t.tags.(base + i) = block then base + i
     else go (i + 1)
   in
   go 0
@@ -80,30 +83,31 @@ let fill t slot block =
 
 let insert t addr =
   let block = addr lsr t.line_bits in
-  match find_way t block with
-  | Some slot -> touch t slot
-  | None -> fill t (victim_slot t block) block
+  let slot = find_slot t block in
+  if slot >= 0 then touch t slot else fill t (victim_slot t block) block
 
 let invalidate t addr =
-  match find_way t (addr lsr t.line_bits) with
-  | Some slot ->
+  let slot = find_slot t (addr lsr t.line_bits) in
+  if slot >= 0 then begin
     t.tags.(slot) <- -1;
     t.stamps.(slot) <- 0
-  | None -> ()
+  end
 
 let access t addr =
   let block = addr lsr t.line_bits in
-  match find_way t block with
-  | Some slot ->
+  let slot = find_slot t block in
+  if slot >= 0 then begin
     touch t slot;
     t.hits <- t.hits + 1;
     true
-  | None ->
+  end
+  else begin
     t.misses <- t.misses + 1;
     fill t (victim_slot t block) block;
     false
+  end
 
-let probe t addr = find_way t (addr lsr t.line_bits) <> None
+let probe t addr = find_slot t (addr lsr t.line_bits) >= 0
 
 let hits t = t.hits
 let misses t = t.misses

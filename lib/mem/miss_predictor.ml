@@ -13,9 +13,9 @@ let create ~capacity_blocks map =
 
 let predict t addr =
   let block = Addr_map.line_of_addr t.map addr in
-  match Hashtbl.find_opt t.last_seen block with
-  | None -> false
-  | Some s -> t.seq - s < t.capacity_blocks
+  match Hashtbl.find t.last_seen block with
+  | exception Not_found -> false
+  | s -> t.seq - s < t.capacity_blocks
 
 let note_access t addr =
   let block = Addr_map.line_of_addr t.map addr in

@@ -1,9 +1,19 @@
 type policy = Coloring | Scrambled
 
+(* Direct-mapped software TLB in front of the frame table. Every memory
+   reference the simulator models goes through [translate], so the
+   Hashtbl probe per access was one of the hottest paths in the whole
+   pipeline. The TLB caches only pages that already exist in [frames]:
+   first-touch allocation (and its fault counter / RNG draws) still runs
+   exactly once per page, in first-access order. *)
+let tlb_slots = 1024 (* power of two *)
+
 type t = {
   policy : policy;
   map : Addr_map.t;
   frames : (int, int) Hashtbl.t; (* virtual page -> physical page *)
+  tlb_tags : int array; (* vpage per slot, -1 = empty *)
+  tlb_frames : int array;
   rng : Ndp_prelude.Rng.t;
   m_faults : Ndp_obs.Metrics.counter; (* mem.page_faults: first-touch allocations *)
 }
@@ -17,6 +27,8 @@ let create ?(seed = 0x5eed) ~policy ?(metrics = Ndp_obs.Metrics.disabled) map =
     policy;
     map;
     frames;
+    tlb_tags = Array.make tlb_slots (-1);
+    tlb_frames = Array.make tlb_slots 0;
     rng = Ndp_prelude.Rng.create seed;
     m_faults = Ndp_obs.Metrics.counter metrics "mem.page_faults";
   }
@@ -24,20 +36,30 @@ let create ?(seed = 0x5eed) ~policy ?(metrics = Ndp_obs.Metrics.disabled) map =
 let policy t = t.policy
 
 let frame_of t vpage =
-  match Hashtbl.find_opt t.frames vpage with
-  | Some p -> p
-  | None ->
-    Ndp_obs.Metrics.incr t.m_faults;
+  let slot = vpage land (tlb_slots - 1) in
+  if t.tlb_tags.(slot) = vpage then t.tlb_frames.(slot)
+  else begin
     let p =
-      match t.policy with
-      | Coloring -> vpage
-      | Scrambled ->
-        (* A fresh random frame per page, deterministic in allocation order. *)
-        let r = Ndp_prelude.Rng.int t.rng (1 lsl 20) in
-        (r lsl 2) lor (Ndp_prelude.Rng.int t.rng 4)
+      match Hashtbl.find_opt t.frames vpage with
+      | Some p -> p
+      | None ->
+        Ndp_obs.Metrics.incr t.m_faults;
+        let p =
+          match t.policy with
+          | Coloring -> vpage
+          | Scrambled ->
+            (* A fresh random frame per page, deterministic in allocation
+               order. *)
+            let r = Ndp_prelude.Rng.int t.rng (1 lsl 20) in
+            (r lsl 2) lor (Ndp_prelude.Rng.int t.rng 4)
+        in
+        Hashtbl.replace t.frames vpage p;
+        p
     in
-    Hashtbl.replace t.frames vpage p;
+    t.tlb_tags.(slot) <- vpage;
+    t.tlb_frames.(slot) <- p;
     p
+  end
 
 let translate t va =
   let bits = Addr_map.page_bits t.map in

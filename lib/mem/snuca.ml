@@ -2,6 +2,7 @@ type t = {
   mesh : Ndp_noc.Mesh.t;
   cluster : Ndp_noc.Cluster.t;
   map : Addr_map.t;
+  quad_nodes : int array array; (* quadrant -> member nodes, ascending *)
   m_lookups : Ndp_obs.Metrics.vec; (* mem.home_lookups{bank} *)
 }
 
@@ -10,7 +11,10 @@ let create ?(metrics = Ndp_obs.Metrics.disabled) mesh cluster map =
     Ndp_obs.Metrics.vec metrics "mem.home_lookups" ~size:(Ndp_noc.Mesh.size mesh)
       ~label:(fun i -> Printf.sprintf "bank=%d" i)
   in
-  { mesh; cluster; map; m_lookups }
+  let quad_nodes =
+    Array.init 4 (fun q -> Array.of_list (Ndp_noc.Mesh.nodes_in_quadrant mesh q))
+  in
+  { mesh; cluster; map; quad_nodes; m_lookups }
 
 let home_node t addr =
   let line = Addr_map.line_of_addr t.map addr in
@@ -21,11 +25,13 @@ let home_node t addr =
     | Ndp_noc.Cluster.Snc4 ->
       (* Lines interleave over the nodes of the quadrant owning the page. *)
       let quadrant = Addr_map.channel t.map addr mod 4 in
-      let nodes = Ndp_noc.Mesh.nodes_in_quadrant t.mesh quadrant in
-      List.nth nodes (line mod List.length nodes)
+      let nodes = t.quad_nodes.(quadrant) in
+      nodes.(line mod Array.length nodes)
   in
   Ndp_obs.Metrics.vadd t.m_lookups node 1;
   node
+
+let note_lookups t ~bank ~count = Ndp_obs.Metrics.vadd t.m_lookups bank count
 
 let mc_node t addr =
   let home_bank = home_node t addr in

@@ -15,6 +15,11 @@ val create : ?metrics:Ndp_obs.Metrics.t -> Ndp_noc.Mesh.t -> Ndp_noc.Cluster.t -
 val home_node : t -> int -> int
 (** Node id of the home L2 bank for a physical address. *)
 
+val note_lookups : t -> bank:int -> count:int -> unit
+(** Account [count] home-bank lookups against [bank] without performing
+    them — for profiling passes that evaluate one lookup and reuse the
+    result where the naive code would have looked the line up again. *)
+
 val mc_node : t -> int -> int
 (** Node id of the memory controller servicing an L2 miss on the address. *)
 

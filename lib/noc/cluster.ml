@@ -22,8 +22,7 @@ let mc_for mode mesh ~home_bank ~channel =
   match mode with
   | All_to_all ->
     (* Addresses hash uniformly over the controllers regardless of bank. *)
-    let mcs = Mesh.memory_controllers mesh in
-    List.nth mcs (channel mod List.length mcs)
+    Mesh.memory_controller mesh (channel mod 4)
   | Quadrant | Snc4 ->
     (* The controller shares the quadrant of the home L2 bank; in SNC-4 the
        requester is additionally constrained to that quadrant, which the

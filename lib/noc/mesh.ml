@@ -1,10 +1,20 @@
-type t = { cols : int; rows : int }
+type t = {
+  cols : int;
+  rows : int;
+  (* Lazily-built dense XY route table: [routes.(src * size + dst)] is the
+     link-index sequence of the route, shared by every [route_links]
+     caller. Built on first use, so meshes used only for geometry queries
+     never pay for it. *)
+  mutable routes : int array array;
+  (* Companion table: the nodes each route enters, one per link. *)
+  mutable route_nodes : int array array;
+}
 
 type link = { from_node : int; to_node : int }
 
 let create ~cols ~rows =
   if cols < 2 || rows < 2 then invalid_arg "Mesh.create: need at least a 2x2 mesh";
-  { cols; rows }
+  { cols; rows; routes = [||]; route_nodes = [||] }
 
 let cols t = t.cols
 let rows t = t.rows
@@ -19,18 +29,35 @@ let node_of_coord t (c : Coord.t) =
     invalid_arg "Mesh.node_of_coord: coordinate off-mesh";
   (c.y * t.cols) + c.x
 
-let distance t a b = Coord.manhattan (coord_of_node t a) (coord_of_node t b)
+let distance t a b =
+  if a < 0 || a >= size t || b < 0 || b >= size t then
+    invalid_arg "Mesh.distance: bad node id";
+  abs ((a mod t.cols) - (b mod t.cols)) + abs ((a / t.cols) - (b / t.cols))
+
+(* The four corner controllers, in the order [memory_controllers] lists
+   them — arithmetic on the node id so the per-miss paths below never
+   build the list. *)
+let memory_controller t i =
+  match i land 3 with
+  | 0 -> 0
+  | 1 -> t.cols - 1
+  | 2 -> (t.rows - 1) * t.cols
+  | _ -> (t.rows * t.cols) - 1
 
 let memory_controllers t =
-  let corner x y = node_of_coord t (Coord.make x y) in
-  [ corner 0 0; corner (t.cols - 1) 0; corner 0 (t.rows - 1); corner (t.cols - 1) (t.rows - 1) ]
+  [ memory_controller t 0; memory_controller t 1; memory_controller t 2; memory_controller t 3 ]
 
 let nearest_mc t node =
-  let best (bn, bd) mc =
+  let bn = ref max_int and bd = ref max_int in
+  for i = 0 to 3 do
+    let mc = memory_controller t i in
     let d = distance t node mc in
-    if d < bd || (d = bd && mc < bn) then (mc, d) else (bn, bd)
-  in
-  fst (List.fold_left best (max_int, max_int) (memory_controllers t))
+    if d < !bd || (d = !bd && mc < !bn) then begin
+      bn := mc;
+      bd := d
+    end
+  done;
+  !bn
 
 let xy_route t ~src ~dst =
   let s = coord_of_node t src and d = coord_of_node t dst in
@@ -74,17 +101,60 @@ let link_index t l = (l.from_node * 4) + direction_index t l
 
 let num_links t = size t * 4
 
+let build_routes t =
+  let n = size t in
+  let routes =
+    Array.init (n * n) (fun cell ->
+        let src = cell / n and dst = cell mod n in
+        if src = dst then [||]
+        else
+          let hops = List.map (link_index t) (xy_route t ~src ~dst) in
+          Array.of_list hops)
+  in
+  t.routes <- routes;
+  routes
+
+let route_links t ~src ~dst =
+  let n = size t in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Mesh.route_links: bad node id";
+  let routes = if Array.length t.routes = 0 then build_routes t else t.routes in
+  routes.((src * n) + dst)
+
+let route_nodes t ~src ~dst =
+  let n = size t in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Mesh.route_nodes: bad node id";
+  let table =
+    if Array.length t.route_nodes > 0 then t.route_nodes
+    else begin
+      let table =
+        Array.init (n * n) (fun cell ->
+            let src = cell / n and dst = cell mod n in
+            if src = dst then [||]
+            else
+              Array.of_list
+                (List.map (fun l -> l.to_node) (xy_route t ~src ~dst)))
+      in
+      t.route_nodes <- table;
+      table
+    end
+  in
+  table.((src * n) + dst)
+
 let quadrant_of_node t node =
-  let c = coord_of_node t node in
-  let qx = if c.x * 2 >= t.cols then 1 else 0 in
-  let qy = if c.y * 2 >= t.rows then 1 else 0 in
+  if node < 0 || node >= size t then invalid_arg "Mesh.coord_of_node: bad node id";
+  let qx = if node mod t.cols * 2 >= t.cols then 1 else 0 in
+  let qy = if node / t.cols * 2 >= t.rows then 1 else 0 in
   (qy * 2) + qx
 
 let nodes_in_quadrant t q =
   List.filter (fun n -> quadrant_of_node t n = q) (List.init (size t) Fun.id)
 
+(* Corner [i] of [memory_controller] sits in quadrant [i] (corner (0,0) in
+   quadrant 0, (cols-1,0) in 1, and so on), and each quadrant holds exactly
+   one controller, so the first-in-list-order controller the original
+   filter selected is corner [q] itself. *)
 let mc_of_quadrant t q =
-  let in_q mc = quadrant_of_node t mc = q in
-  match List.filter in_q (memory_controllers t) with
-  | mc :: _ -> mc
-  | [] -> invalid_arg "Mesh.mc_of_quadrant: no controller in quadrant"
+  if q < 0 || q > 3 then invalid_arg "Mesh.mc_of_quadrant: no controller in quadrant"
+  else memory_controller t q

@@ -26,12 +26,26 @@ val distance : t -> int -> int -> int
 val memory_controllers : t -> int list
 (** Node ids hosting a memory controller: the four corners. *)
 
+val memory_controller : t -> int -> int
+(** [memory_controller t i] is element [i land 3] of {!memory_controllers},
+    computed without building the list. *)
+
 val nearest_mc : t -> int -> int
 (** The memory controller closest to a node (ties broken by node id). *)
 
 val xy_route : t -> src:int -> dst:int -> link list
 (** Deterministic XY (dimension-ordered) route: travel along X first, then
     along Y. The list has exactly [distance t src dst] links. *)
+
+val route_links : t -> src:int -> dst:int -> int array
+(** The XY route as dense link indices ([link_index] of each hop of
+    [xy_route]), served from a per-mesh table built lazily on first use.
+    The returned array is shared — callers must not mutate it. *)
+
+val route_nodes : t -> src:int -> dst:int -> int array
+(** The nodes the XY route enters, one per hop ([to_node] of each link of
+    [xy_route]), served from a lazily-built per-mesh table. The returned
+    array is shared — callers must not mutate it. *)
 
 val links : t -> link list
 (** All directed links of the mesh. *)

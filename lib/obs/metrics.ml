@@ -279,6 +279,18 @@ module Sharded = struct
       reg
     end
 
+  (* Absorb a privately-filled registry (negative keys can never collide
+     with the domain ids [local] uses). Callers that give each unit of
+     work its own registry — rather than sharing a per-domain shard —
+     keep units from reading each other's instrument handles, and can
+     pre-merge in a deterministic order before absorbing. *)
+  let add_shard t reg =
+    if t.s_on then begin
+      Mutex.lock t.lock;
+      t.shards <- ((-1 - List.length t.shards), reg) :: t.shards;
+      Mutex.unlock t.lock
+    end
+
   let merged t =
     Mutex.lock t.lock;
     let shards = List.map snd t.shards in

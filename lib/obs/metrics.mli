@@ -133,6 +133,13 @@ module Sharded : sig
       call (one mutex-guarded lookup keyed by domain id); cache the result
       across a task when bumping in a loop. *)
 
+  val add_shard : t -> registry -> unit
+  (** Absorb a privately-filled registry as an extra shard. For units of
+      work that must not share instrument handles even when scheduled on
+      the same domain (e.g. whole simulations in a batch): give each its
+      own registry, merge those in a deterministic order, and absorb the
+      result. No-op when the sharded registry is disabled. *)
+
   val merged : t -> registry
   (** {!merge} of every shard created so far. Call after the parallel
       region has quiesced. *)

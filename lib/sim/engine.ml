@@ -33,6 +33,13 @@ module Slots = struct
   let get t i = if i >= 0 && i < Array.length t.data then t.data.(i) else t.absent
 end
 
+(* Execution spans of one statement group, packed [start0; finish0;
+   start1; ...] in a growable array: span recording is once per task, and
+   the cons-list encoding this replaced allocated on every append. *)
+type spans = { mutable s_data : int array; mutable s_len : int (* ints used *) }
+
+let empty_spans = { s_data = [||]; s_len = 0 }
+
 type t = {
   machine : Machine.t;
   stats : Stats.t;
@@ -41,7 +48,7 @@ type t = {
   finished : exec_record option Slots.t; (* task id -> execution record *)
   group_hops : int Slots.t;
   group_latency : (int * int) Slots.t;
-  group_spans : (int * int) list Slots.t; (* group -> (start, finish) *)
+  group_spans : spans Slots.t; (* group -> packed (start, finish) pairs *)
   node_busy : int array;
   trace : Trace.t;
   ledger : Ledger.t;
@@ -77,7 +84,7 @@ let create ?(obs = Ndp_obs.Sink.none) ?faults machine =
     finished = Slots.create None;
     group_hops = Slots.create 0;
     group_latency = Slots.create (0, 0);
-    group_spans = Slots.create [];
+    group_spans = Slots.create empty_spans;
     node_busy = Array.make n 0;
     trace = obs.Ndp_obs.Sink.trace;
     ledger = obs.Ndp_obs.Sink.ledger;
@@ -136,19 +143,32 @@ let run ?(on_load = fun ~va:_ ~l1_hit:_ ~l2_hit:_ -> ()) t tasks =
               ~bytes ~stats:t.stats
           end)
     in
-    let load_ops, result_ops =
-      List.partition (function Task.Load _ -> true | Task.Result _ -> false) task.operands
-    in
-    (* Loads overlap up to the MSHR bound: with [k] outstanding misses the
-       task's memory time is at least the longest access and at least the
-       summed latencies divided by [k]. *)
+    (* Two direct passes — all loads, then all results, each in operand
+       order — replace the partition/map lists: same evaluation order as
+       before, no per-task allocation. Loads overlap up to the MSHR bound:
+       with [k] outstanding misses the task's memory time is at least the
+       longest access and at least the summed latencies divided by [k]. *)
+    let load_count = ref 0 and longest = ref issue and total_latency = ref 0 in
+    List.iter
+      (function
+        | Task.Load _ as op ->
+          let a = operand_arrival op in
+          incr load_count;
+          if a > !longest then longest := a;
+          total_latency := !total_latency + (a - issue)
+        | Task.Result _ -> ())
+      task.operands;
     let load_ready =
-      let arrivals = List.map operand_arrival load_ops in
-      let longest = List.fold_left max issue arrivals in
-      let total_latency = List.fold_left (fun acc a -> acc + (a - issue)) 0 arrivals in
-      max longest (issue + (total_latency / max 1 config.Config.outstanding_loads))
+      max !longest (issue + (!total_latency / max 1 config.Config.outstanding_loads))
     in
-    let result_ready = List.fold_left max issue (List.map operand_arrival result_ops) in
+    let result_ready =
+      List.fold_left
+        (fun acc op ->
+          match op with
+          | Task.Result _ -> max acc (operand_arrival op)
+          | Task.Load _ -> acc)
+        issue task.operands
+    in
     let data_ready = max load_ready result_ready in
     Stats.add_load_wait t.stats (load_ready - issue);
     Stats.add_result_wait t.stats (max 0 (result_ready - load_ready));
@@ -167,7 +187,7 @@ let run ?(on_load = fun ~va:_ ~l1_hit:_ ~l2_hit:_ -> ()) t tasks =
        [sync_cycles]. The wait still delays this task's [finish], so
        dependence chains pay full latency. *)
     let occupancy =
-      (List.length load_ops * config.Config.load_issue_cycles)
+      (!load_count * config.Config.load_issue_cycles)
       + (task.syncs * config.Config.sync_cycles)
       + (task.cost * config.Config.op_cycles)
       + int_of_float ((1.0 -. config.Config.mlp_overlap) *. float_of_int (load_ready - issue))
@@ -175,7 +195,23 @@ let run ?(on_load = fun ~va:_ ~l1_hit:_ ~l2_hit:_ -> ()) t tasks =
     t.node_free.(task.node) <- issue + occupancy;
     t.node_busy.(task.node) <- t.node_busy.(task.node) + occupancy;
     Slots.set t.finished task.id (Some { node = task.node; start; finish; group = task.group });
-    Slots.set t.group_spans task.group ((start, finish) :: Slots.get t.group_spans task.group);
+    let spans = Slots.get t.group_spans task.group in
+    let spans =
+      if spans == empty_spans then begin
+        let fresh = { s_data = Array.make 8 0; s_len = 0 } in
+        Slots.set t.group_spans task.group fresh;
+        fresh
+      end
+      else spans
+    in
+    if spans.s_len = Array.length spans.s_data then begin
+      let grown = Array.make (2 * spans.s_len) 0 in
+      Array.blit spans.s_data 0 grown 0 spans.s_len;
+      spans.s_data <- grown
+    end;
+    spans.s_data.(spans.s_len) <- start;
+    spans.s_data.(spans.s_len + 1) <- finish;
+    spans.s_len <- spans.s_len + 2;
     Stats.incr_tasks t.stats;
     Stats.add_ops t.stats task.cost;
     Stats.add_syncs t.stats task.syncs;
@@ -199,18 +235,28 @@ let group_latency t group = Slots.get t.group_latency group
 let finish_of t id = Option.map (fun r -> r.finish) (Slots.get t.finished id)
 
 let group_parallelism t group =
-  match Slots.get t.group_spans group with
-  | [] -> 0
-  | spans ->
-    (* Sweep over span endpoints counting maximum overlap. *)
-    let events =
-      List.concat_map (fun (s, f) -> [ (s, 1); (max (s + 1) f, -1) ]) spans
-    in
-    let sorted = List.sort compare events in
-    let _, peak =
-      List.fold_left (fun (cur, peak) (_, d) -> let cur = cur + d in (cur, max peak cur)) (0, 0) sorted
-    in
-    peak
+  let spans = Slots.get t.group_spans group in
+  if spans.s_len = 0 then 0
+  else begin
+    (* Sweep over span endpoints counting maximum overlap. The sweep is
+       order-independent once events are sorted (equal (time, delta)
+       events are interchangeable), so the packed-array encoding needs no
+       particular append order. *)
+    let events = Array.make spans.s_len (0, 0) in
+    for i = 0 to (spans.s_len / 2) - 1 do
+      let s = spans.s_data.(2 * i) and f = spans.s_data.((2 * i) + 1) in
+      events.(2 * i) <- (s, 1);
+      events.((2 * i) + 1) <- (max (s + 1) f, -1)
+    done;
+    Array.sort compare events;
+    let cur = ref 0 and peak = ref 0 in
+    Array.iter
+      (fun (_, d) ->
+        cur := !cur + d;
+        if !cur > !peak then peak := !cur)
+      events;
+    !peak
+  end
 
 let elapsed t = Array.fold_left max 0 t.node_free
 

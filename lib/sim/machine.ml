@@ -5,6 +5,17 @@ module Page_alloc = Ndp_mem.Page_alloc
 module Metrics = Ndp_obs.Metrics
 module Ledger = Ndp_obs.Ledger
 
+(* Per-line coherence state: a bitset over node ids for O(1) membership
+   plus an insertion-order stack so invalidations still walk holders
+   newest-first (the order the old cons-list encoding iterated in). The
+   record is mutated in place — one table lookup per touch, no list
+   rebuilding. *)
+type sharer_set = {
+  mutable bits : int array; (* node-id bitset, 63 nodes per word *)
+  mutable stack : int array; (* nodes in insertion order *)
+  mutable len : int;
+}
+
 type t = {
   config : Config.t;
   mesh : Mesh.t;
@@ -16,10 +27,12 @@ type t = {
   l2s : Cache.t array; (* one bank per node *)
   mcdram_cache : Cache.t option; (* memory-side cache: cache & hybrid modes *)
   mutable hot_ranges : (int * int) list;
+  mutable hot_sorted : (int * int) array; (* by base, for binary search *)
+  mutable hot_max_len : int;
   mutable l1_boost : float;
   boost_rng : Ndp_prelude.Rng.t;
   mc_overrides : (int, int) Hashtbl.t; (* virtual page -> mc node *)
-  sharers : (int, int list) Hashtbl.t; (* VA line -> nodes with an L1 copy *)
+  sharers : (int, sharer_set) Hashtbl.t; (* VA line -> nodes with an L1 copy *)
   m_l1_hits : Metrics.vec; (* mem.l1_hits{node} *)
   m_l1_misses : Metrics.vec;
   m_l2_bank_hits : Metrics.vec; (* mem.l2_bank_hits{bank} *)
@@ -70,6 +83,8 @@ let create ?(obs = Ndp_obs.Sink.none) ?faults (config : Config.t) =
     l2s = Array.init n l2;
     mcdram_cache;
     hot_ranges = [];
+    hot_sorted = [||];
+    hot_max_len = 0;
     l1_boost = 0.0;
     boost_rng = Ndp_prelude.Rng.create (config.seed + 7);
     mc_overrides = Hashtbl.create 64;
@@ -86,7 +101,12 @@ let create ?(obs = Ndp_obs.Sink.none) ?faults (config : Config.t) =
     ledger = obs.Ndp_obs.Sink.ledger;
   }
 
-let set_hot_ranges t ranges = t.hot_ranges <- ranges
+let set_hot_ranges t ranges =
+  t.hot_ranges <- ranges;
+  let sorted = Array.of_list ranges in
+  Array.sort (fun (a, _) (b, _) -> compare a b) sorted;
+  t.hot_sorted <- sorted;
+  t.hot_max_len <- Array.fold_left (fun m (_, len) -> max m len) 0 sorted
 
 let set_l1_boost t p =
   if p < 0.0 || p > 1.0 then invalid_arg "Machine.set_l1_boost: probability out of range";
@@ -96,13 +116,37 @@ let set_mc_overrides t pairs =
   Hashtbl.reset t.mc_overrides;
   List.iter (fun (page, mc) -> Hashtbl.replace t.mc_overrides page mc) pairs
 
-let is_hot t va = List.exists (fun (base, len) -> va >= base && va < base + len) t.hot_ranges
+(* Binary search for the rightmost range with [base <= va], then walk left
+   only as far as [hot_max_len] allows a range to still cover [va] — exact
+   for overlapping ranges, O(log n) for the disjoint common case. *)
+let is_hot t va =
+  let a = t.hot_sorted in
+  let n = Array.length a in
+  if n = 0 then false
+  else begin
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if fst a.(mid) <= va then lo := mid + 1 else hi := mid
+    done;
+    (* a.(!lo - 1) is the rightmost range starting at or below va. *)
+    let rec covered i =
+      if i < 0 then false
+      else
+        let base, len = a.(i) in
+        if base + t.hot_max_len <= va then false
+        else va >= base && va < base + len || covered (i - 1)
+    in
+    covered (!lo - 1)
+  end
 
 let translate t va = Page_alloc.translate t.pages va
 
 let compiler_translate t va = Page_alloc.compiler_view t.pages va
 
 let home_node t ~va = Snuca.home_node t.snuca (translate t va)
+
+let note_home_lookups t ~bank ~count = Snuca.note_lookups t.snuca ~bank ~count
 
 let compiler_home_node t ~va = Snuca.home_node t.snuca (compiler_translate t va)
 
@@ -135,28 +179,56 @@ let request_bytes = 8
 
 let line_of t va = va / t.config.Config.line_bytes
 
+let set_words n = (n + 62) / 63
+
+let set_mem s node = s.bits.(node / 63) land (1 lsl (node mod 63)) <> 0
+
+let set_add s node =
+  s.bits.(node / 63) <- s.bits.(node / 63) lor (1 lsl (node mod 63));
+  if s.len = Array.length s.stack then begin
+    let grown = Array.make (max 4 (2 * s.len)) 0 in
+    Array.blit s.stack 0 grown 0 s.len;
+    s.stack <- grown
+  end;
+  s.stack.(s.len) <- node;
+  s.len <- s.len + 1
+
+let sharer_set_of t line =
+  match Hashtbl.find_opt t.sharers line with
+  | Some s -> s
+  | None ->
+    let s =
+      { bits = Array.make (set_words (Mesh.size t.mesh)) 0; stack = Array.make 4 0; len = 0 }
+    in
+    Hashtbl.add t.sharers line s;
+    s
+
 let note_sharer t ~node ~va =
-  let line = line_of t va in
-  let cur = Option.value (Hashtbl.find_opt t.sharers line) ~default:[] in
-  if not (List.mem node cur) then Hashtbl.replace t.sharers line (node :: cur)
+  let s = sharer_set_of t (line_of t va) in
+  if not (set_mem s node) then set_add s node
 
 (* Write-invalidate coherence: a store kills every other node's L1 copy of
-   the line; each invalidation is a small message from the writer. *)
+   the line; each invalidation is a small message from the writer. The
+   holder walk runs newest-first — the iteration order of the cons-list
+   encoding this replaced — because each send perturbs link occupancy, so
+   the order is observable in latency stats. *)
 let invalidate_sharers t ~writer ~va ~time ~stats =
   if t.config.Config.coherence then begin
     let line = line_of t va in
-    let holders = Option.value (Hashtbl.find_opt t.sharers line) ~default:[] in
-    List.iter
-      (fun node ->
-        if node <> writer && Cache.probe t.l1s.(node) va then begin
-          ignore (Network.send t.network ~time ~src:writer ~dst:node ~bytes:request_bytes ~stats);
-          (* Evict by filling the slot with a poison tag: reinsert of the
-             same line later will miss. *)
-          Cache.invalidate t.l1s.(node) va;
-          Stats.incr_invalidations stats
-        end)
-      holders;
-    Hashtbl.replace t.sharers line [ writer ]
+    let s = sharer_set_of t line in
+    for i = s.len - 1 downto 0 do
+      let node = s.stack.(i) in
+      if node <> writer && Cache.probe t.l1s.(node) va then begin
+        ignore (Network.send t.network ~time ~src:writer ~dst:node ~bytes:request_bytes ~stats);
+        (* Evict by filling the slot with a poison tag: reinsert of the
+           same line later will miss. *)
+        Cache.invalidate t.l1s.(node) va;
+        Stats.incr_invalidations stats
+      end
+    done;
+    Array.fill s.bits 0 (Array.length s.bits) 0;
+    s.len <- 0;
+    set_add s writer
   end
 
 (* Next-line prefetch: on an L1 miss, also pull line+1 from its own home

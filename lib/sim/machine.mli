@@ -54,6 +54,12 @@ val compiler_translate : t -> int -> int
 val home_node : t -> va:int -> int
 (** Home L2 bank node for a VA (runtime truth). *)
 
+val note_home_lookups : t -> bank:int -> count:int -> unit
+(** Account [count] extra [mem.home_lookups{bank}] metric bumps without
+    re-translating — used by compiler profiling passes that batch a
+    computation the per-candidate code evaluated repeatedly, keeping the
+    metric's meaning (lookups the profile pass performs) unchanged. *)
+
 val compiler_home_node : t -> va:int -> int
 
 val compiler_mc_node : t -> va:int -> int

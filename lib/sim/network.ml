@@ -9,8 +9,11 @@ type t = {
   (* Per-link utilization accumulated in fixed time epochs. The engine
      replays tasks in program order while node clocks advance at different
      rates, so sends are observed out of simulated-time order; bucketing
-     makes contention independent of processing order. *)
-  util : (int * int, int) Hashtbl.t; (* (link index, epoch) -> busy cycles *)
+     makes contention independent of processing order. One growable
+     epoch-indexed array per link ([util.(link).(epoch)] = busy cycles)
+     keeps state proportional to the links actually touched and makes the
+     hot lookup two array reads. *)
+  util : int array array;
   mutable distance_factor : float;
   faults : Plan.t option;
   link_flits : Metrics.vec; (* noc.link_flits{from->to}, indexed by link id *)
@@ -66,7 +69,7 @@ let create ?(obs = Ndp_obs.Sink.none) ?faults (config : Config.t) =
   {
     mesh;
     config;
-    util = Hashtbl.create 4096;
+    util = Array.make n [||];
     distance_factor = 1.0;
     faults;
     link_flits = Metrics.vec registry "noc.link_flits" ~size:n ~label;
@@ -85,32 +88,63 @@ let set_distance_factor t f =
 (* Under a distance factor < 1 we traverse only a prefix of the route,
    modelling a counterfactual where data had to travel proportionally
    fewer links. *)
-let effective_route t route =
-  if t.distance_factor >= 1.0 then route
-  else begin
-    let n = List.length route in
-    let keep = int_of_float (Float.round (t.distance_factor *. float_of_int n)) in
-    List.filteri (fun i _ -> i < keep) route
-  end
+let effective_hops t total =
+  if t.distance_factor >= 1.0 then total
+  else int_of_float (Float.round (t.distance_factor *. float_of_int total))
+
+(* Occupancy of link [idx] in epoch [epoch], adding [service] busy cycles.
+   Per-link arrays grow geometrically to the highest epoch touched. *)
+let bump_util t idx epoch service =
+  let a = t.util.(idx) in
+  let a =
+    if epoch < Array.length a then a
+    else begin
+      let len = ref (max 64 (Array.length a * 2)) in
+      while epoch >= !len do len := !len * 2 done;
+      let b = Array.make !len 0 in
+      Array.blit a 0 b 0 (Array.length a);
+      t.util.(idx) <- b;
+      b
+    end
+  in
+  let load = a.(epoch) in
+  a.(epoch) <- load + service;
+  load
 
 let send t ~time ~src ~dst ~bytes ~stats =
   if src = dst then time
   else begin
     let flits = Config.flits_of_bytes t.config bytes in
-    let route = effective_route t (Ndp_noc.Mesh.xy_route t.mesh ~src ~dst) in
+    let route = Ndp_noc.Mesh.route_links t.mesh ~src ~dst in
+    let hops = effective_hops t (Array.length route) in
     let service = flits * t.config.Config.link_service_cycles in
-    let traverse now link =
-      let idx = Ndp_noc.Mesh.link_index t.mesh link in
-      (* Fault model: a degraded link serves flits more slowly (service
-         time scaled by its factor); a killed link times out
-         [max_retries] send attempts before the message is forced through
-         on the maintenance path — pure arithmetic on plan data, so runs
-         stay deterministic. [faults = None] leaves the pre-fault
-         arithmetic untouched. *)
-      let service, now =
-        match t.faults with
-        | None -> (service, now)
-        | Some plan ->
+    let hop_cycles = t.config.Config.hop_cycles in
+    let traverse now idx service =
+      let load = bump_util t idx (now lsr epoch_bits) service in
+      Metrics.vadd t.link_flits idx flits;
+      Metrics.vadd t.link_busy idx service;
+      (* Queueing: demand beyond the epoch's capacity waits. *)
+      let wait = max 0 (load + service - epoch_span) in
+      now + hop_cycles + (service - 1) + wait
+    in
+    let arrival =
+      match t.faults with
+      | None ->
+          (* Fault-free fast path: no per-link plan consultation. *)
+          let now = ref time in
+          for i = 0 to hops - 1 do
+            now := traverse !now route.(i) service
+          done;
+          !now
+      | Some plan ->
+          (* Fault model: a degraded link serves flits more slowly
+             (service time scaled by its factor); a killed link times out
+             [max_retries] send attempts before the message is forced
+             through on the maintenance path — pure arithmetic on plan
+             data, so runs stay deterministic. *)
+          let now = ref time in
+          for i = 0 to hops - 1 do
+            let idx = route.(i) in
             let f = Plan.link_factor plan idx in
             let service =
               if f = 1.0 then service
@@ -120,21 +154,12 @@ let send t ~time ~src ~dst ~bytes ~stats =
               let retries = Plan.max_retries plan in
               Metrics.add t.fault_retries retries;
               Metrics.incr t.fault_drops;
-              (service, now + (retries * Plan.retry_timeout plan))
-            end
-            else (service, now)
-      in
-      let key = (idx, now lsr epoch_bits) in
-      let load = Option.value (Hashtbl.find_opt t.util key) ~default:0 in
-      Hashtbl.replace t.util key (load + service);
-      Metrics.vadd t.link_flits idx flits;
-      Metrics.vadd t.link_busy idx service;
-      (* Queueing: demand beyond the epoch's capacity waits. *)
-      let wait = max 0 (load + service - epoch_span) in
-      now + t.config.Config.hop_cycles + (service - 1) + wait
+              now := !now + (retries * Plan.retry_timeout plan)
+            end;
+            now := traverse !now idx service
+          done;
+          !now
     in
-    let arrival = List.fold_left traverse time route in
-    let hops = List.length route in
     (* Each traversed link also received [flits] in [noc.link_flits], so
        charging [flits x hops] here keeps the ledger total reconciled with
        the link-flit total by construction. *)
@@ -148,6 +173,10 @@ let send t ~time ~src ~dst ~bytes ~stats =
     arrival
   end
 
-let reset t = Hashtbl.reset t.util
+let reset t =
+  Array.fill t.util 0 (Array.length t.util) [||];
+  (* A counterfactual run must not leak its path-length scaling into the
+     next experiment on a reused network. *)
+  t.distance_factor <- 1.0
 
 let mesh t = t.mesh

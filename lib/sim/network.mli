@@ -28,7 +28,8 @@ val send : t -> time:int -> src:int -> dst:int -> bytes:int -> stats:Stats.t -> 
     and latency counters in [stats]. *)
 
 val reset : t -> unit
-(** Clear all link occupancy (between independent experiment runs). *)
+(** Clear all link occupancy and restore the distance factor to 1.0
+    (between independent experiment runs). *)
 
 val set_distance_factor : t -> float -> unit
 (** Scale every message's effective path length by a factor in (0, 1].

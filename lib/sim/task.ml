@@ -22,13 +22,15 @@ let mix_add a b =
   { add_sub = a.add_sub + b.add_sub; mul_div = a.mul_div + b.mul_div; other = a.other + b.other }
 
 let mix_of_ops ops =
-  let count acc op =
-    match Ndp_ir.Op.kind op with
-    | Ndp_ir.Op.Add_sub -> { acc with add_sub = acc.add_sub + 1 }
-    | Ndp_ir.Op.Mul_div -> { acc with mul_div = acc.mul_div + 1 }
-    | Ndp_ir.Op.Other -> { acc with other = acc.other + 1 }
+  let rec go a m o = function
+    | [] -> { add_sub = a; mul_div = m; other = o }
+    | op :: tl -> (
+      match Ndp_ir.Op.kind op with
+      | Ndp_ir.Op.Add_sub -> go (a + 1) m o tl
+      | Ndp_ir.Op.Mul_div -> go a (m + 1) o tl
+      | Ndp_ir.Op.Other -> go a m (o + 1) tl)
   in
-  List.fold_left count zero_mix ops
+  go 0 0 0 ops
 
 let mix_total m = m.add_sub + m.mul_div + m.other
 

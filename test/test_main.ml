@@ -19,6 +19,7 @@ let suites =
     ("analysis", Test_analysis.tests);
     ("obs", Test_obs.tests);
     ("extra", Test_extra.tests);
+    ("equiv", Test_equiv.tests);
     ("fault", Test_fault.tests);
     ("prop", Test_prop.tests);
   ]

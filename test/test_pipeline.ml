@@ -134,6 +134,84 @@ let offload_mix_nonempty () =
   Alcotest.(check bool) "some ops offloaded" true
     (Ndp_sim.Task.mix_total o.P.offload_mix > 0)
 
+(* Replay a captured task stream under the capture config: the simulation
+   must be cycle-identical — replay skips compilation, nothing else. *)
+let capture_replay_identical () =
+  let fixed2 = P.Partitioned { P.partitioned_defaults with P.window = P.Fixed 2 } in
+  let k = water () in
+  let r = P.run ~capture:true fixed2 k in
+  Alcotest.(check bool) "captured" true (r.P.emitted <> []);
+  let rp = P.replay k r.P.emitted in
+  Alcotest.(check int) "same exec" r.P.exec_time rp.P.rp_exec_time;
+  List.iter2
+    (fun (na, va) (nb, vb) ->
+      Alcotest.(check string) "same sample" na nb;
+      Alcotest.(check int) na va vb)
+    (Ndp_sim.Stats.to_alist r.P.stats)
+    (Ndp_sim.Stats.to_alist rp.P.rp_stats)
+
+let replay_cost_model_shifts () =
+  let k = water () in
+  let r = P.run ~capture:true (P.Partitioned P.partitioned_defaults) k in
+  let d = Ndp_sim.Config.default in
+  let dear = { d with Ndp_sim.Config.op_cycles = 4 * d.Ndp_sim.Config.op_cycles } in
+  let rp = P.replay ~config:dear k r.P.emitted in
+  Alcotest.(check bool) "dearer compute is slower" true (rp.P.rp_exec_time > r.P.exec_time)
+
+let batch_jobs () =
+  [
+    P.batch_job P.Default (water ());
+    P.batch_job (P.Partitioned P.partitioned_defaults) (water ());
+    P.batch_job (P.Partitioned { P.partitioned_defaults with P.window = P.Fixed 2 }) (fft ());
+  ]
+
+let check_same_result label (a : P.result) (b : P.result) =
+  Alcotest.(check int) (label ^ ": exec") a.P.exec_time b.P.exec_time;
+  List.iter2
+    (fun (na, va) (nb, vb) ->
+      Alcotest.(check string) (label ^ ": sample") na nb;
+      Alcotest.(check int) (label ^ ": " ^ na) va vb)
+    (Ndp_sim.Stats.to_alist a.P.stats)
+    (Ndp_sim.Stats.to_alist b.P.stats)
+
+(* A batch must equal the corresponding solo runs, serially and at any
+   pool size — each job is an independent simulation. *)
+let batch_matches_solo_and_parallel () =
+  let solo =
+    List.map
+      (fun (j : P.batch_job) -> P.run ~config:j.P.job_config j.P.job_scheme j.P.job_kernel)
+      (batch_jobs ())
+  in
+  let serial = P.run_batch (batch_jobs ()) in
+  let pooled =
+    Ndp_prelude.Pool.with_pool ~jobs:4 (fun pool -> P.run_batch ~pool (batch_jobs ()))
+  in
+  List.iter2 (check_same_result "serial") solo serial;
+  List.iter2 (check_same_result "pooled") solo pooled
+
+(* The Metrics.Sharded discipline: counter totals merged across shards are
+   the same whether the batch ran on one domain or several. *)
+let batch_sharded_metrics_deterministic () =
+  let counter_samples sh =
+    List.filter_map
+      (fun (name, s) ->
+        match s with Ndp_obs.Metrics.Counter_v v -> Some (name, v) | _ -> None)
+      (Ndp_obs.Metrics.to_alist (Ndp_obs.Metrics.Sharded.merged sh))
+  in
+  let sh_serial = Ndp_obs.Metrics.Sharded.create () in
+  ignore (P.run_batch ~metrics:sh_serial (batch_jobs ()));
+  let sh_pooled = Ndp_obs.Metrics.Sharded.create () in
+  ignore
+    (Ndp_prelude.Pool.with_pool ~jobs:4 (fun pool ->
+         P.run_batch ~pool ~metrics:sh_pooled (batch_jobs ())));
+  let a = counter_samples sh_serial and b = counter_samples sh_pooled in
+  Alcotest.(check int) "same sample count" (List.length a) (List.length b);
+  List.iter2
+    (fun (na, va) (nb, vb) ->
+      Alcotest.(check string) "same counter" na nb;
+      Alcotest.(check int) na va vb)
+    a b
+
 let tests =
   [
     ( "pipeline",
@@ -155,5 +233,9 @@ let tests =
         Alcotest.test_case "profile accesses" `Quick profile_accesses;
         Alcotest.test_case "predictor measured" `Quick predictor_measured;
         Alcotest.test_case "offload mix" `Quick offload_mix_nonempty;
+        Alcotest.test_case "capture/replay identical" `Quick capture_replay_identical;
+        Alcotest.test_case "replay cost model" `Quick replay_cost_model_shifts;
+        Alcotest.test_case "batch matches solo" `Slow batch_matches_solo_and_parallel;
+        Alcotest.test_case "batch sharded metrics" `Slow batch_sharded_metrics_deterministic;
       ] );
   ]

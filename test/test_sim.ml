@@ -10,6 +10,21 @@ let network_latency_grows_with_distance () =
   let t5 = Network.send net ~time:0 ~src:0 ~dst:5 ~bytes:8 ~stats in
   Alcotest.(check bool) "longer route is slower" true (t5 > t1)
 
+(* Regression: [reset] must also restore the distance factor, or a
+   counterfactual (S2/ideal-network) run leaks its scaling into the next
+   experiment sharing the network. *)
+let network_reset_restores_distance_factor () =
+  let net = Network.create config in
+  let stats = Stats.create () in
+  let fresh = Network.send net ~time:0 ~src:0 ~dst:5 ~bytes:64 ~stats in
+  Network.reset net;
+  Network.set_distance_factor net 0.5;
+  let scaled = Network.send net ~time:0 ~src:0 ~dst:5 ~bytes:64 ~stats in
+  Alcotest.(check bool) "factor active" true (scaled < fresh);
+  Network.reset net;
+  let after = Network.send net ~time:0 ~src:0 ~dst:5 ~bytes:64 ~stats in
+  Alcotest.(check int) "factor restored by reset" fresh after
+
 let network_local_is_free () =
   let net = Network.create config in
   let stats = Stats.create () in
@@ -211,6 +226,8 @@ let tests =
         Alcotest.test_case "network flit hops" `Quick network_counts_flit_hops;
         Alcotest.test_case "network congestion" `Quick network_congestion;
         Alcotest.test_case "network distance factor" `Quick network_distance_factor;
+        Alcotest.test_case "network reset restores factor" `Quick
+          network_reset_restores_distance_factor;
         Alcotest.test_case "machine L1 reuse" `Quick machine_l1_hit_on_reuse;
         Alcotest.test_case "machine L2 fill" `Quick machine_l2_fill;
         Alcotest.test_case "machine miss slower" `Quick machine_miss_slower_than_hit;
