@@ -56,6 +56,59 @@ let choose_size_fixture () =
   in
   (ctx, List.filteri (fun i _ -> i < 256) metas)
 
+(* Load-generate against an in-process serve daemon: every suite kernel
+   under both schemes, three rounds of identical Run requests. Round one
+   compiles (all result-cache misses); the later rounds are answered from
+   the cache, so the expected hit ratio is 2/3 and the warm/cold latency
+   ratio is the cache speedup. [Server.handle] is exactly the dispatch
+   the socket loop uses, so the numbers cover everything but framing I/O. *)
+let serve_loadgen () =
+  let module Server = Ndp_serve.Server in
+  let module Protocol = Ndp_serve.Protocol in
+  let server = Server.create () in
+  let requests =
+    List.concat_map
+      (fun app ->
+        List.map
+          (fun scheme ->
+            Protocol.Run
+              { spec = { (Protocol.default_spec ~app) with Protocol.scheme }; metrics = false })
+          [ "default"; "partitioned" ])
+      Ndp_workloads.Suite.names
+  in
+  let n = List.length requests in
+  let pass () =
+    let t0 = Unix.gettimeofday () in
+    let replies = List.map (Server.handle server) requests in
+    (Unix.gettimeofday () -. t0, replies)
+  in
+  let cold_s, cold = pass () in
+  let warm1_s, warm1 = pass () in
+  let warm2_s, _ = pass () in
+  let identical =
+    List.for_all2 (fun (a : Server.reply) (b : Server.reply) -> a.Server.body = b.Server.body)
+      cold warm1
+  in
+  let st = Ndp_serve.Cache.stats (Server.result_cache server) in
+  Server.shutdown server;
+  let rps = float_of_int (3 * n) /. (cold_s +. warm1_s +. warm2_s) in
+  let hit_ratio =
+    float_of_int st.Ndp_serve.Cache.hits
+    /. float_of_int (st.Ndp_serve.Cache.hits + st.Ndp_serve.Cache.misses)
+  in
+  let cold_ms = cold_s *. 1000.0 /. float_of_int n in
+  let warm_ms = (warm1_s +. warm2_s) *. 1000.0 /. float_of_int (2 * n) in
+  let speedup = cold_ms /. warm_ms in
+  Printf.printf "== serve load-gen: %d requests (%d apps x 2 schemes x 3 rounds, in-process) ==\n"
+    (3 * n)
+    (List.length Ndp_workloads.Suite.names);
+  Printf.printf "cold pass %.1f ms/req, warm passes %.3f ms/req (x%.0f cache speedup)\n" cold_ms
+    warm_ms speedup;
+  Printf.printf
+    "sustained %.0f req/s, hit ratio %.2f (%d hits / %d misses), cold=warm bodies: %b\n" rps
+    hit_ratio st.Ndp_serve.Cache.hits st.Ndp_serve.Cache.misses identical;
+  (rps, hit_ratio, cold_ms, warm_ms, speedup, identical)
+
 let micro ?(json = false) () =
   let open Bechamel in
   let open Toolkit in
@@ -91,11 +144,12 @@ let micro ?(json = false) () =
   let bench_pipeline =
     Test.make ~name:"compile+simulate-cholesky"
       (Staged.stage (fun () ->
-           Ndp_core.Pipeline.run
-             (Ndp_core.Pipeline.Partitioned
-                { Ndp_core.Pipeline.partitioned_defaults with
-                  Ndp_core.Pipeline.window = Ndp_core.Pipeline.Fixed 2 })
-             kernel))
+           Ndp_core.Pipeline.Job.run
+             (Ndp_core.Pipeline.Job.make
+                (Ndp_core.Pipeline.Partitioned
+                   { Ndp_core.Pipeline.partitioned_defaults with
+                     Ndp_core.Pipeline.window = Ndp_core.Pipeline.Fixed 2 })
+                kernel)))
   in
   (* Observability overhead: a disabled-registry bump must be a single
      predictable branch, and a fully observed pipeline run should cost a
@@ -121,11 +175,12 @@ let micro ?(json = false) () =
     Test.make ~name:"compile+simulate-cholesky-observed"
       (Staged.stage (fun () ->
            let obs = Ndp_obs.Sink.create ~metrics:true ~trace:true () in
-           Ndp_core.Pipeline.run ~obs
-             (Ndp_core.Pipeline.Partitioned
-                { Ndp_core.Pipeline.partitioned_defaults with
-                  Ndp_core.Pipeline.window = Ndp_core.Pipeline.Fixed 2 })
-             kernel))
+           Ndp_core.Pipeline.Job.run ~obs
+             (Ndp_core.Pipeline.Job.make
+                (Ndp_core.Pipeline.Partitioned
+                   { Ndp_core.Pipeline.partitioned_defaults with
+                     Ndp_core.Pipeline.window = Ndp_core.Pipeline.Fixed 2 })
+                kernel)))
   in
   (* Dependence analysis on a real instance stream: the bucketed analyze
      against the O(n^2) naive oracle it replaced. *)
@@ -168,9 +223,10 @@ let micro ?(json = false) () =
       { Ndp_core.Pipeline.partitioned_defaults with
         Ndp_core.Pipeline.window = Ndp_core.Pipeline.Fixed 2 }
   in
+  let fixed2_job = Ndp_core.Pipeline.Job.make fixed2 kernel in
   let bench_inject_disabled =
     Test.make ~name:"pipeline-inject-disabled"
-      (Staged.stage (fun () -> Ndp_core.Pipeline.run fixed2 kernel))
+      (Staged.stage (fun () -> Ndp_core.Pipeline.Job.run fixed2_job))
   in
   let bench_inject_enabled =
     let mesh = Ndp_sim.Config.mesh Ndp_sim.Config.default in
@@ -178,14 +234,15 @@ let micro ?(json = false) () =
       Ndp_fault.Plan.make ~mesh ~seed:42 [ Ndp_fault.Plan.Degrade_link (0, 1, 2.0) ]
     in
     Test.make ~name:"pipeline-inject-enabled"
-      (Staged.stage (fun () -> Ndp_core.Pipeline.run ~faults fixed2 kernel))
+      (Staged.stage (fun () ->
+           Ndp_core.Pipeline.Job.run (Ndp_core.Pipeline.Job.make ~faults fixed2 kernel)))
   in
   (* Profiling overhead: the attribution ledger tags every NoC message and
      the timeline samples six counters every 1000 cycles; the enabled run
      should stay within ~10% of the unobserved pipeline. *)
   let bench_profile_disabled =
     Test.make ~name:"pipeline-profile-disabled"
-      (Staged.stage (fun () -> Ndp_core.Pipeline.run fixed2 kernel))
+      (Staged.stage (fun () -> Ndp_core.Pipeline.Job.run fixed2_job))
   in
   let bench_profile_enabled =
     Test.make ~name:"pipeline-profile-enabled"
@@ -194,7 +251,7 @@ let micro ?(json = false) () =
              Ndp_obs.Sink.create ~metrics:true ~trace:false ~ledger:true
                ~timeline_interval:1000 ()
            in
-           Ndp_core.Pipeline.run ~obs fixed2 kernel))
+           Ndp_core.Pipeline.Job.run ~obs fixed2_job))
   in
   (* Window-size preprocessing on a 256-instance sample. The sampled
      implementation compiles every (candidate, chunk) pair with the
@@ -335,6 +392,7 @@ let micro ?(json = false) () =
     let reports = Ndp_analysis.Checker.check_suite ~jobs ~schemes kernels in
     let gate_seconds = Unix.gettimeofday () -. t0 in
     let gate_errors = Ndp_analysis.Checker.has_errors reports in
+    let rps, hit_ratio, cold_ms, warm_ms, speedup, identical = serve_loadgen () in
     let oc = open_out "BENCH_micro.json" in
     let tests =
       List.sort compare !estimates
@@ -342,8 +400,11 @@ let micro ?(json = false) () =
     in
     Printf.fprintf oc
       "{\n  \"tests\": [\n%s\n  ],\n  \"full_gate\": {\"seconds\": %.3f, \"jobs\": %d, \
-       \"errors\": %b}\n}\n"
-      (String.concat ",\n" tests) gate_seconds jobs gate_errors;
+       \"errors\": %b},\n  \"serve\": {\"req_per_s\": %.1f, \"hit_ratio\": %.4f, \
+       \"cold_ms_per_req\": %.3f, \"warm_ms_per_req\": %.4f, \"warm_speedup\": %.1f, \
+       \"bodies_identical\": %b}\n}\n"
+      (String.concat ",\n" tests) gate_seconds jobs gate_errors rps hit_ratio cold_ms warm_ms
+      speedup identical;
     close_out oc;
     Printf.printf "full gate (check sweep, %d jobs): %.1f s -> BENCH_micro.json\n" jobs
       gate_seconds
@@ -398,6 +459,11 @@ let () =
         run = (fun args -> micro ~json:(List.mem "--json" args) ());
       };
       {
+        name = "serve";
+        summary = "load-generate against an in-process serve daemon (req/s, cache hit ratio)";
+        run = (fun _ -> ignore (serve_loadgen ()));
+      };
+      {
         name = "sweep";
         summary = "compile cholesky once, replay the schedule across cost-model variants";
         run =
@@ -423,7 +489,9 @@ let () =
               ]
             in
             let t0 = Unix.gettimeofday () in
-            let r = Ndp_core.Pipeline.run ~capture:true scheme kernel in
+            let r =
+              Ndp_core.Pipeline.Job.run (Ndp_core.Pipeline.Job.make ~capture:true scheme kernel)
+            in
             let compile_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
             let t1 = Unix.gettimeofday () in
             let replays =

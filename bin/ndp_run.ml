@@ -18,6 +18,8 @@ module Metrics = Ndp_obs.Metrics
 module Trace = Ndp_obs.Trace
 module Stats = Ndp_sim.Stats
 module Pipeline = Ndp_core.Pipeline
+module Service = Ndp_serve.Service
+module Protocol = Ndp_serve.Protocol
 
 (* ------------------------------------------------------------------ *)
 (* Shared flag specs                                                   *)
@@ -216,129 +218,49 @@ let scheme_of scheme window =
     in
     Pipeline.Partitioned { Pipeline.partitioned_defaults with Pipeline.window = w }
 
-let result_human (r : Pipeline.result) =
-  let s = r.Pipeline.stats in
-  let buf = Buffer.create 512 in
-  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  pr "%s / %s\n" r.Pipeline.kernel_name r.Pipeline.scheme_name;
-  pr "  execution time     %d cycles\n" r.Pipeline.exec_time;
-  pr "  data movement      %d flit-hops over %d messages\n" (Stats.hops s) (Stats.messages s);
-  pr "  network latency    avg %s, max %d cycles\n"
-    (if Stats.messages s = 0 then "-" else Printf.sprintf "%.1f" (Stats.avg_latency s))
-    (Stats.latency_max s);
-  pr "  L1 hit rate        %.1f%%   L2 hit rate %.1f%%\n"
-    (100.0 *. Stats.l1_hit_rate s)
-    (100.0 *. Stats.l2_hit_rate s);
-  pr "  tasks              %d (%d statement instances)\n" r.Pipeline.tasks_emitted
-    r.Pipeline.num_instances;
-  pr "  synchronizations   %d\n" r.Pipeline.sync_arcs;
-  pr "  energy             %.0f pJ (%s)\n"
-    (Ndp_sim.Energy.total r.Pipeline.energy)
-    (Format.asprintf "%a" Ndp_sim.Energy.pp r.Pipeline.energy);
-  (match r.Pipeline.windows_chosen with
-  | [] -> ()
-  | ws ->
-    pr "  windows            %s\n"
-      (String.concat ", " (List.map (fun (n, w) -> Printf.sprintf "%s=%d" n w) ws)));
-  pr "  predictor accuracy %.1f%%" (100.0 *. r.Pipeline.predictor_accuracy);
-  Buffer.contents buf
+(* The document builders and human renderers live in [Ndp_serve.Service]
+   now, shared with the daemon: a serve response body is byte-identical
+   to the corresponding subcommand's [--format json] output. *)
+let result_human = Service.result_human
 
-let result_json (r : Pipeline.result) =
-  let s = r.Pipeline.stats in
-  Render.Json.Obj
-    [
-      ("app", Render.Json.Str r.Pipeline.kernel_name);
-      ("scheme", Render.Json.Str r.Pipeline.scheme_name);
-      ("exec_time", Render.Json.Int r.Pipeline.exec_time);
-      ("tasks", Render.Json.Int r.Pipeline.tasks_emitted);
-      ("instances", Render.Json.Int r.Pipeline.num_instances);
-      ("sync_arcs", Render.Json.Int r.Pipeline.sync_arcs);
-      ("energy_pj", Render.Json.Float (Ndp_sim.Energy.total r.Pipeline.energy));
-      ( "stats",
-        Render.Json.Obj (List.map (fun (name, v) -> (name, Render.Json.Int v)) (Stats.to_alist s))
-      );
-      ( "windows",
-        Render.Json.Obj
-          (List.map (fun (n, w) -> (n, Render.Json.Int w)) r.Pipeline.windows_chosen) );
-      ("predictor_accuracy", Render.Json.Float r.Pipeline.predictor_accuracy);
-    ]
+let result_json = Service.result_json
 
-let metrics_json reg = Metrics.to_json reg
-
-let metrics_human reg =
-  let t = Ndp_prelude.Table.create ~header:[ "metric"; "value" ] in
-  List.iter
-    (fun (name, sample) ->
-      let value =
-        match sample with
-        | Metrics.Counter_v v -> string_of_int v
-        | Metrics.Gauge_v v -> Ndp_prelude.Table.cell_f v
-        | Metrics.Histogram_v h ->
-          let p q =
-            Ndp_prelude.Table.cell_f (Metrics.percentile ~counts:h.counts ~bounds:h.bounds q)
-          in
-          Printf.sprintf "count=%d sum=%s p50=%s p95=%s p99=%s" h.count
-            (Ndp_prelude.Table.cell_f h.sum) (p 0.5) (p 0.95) (p 0.99)
-      in
-      Ndp_prelude.Table.add_row t [ name; value ])
-    (Metrics.to_alist reg);
-  Ndp_prelude.Table.render t
+let metrics_json reg = Service.metrics_json reg
 
 (* ------------------------------------------------------------------ *)
 (* run / compare                                                       *)
 
 (* Run [f] with a pool of the requested size, or without one when --jobs
-   is absent (Pipeline.run then stays serial). *)
+   is absent (the pipeline then stays serial). *)
 let with_jobs jobs f =
   match jobs with
   | None -> f None
   | Some j -> Ndp_prelude.Pool.with_pool ~jobs:(max 1 j) (fun p -> f (Some p))
 
-let pipeline_run ?config ?obs ?faults ?repair pool scheme kernel =
-  match pool with
-  | None -> Pipeline.run ?config ?obs ?faults ?repair scheme kernel
-  | Some pool -> Pipeline.run ?config ?obs ?faults ?repair ~pool scheme kernel
-
 let run_act kernel cluster memory scheme window metrics format jobs =
   with_jobs jobs @@ fun pool ->
-  let obs =
-    if metrics then Ndp_obs.Sink.create ~metrics:true ~trace:false () else Ndp_obs.Sink.none
+  let job =
+    Pipeline.Job.make ~config:(config_of cluster memory) (scheme_of scheme window) kernel
   in
-  let r = pipeline_run ~config:(config_of cluster memory) ~obs pool (scheme_of scheme window) kernel in
-  let doc =
-    if metrics then
-      Render.Json.Obj
-        [ ("result", result_json r); ("metrics", metrics_json obs.Ndp_obs.Sink.metrics) ]
-    else result_json r
-  in
-  let human () =
-    result_human r
-    ^ if metrics then "\n\n" ^ metrics_human obs.Ndp_obs.Sink.metrics else ""
-  in
-  print_endline (Render.output format ~human doc)
+  let o = Service.run ?pool ~metrics job in
+  print_endline (Render.output format ~human:o.Service.human o.Service.doc)
 
 let compare_act kernel cluster memory window metrics format jobs =
   with_jobs jobs @@ fun pool ->
   let config = config_of cluster memory in
-  let obs () =
-    if metrics then Ndp_obs.Sink.create ~metrics:true ~trace:false () else Ndp_obs.Sink.none
+  let od = Service.run ?pool ~metrics (Pipeline.Job.make ~config Pipeline.Default kernel) in
+  let oo =
+    Service.run ?pool ~metrics (Pipeline.Job.make ~config (scheme_of `Partitioned window) kernel)
   in
-  let obs_d = obs () and obs_o = obs () in
-  let d = pipeline_run ~config ~obs:obs_d pool Pipeline.Default kernel in
-  let o = pipeline_run ~config ~obs:obs_o pool (scheme_of `Partitioned window) kernel in
+  let d = od.Service.result and o = oo.Service.result in
   let imp base opt = 100.0 *. float_of_int (base - opt) /. float_of_int (max 1 base) in
   let exec_imp = imp d.Pipeline.exec_time o.Pipeline.exec_time in
   let move_imp = imp (Stats.hops d.Pipeline.stats) (Stats.hops o.Pipeline.stats) in
-  let with_metrics doc sink =
-    if metrics then
-      Render.Json.Obj [ ("result", doc); ("metrics", metrics_json sink.Ndp_obs.Sink.metrics) ]
-    else doc
-  in
   let doc =
     Render.Json.Obj
       [
-        ("default", with_metrics (result_json d) obs_d);
-        ("partitioned", with_metrics (result_json o) obs_o);
+        ("default", od.Service.doc);
+        ("partitioned", oo.Service.doc);
         ( "improvement",
           Render.Json.Obj
             [ ("exec_pct", Render.Json.Float exec_imp); ("movement_pct", Render.Json.Float move_imp) ]
@@ -347,11 +269,13 @@ let compare_act kernel cluster memory window metrics format jobs =
   in
   let human () =
     String.concat "\n"
-      ([ result_human d ]
-      @ (if metrics then [ ""; metrics_human obs_d.Ndp_obs.Sink.metrics ] else [])
-      @ [ ""; result_human o ]
-      @ (if metrics then [ ""; metrics_human obs_o.Ndp_obs.Sink.metrics ] else [])
-      @ [ ""; Printf.sprintf "improvement: exec %.1f%%, movement %.1f%%" exec_imp move_imp ])
+      [
+        od.Service.human ();
+        "";
+        oo.Service.human ();
+        "";
+        Printf.sprintf "improvement: exec %.1f%%, movement %.1f%%" exec_imp move_imp;
+      ]
   in
   print_endline (Render.output format ~human doc)
 
@@ -400,7 +324,9 @@ let stats_act kernel cluster memory scheme window format jobs =
   with_jobs jobs @@ fun pool ->
   let obs = Ndp_obs.Sink.create ~metrics:true ~trace:false () in
   let config = config_of cluster memory in
-  let r = pipeline_run ~config ~obs pool (scheme_of scheme window) kernel in
+  let r =
+    Pipeline.Job.run ?pool ~obs (Pipeline.Job.make ~config (scheme_of scheme window) kernel)
+  in
   let reg = obs.Ndp_obs.Sink.metrics in
   let n = Ndp_noc.Mesh.size (Ndp_sim.Config.mesh config) in
   let doc =
@@ -424,23 +350,6 @@ let stats_act kernel cluster memory scheme window format jobs =
 
 module Plan = Ndp_fault.Plan
 
-let plan_json plan ~spec ~repair =
-  let killed, degraded, stalled, mcs = Plan.counts plan in
-  Render.Json.Obj
-    [
-      ("spec", Render.Json.Str spec);
-      ("seed", Render.Json.Int (Plan.seed plan));
-      ("retry_timeout", Render.Json.Int (Plan.retry_timeout plan));
-      ("max_retries", Render.Json.Int (Plan.max_retries plan));
-      ("links_killed", Render.Json.Int killed);
-      ("links_degraded", Render.Json.Int degraded);
-      ("nodes_stalled", Render.Json.Int stalled);
-      ("mcs_slowed", Render.Json.Int mcs);
-      ( "avoided_nodes",
-        Render.Json.List (List.map (fun n -> Render.Json.Int n) (Plan.avoided_nodes plan)) );
-      ("repair", Render.Json.Bool repair);
-    ]
-
 (* Invariants of a fault run, verified by re-execution:
    1. determinism — an identical second run (fresh plan from the same
       seed) produces identical stats and finish time;
@@ -457,7 +366,7 @@ let inject_selfcheck ~config ~spec ~seed ~repair pool scheme kernel plan
     let plan2 =
       match Plan.parse ~mesh ~seed spec with Ok p -> p | Error m -> failwith m
     in
-    pipeline_run ~config ~faults:plan2 ~repair pool scheme kernel
+    Pipeline.Job.run ?pool (Pipeline.Job.make ~config ~faults:plan2 ~repair scheme kernel)
   in
   if not (Stats.equal r.Pipeline.stats rerun.Pipeline.stats) then
     fail "re-run with the same seed changed the statistics";
@@ -465,7 +374,7 @@ let inject_selfcheck ~config ~spec ~seed ~repair pool scheme kernel plan
     fail "re-run with the same seed changed the finish time (%d <> %d)" r.Pipeline.exec_time
       rerun.Pipeline.exec_time;
   if Plan.is_empty plan then begin
-    let bare = pipeline_run ~config pool scheme kernel in
+    let bare = Pipeline.Job.run ?pool (Pipeline.Job.make ~config scheme kernel) in
     if not (Stats.equal r.Pipeline.stats bare.Pipeline.stats) then
       fail "an empty fault plan changed the statistics vs a plain run"
   end
@@ -504,40 +413,13 @@ let inject_act kernel cluster memory scheme window spec fault_seed repair format
       Printf.eprintf "ndp_run inject: bad --faults spec: %s\n" msg;
       exit 2
   in
-  let obs = Ndp_obs.Sink.create ~metrics:true ~trace:false () in
   let scheme = scheme_of scheme window in
-  let r = pipeline_run ~config ~obs ~faults:plan ~repair pool scheme kernel in
-  let reg = obs.Ndp_obs.Sink.metrics in
-  let doc =
-    Render.Json.Obj
-      [
-        ("plan", plan_json plan ~spec ~repair);
-        ("result", result_json r);
-        ("remapped_tasks", Render.Json.Int r.Pipeline.remapped_tasks);
-        ("metrics", metrics_json reg);
-      ]
-  in
-  let human () =
-    let fault_rows =
-      List.filter_map
-        (fun (name, sample) ->
-          match sample with
-          | Metrics.Counter_v v when Astring.String.is_prefix ~affix:"fault." name ->
-            Some (Printf.sprintf "  %-24s %d" name v)
-          | Metrics.Gauge_v v when Astring.String.is_prefix ~affix:"fault." name ->
-            Some (Printf.sprintf "  %-24s %g" name v)
-          | _ -> None)
-        (Metrics.to_alist reg)
-    in
-    String.concat "\n"
-      ([ "plan: " ^ Plan.describe plan; result_human r ]
-      @ (if repair then
-           [ Printf.sprintf "  remapped tasks     %d" r.Pipeline.remapped_tasks ]
-         else [])
-      @ if fault_rows = [] then [] else ("fault counters:" :: fault_rows))
-  in
-  print_endline (Render.output format ~human doc);
-  if selfcheck then inject_selfcheck ~config ~spec ~seed ~repair pool scheme kernel plan r reg
+  let job = Pipeline.Job.make ~config ~faults:plan ~repair scheme kernel in
+  let o = Service.inject ?pool ~spec job in
+  print_endline (Render.output format ~human:o.Service.i_human o.Service.i_doc);
+  if selfcheck then
+    inject_selfcheck ~config ~spec ~seed ~repair pool scheme kernel plan o.Service.i_result
+      o.Service.i_reg
 
 (* ------------------------------------------------------------------ *)
 (* trace: Chrome trace_event JSON                                      *)
@@ -582,7 +464,8 @@ let trace_act kernel cluster memory scheme window out format selfcheck jobs =
   with_jobs jobs @@ fun pool ->
   let obs = Ndp_obs.Sink.create ~metrics:true ~trace:true () in
   let r =
-    pipeline_run ~config:(config_of cluster memory) ~obs pool (scheme_of scheme window) kernel
+    Pipeline.Job.run ?pool ~obs
+      (Pipeline.Job.make ~config:(config_of cluster memory) (scheme_of scheme window) kernel)
   in
   let tracer = obs.Ndp_obs.Sink.trace in
   let payload =
@@ -604,125 +487,20 @@ let trace_act kernel cluster memory scheme window out format selfcheck jobs =
 (* ------------------------------------------------------------------ *)
 (* profile: movement attribution ledger + counter timeline             *)
 
-module Ledger = Ndp_obs.Ledger
-module Timeline = Ndp_obs.Timeline
-
-(* The reconciliation target: what the NoC itself counted, summed over
-   every link. The ledger charges [flits x links] per message, so the two
-   totals must agree exactly. *)
-let link_flits_total reg =
-  let prefix = "noc.link_flits{" in
-  List.fold_left
-    (fun acc (name, sample) ->
-      match sample with
-      | Metrics.Counter_v flits when Astring.String.is_prefix ~affix:prefix name -> acc + flits
-      | _ -> acc)
-    0 (Metrics.to_alist reg)
-
-let divergence_cell ~measured ~predicted =
-  if predicted = 0 then "-"
-  else Printf.sprintf "x%.2f" (float_of_int measured /. float_of_int predicted)
-
-let profile_human (r : Pipeline.result) ledger timeline ~top ~link_flits =
-  let buf = Buffer.create 2048 in
-  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  Buffer.add_string buf (result_human r);
-  pr "\n\n";
-  let stmts = Ledger.statements ledger in
-  let stmt_ratio =
-    let tbl = Hashtbl.create 16 in
-    List.iter
-      (fun (s : Ledger.stmt_total) ->
-        Hashtbl.replace tbl (s.Ledger.s_nest, s.Ledger.s_stmt)
-          (divergence_cell ~measured:s.Ledger.s_flit_hops ~predicted:s.Ledger.s_predicted))
-      stmts;
-    fun nest stmt -> Option.value (Hashtbl.find_opt tbl (nest, stmt)) ~default:"-"
-  in
-  let rows = Ledger.rows ledger in
-  let by_weight =
-    List.stable_sort
-      (fun (a : Ledger.row) (b : Ledger.row) -> compare b.Ledger.flit_hops a.Ledger.flit_hops)
-      rows
-  in
-  let shown = List.filteri (fun i _ -> i < top) by_weight in
-  let total = max 1 (Ledger.total_flit_hops ledger) in
-  pr "top %d of %d movement sources (by flit-hops):\n" (List.length shown) (List.length rows);
-  let t =
-    Ndp_prelude.Table.create
-      ~header:[ "nest"; "stmt"; "array"; "route"; "msgs"; "flits"; "flit-hops"; "share"; "divergence" ]
-  in
-  List.iter
-    (fun (row : Ledger.row) ->
-      Ndp_prelude.Table.add_row t
-        [
-          row.Ledger.nest;
-          string_of_int row.Ledger.stmt;
-          row.Ledger.array_name;
-          Printf.sprintf "%d->%d" row.Ledger.src row.Ledger.dst;
-          string_of_int row.Ledger.messages;
-          string_of_int row.Ledger.flits;
-          string_of_int row.Ledger.flit_hops;
-          Printf.sprintf "%.1f%%" (100.0 *. float_of_int row.Ledger.flit_hops /. float_of_int total);
-          stmt_ratio row.Ledger.nest row.Ledger.stmt;
-        ])
-    shown;
-  Buffer.add_string buf (Ndp_prelude.Table.render t);
-  pr "\npredicted vs measured movement per statement (flit-hops):\n";
-  let t =
-    Ndp_prelude.Table.create ~header:[ "nest"; "stmt"; "predicted"; "measured"; "divergence" ]
-  in
-  List.iter
-    (fun (s : Ledger.stmt_total) ->
-      Ndp_prelude.Table.add_row t
-        [
-          s.Ledger.s_nest;
-          string_of_int s.Ledger.s_stmt;
-          string_of_int s.Ledger.s_predicted;
-          string_of_int s.Ledger.s_flit_hops;
-          divergence_cell ~measured:s.Ledger.s_flit_hops ~predicted:s.Ledger.s_predicted;
-        ])
-    stmts;
-  Ndp_prelude.Table.add_row t
-    [
-      "(total)";
-      "";
-      string_of_int (Ledger.total_predicted ledger);
-      string_of_int (Ledger.total_flit_hops ledger);
-      divergence_cell ~measured:(Ledger.total_flit_hops ledger)
-        ~predicted:(Ledger.total_predicted ledger);
-    ];
-  Buffer.add_string buf (Ndp_prelude.Table.render t);
-  let measured = Ledger.total_flit_hops ledger in
-  pr "\nreconciliation: ledger %d flit-hops vs noc.link_flits %d -> %s\n" measured link_flits
-    (if measured = link_flits then "ok" else "MISMATCH");
-  (match Timeline.series timeline with
-  | [] -> ()
-  | series ->
-    let samples = List.fold_left (fun acc s -> acc + List.length s.Timeline.samples) 0 series in
-    let dropped = List.fold_left (fun acc s -> acc + s.Timeline.dropped) 0 series in
-    pr "timeline: %d series, interval %d cycles, %d samples, %d dropped"
-      (List.length series) (Timeline.interval timeline) samples dropped);
-  Buffer.contents buf
-
 let profile_act kernel cluster memory scheme window interval top out format jobs =
   with_jobs jobs @@ fun pool ->
   let want_trace = out <> "" in
-  let obs =
-    Ndp_obs.Sink.create ~metrics:true ~trace:want_trace ~ledger:true
-      ~timeline_interval:(max 0 interval) ()
+  let job =
+    Pipeline.Job.make ~config:(config_of cluster memory) (scheme_of scheme window) kernel
   in
-  let r =
-    pipeline_run ~config:(config_of cluster memory) ~obs pool (scheme_of scheme window) kernel
-  in
-  let ledger = obs.Ndp_obs.Sink.ledger in
+  let o = Service.profile ?pool ~trace:want_trace ~interval ~top job in
+  let obs = o.Service.p_sink in
   let timeline = obs.Ndp_obs.Sink.timeline in
-  let reg = obs.Ndp_obs.Sink.metrics in
-  let link_flits = link_flits_total reg in
-  let measured = Ledger.total_flit_hops ledger in
-  let reconciled = measured = link_flits in
   if want_trace then begin
     let payload =
-      Trace.to_chrome ~counters:(Timeline.chrome_counter_events timeline) obs.Ndp_obs.Sink.trace
+      Trace.to_chrome
+        ~counters:(Ndp_obs.Timeline.chrome_counter_events timeline)
+        obs.Ndp_obs.Sink.trace
     in
     match out with
     | "-" -> print_string payload
@@ -732,193 +510,31 @@ let profile_act kernel cluster memory scheme window interval top out format jobs
       close_out oc;
       Printf.printf "wrote %s (%d events + %d counter samples)\n" file
         (Trace.length obs.Ndp_obs.Sink.trace)
-        (List.length (Timeline.chrome_counter_events timeline))
+        (List.length (Ndp_obs.Timeline.chrome_counter_events timeline))
   end;
-  let doc =
-    Render.Json.Obj
-      [
-        ("result", result_json r);
-        ("ledger", Ledger.to_json ledger);
-        ("timeline", Timeline.to_json timeline);
-        ( "reconciliation",
-          Render.Json.Obj
-            [
-              ("ledger_flit_hops", Render.Json.Int measured);
-              ("noc_link_flits", Render.Json.Int link_flits);
-              ("reconciled", Render.Json.Bool reconciled);
-            ] );
-      ]
-  in
-  let human () = profile_human r ledger timeline ~top ~link_flits in
-  print_endline (Render.output format ~human doc);
-  if not reconciled then begin
+  print_endline (Render.output format ~human:o.Service.p_human o.Service.p_doc);
+  if not o.Service.p_reconciled then begin
     Printf.eprintf "ndp_run profile: ledger flit-hops %d do not reconcile with noc.link_flits %d\n"
-      measured link_flits;
+      o.Service.p_measured o.Service.p_link_flits;
     exit 1
   end
 
 (* ------------------------------------------------------------------ *)
 (* analyze: static cost table reconciled against a measured run        *)
 
-module Cost = Ndp_analysis.Cost
-
-(* Symmetric divergence: how far apart two totals are, as a >=1 ratio.
-   Equal zeroes agree perfectly; a zero against a nonzero is infinitely
-   divergent (rendered as null in JSON, "-" in the table). *)
-let divergence_ratio ~static ~measured =
-  if static = 0 && measured = 0 then 1.0
-  else if static = 0 || measured = 0 then infinity
-  else
-    let a = float_of_int static and b = float_of_int measured in
-    if a > b then a /. b else b /. a
-
-let ratio_cell r = if Float.is_finite r then Printf.sprintf "x%.2f" r else "-"
-
-let analyze_human (r : Pipeline.result) (table : Cost.t) stmt_of ~threshold ~ratio ~within =
-  let buf = Buffer.create 2048 in
-  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  pr "%s / %s static cost model\n\n" r.Pipeline.kernel_name r.Pipeline.scheme_name;
-  pr "footprints and reuse (lines = nest-wide footprint in cache lines):\n";
-  let t = Ndp_prelude.Table.create ~header:[ "nest"; "stmt"; "ref"; "affine"; "lines"; "reuse" ] in
-  List.iter
-    (fun (row : Cost.stmt_row) ->
-      List.iter
-        (fun (rr : Cost.ref_row) ->
-          Ndp_prelude.Table.add_row t
-            [
-              row.Cost.c_nest;
-              string_of_int row.Cost.c_stmt;
-              rr.Cost.r_text;
-              (if rr.Cost.r_affine then "yes" else "no");
-              (match rr.Cost.r_lines with Some n -> string_of_int n | None -> "-");
-              Ndp_ir.Reuse.to_string rr.Cost.r_reuse;
-            ])
-        row.Cost.c_refs)
-    table.Cost.rows;
-  Buffer.add_string buf (Ndp_prelude.Table.render t);
-  pr "\nstatic vs measured movement per statement (flit-hops):\n";
-  let t =
-    Ndp_prelude.Table.create
-      ~header:[ "nest"; "stmt"; "instances"; "static"; "predicted"; "measured"; "divergence" ]
-  in
-  List.iter
-    (fun (row : Cost.stmt_row) ->
-      let predicted, measured = stmt_of row.Cost.c_nest row.Cost.c_stmt in
-      Ndp_prelude.Table.add_row t
-        [
-          row.Cost.c_nest;
-          string_of_int row.Cost.c_stmt;
-          string_of_int row.Cost.c_instances;
-          string_of_int row.Cost.c_flit_hops;
-          string_of_int predicted;
-          string_of_int measured;
-          ratio_cell (divergence_ratio ~static:row.Cost.c_flit_hops ~measured);
-        ])
-    table.Cost.rows;
-  let measured_total = List.fold_left (fun acc r -> acc + snd (stmt_of r.Cost.c_nest r.Cost.c_stmt)) 0 table.Cost.rows in
-  let predicted_total = List.fold_left (fun acc r -> acc + fst (stmt_of r.Cost.c_nest r.Cost.c_stmt)) 0 table.Cost.rows in
-  Ndp_prelude.Table.add_row t
-    [
-      "(total)";
-      "";
-      "";
-      string_of_int table.Cost.total_flit_hops;
-      string_of_int predicted_total;
-      string_of_int measured_total;
-      ratio_cell ratio;
-    ];
-  Buffer.add_string buf (Ndp_prelude.Table.render t);
-  (match table.Cost.windows with
-  | [] -> ()
-  | ws ->
-    pr "\nanalytic windows: %s\n"
-      (String.concat ", " (List.map (fun (n, w) -> Printf.sprintf "%s=%d" n w) ws)));
-  pr "\nreconciliation: static %d vs measured %d flit-hops -> %s (threshold x%.2f)"
-    table.Cost.total_flit_hops measured_total
-    (if within then ratio_cell ratio ^ ", ok" else ratio_cell ratio ^ ", DIVERGED")
-    threshold;
-  Buffer.contents buf
-
 let analyze_act kernel cluster memory scheme window threshold format jobs =
   with_jobs jobs @@ fun pool ->
-  let config = config_of cluster memory in
-  let scheme_v = scheme_of scheme window in
-  let table = Cost.table ~config ~scheme:scheme_v kernel in
-  let obs = Ndp_obs.Sink.create ~metrics:false ~trace:false ~ledger:true () in
-  let r = pipeline_run ~config ~obs pool scheme_v kernel in
-  let ledger = obs.Ndp_obs.Sink.ledger in
-  let stmt_of =
-    let tbl = Hashtbl.create 16 in
-    List.iter
-      (fun (s : Ledger.stmt_total) ->
-        Hashtbl.replace tbl (s.Ledger.s_nest, s.Ledger.s_stmt)
-          (s.Ledger.s_predicted, s.Ledger.s_flit_hops))
-      (Ledger.statements ledger);
-    fun nest stmt -> Option.value (Hashtbl.find_opt tbl (nest, stmt)) ~default:(0, 0)
+  let job =
+    Pipeline.Job.make ~config:(config_of cluster memory) (scheme_of scheme window) kernel
   in
-  let measured_total = Ledger.total_flit_hops ledger in
-  let ratio = divergence_ratio ~static:table.Cost.total_flit_hops ~measured:measured_total in
-  let within = ratio <= threshold in
-  let stmt_json (row : Cost.stmt_row) =
-    let predicted, measured = stmt_of row.Cost.c_nest row.Cost.c_stmt in
-    Render.Json.Obj
-      [
-        ("nest", Render.Json.Str row.Cost.c_nest);
-        ("stmt", Render.Json.Int row.Cost.c_stmt);
-        ("text", Render.Json.Str row.Cost.c_text);
-        ("instances", Render.Json.Int row.Cost.c_instances);
-        ( "refs",
-          Render.Json.List
-            (List.map
-               (fun (rr : Cost.ref_row) ->
-                 Render.Json.Obj
-                   [
-                     ("ref", Render.Json.Str rr.Cost.r_text);
-                     ("array", Render.Json.Str rr.Cost.r_array);
-                     ("affine", Render.Json.Bool rr.Cost.r_affine);
-                     ( "lines",
-                       match rr.Cost.r_lines with
-                       | Some n -> Render.Json.Int n
-                       | None -> Render.Json.Null );
-                     ("reuse", Render.Json.Str (Ndp_ir.Reuse.to_string rr.Cost.r_reuse));
-                   ])
-               row.Cost.c_refs) );
-        ("static_links", Render.Json.Int row.Cost.c_links);
-        ("static_flit_hops", Render.Json.Int row.Cost.c_flit_hops);
-        ("predicted_flit_hops", Render.Json.Int predicted);
-        ("measured_flit_hops", Render.Json.Int measured);
-        ( "divergence",
-          Render.Json.Float (divergence_ratio ~static:row.Cost.c_flit_hops ~measured) );
-      ]
-  in
-  let doc =
-    Render.Json.Obj
-      [
-        ("app", Render.Json.Str r.Pipeline.kernel_name);
-        ("scheme", Render.Json.Str r.Pipeline.scheme_name);
-        ("statements", Render.Json.List (List.map stmt_json table.Cost.rows));
-        ( "windows",
-          Render.Json.Obj (List.map (fun (n, w) -> (n, Render.Json.Int w)) table.Cost.windows) );
-        ( "totals",
-          Render.Json.Obj
-            [
-              ("static_links", Render.Json.Int table.Cost.total_links);
-              ("static_flit_hops", Render.Json.Int table.Cost.total_flit_hops);
-              ("predicted_flit_hops", Render.Json.Int (Ledger.total_predicted ledger));
-              ("measured_flit_hops", Render.Json.Int measured_total);
-              ("divergence", Render.Json.Float ratio);
-            ] );
-        ("threshold", Render.Json.Float threshold);
-        ("within_threshold", Render.Json.Bool within);
-      ]
-  in
-  let human () = analyze_human r table stmt_of ~threshold ~ratio ~within in
-  print_endline (Render.output format ~human doc);
-  if not within then begin
+  let o = Service.analyze ?pool ~threshold job in
+  print_endline (Render.output format ~human:o.Service.a_human o.Service.a_doc);
+  if not o.Service.a_within then begin
     Printf.eprintf
       "ndp_run analyze: static model diverges from the measured ledger: static %d vs measured \
        %d flit-hops (%s > x%.2f)\n"
-      table.Cost.total_flit_hops measured_total (ratio_cell ratio) threshold;
+      o.Service.a_static_total o.Service.a_measured_total
+      (Service.ratio_cell o.Service.a_ratio) threshold;
     exit 1
   end
 
@@ -1019,6 +635,204 @@ let check_act kernel cluster memory window format jobs =
   if Ndp_analysis.Checker.has_errors reports then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* serve / client: the compile-as-a-service daemon and its CLI client  *)
+
+let spec_of_flags app cluster memory scheme window faults fault_seed repair =
+  {
+    Protocol.app;
+    scheme = (match scheme with `Default -> "default" | `Partitioned -> "partitioned");
+    window =
+      (match window with
+      | None -> "adaptive"
+      | Some `Analytic -> "analytic"
+      | Some (`Fixed k) -> string_of_int k);
+    cluster = Ndp_noc.Cluster.to_string cluster;
+    memory = Ndp_sim.Config.memory_mode_to_string memory;
+    tweaks = Pipeline.no_tweaks;
+    faults;
+    fault_seed;
+    repair;
+  }
+
+(* The canonical demo session: exercises compile sharing (the repeated
+   Run and the Compile/Sweep pair) and ends with deterministic cache
+   counters plus a clean shutdown. [serve --demo-requests] prints it;
+   the golden tests feed it back through [serve --stdio]. *)
+let demo_requests () =
+  let spec = Protocol.default_spec ~app:"fft" in
+  let sweep_variants =
+    [
+      { Protocol.v_name = "baseline"; v_overrides = []; v_tweaks = Pipeline.no_tweaks };
+      { Protocol.v_name = "hop-cycles-8"; v_overrides = [ ("hop_cycles", 8) ]; v_tweaks = Pipeline.no_tweaks };
+    ]
+  in
+  let session =
+    [
+      Protocol.Ping;
+      Protocol.List_apps;
+      Protocol.Run { spec; metrics = false };
+      Protocol.Run { spec; metrics = false };
+      Protocol.Compile spec;
+      Protocol.Sweep { spec; variants = sweep_variants };
+      Protocol.Cache_stats;
+      Protocol.Shutdown;
+    ]
+  in
+  List.iteri (fun i req -> Protocol.write_request stdout ~id:(i + 1) req) session;
+  flush stdout
+
+let serve_act socket stdio demo result_capacity schedule_capacity jobs =
+  if demo then demo_requests ()
+  else begin
+    let server =
+      Ndp_serve.Server.create ?jobs ~result_capacity ~schedule_capacity ()
+    in
+    if stdio then Ndp_serve.Server.serve_channels server stdin stdout
+    else if socket = "" then begin
+      prerr_endline "ndp_run serve: --socket PATH required (or --stdio / --demo-requests)";
+      exit 2
+    end
+    else begin
+      Printf.eprintf "ndp_run serve: listening on %s\n%!" socket;
+      Ndp_serve.Server.serve server ~socket_path:socket
+    end;
+    Ndp_serve.Server.shutdown server
+  end
+
+(* Sim-side cost-model variants for [client sweep]: the same standard
+   set the bench replays, minus the tweak-based ones (sweep over the
+   wire carries config overrides). *)
+let client_sweep_variants =
+  List.map
+    (fun (v_name, v_overrides) -> { Protocol.v_name; v_overrides; v_tweaks = Pipeline.no_tweaks })
+    [
+      ("baseline", []);
+      ("hop-cycles-8", [ ("hop_cycles", 8) ]);
+      ("hop-cycles-32", [ ("hop_cycles", 32) ]);
+      ("ddr-cycles-520", [ ("ddr_cycles", 520) ]);
+      ("op-cycles-16", [ ("op_cycles", 16) ]);
+      ("l2-hit-cycles-36", [ ("l2_hit_cycles", 36) ]);
+    ]
+
+let client_act op app socket cluster memory scheme window faults fault_seed repair interval top
+    threshold metrics meta =
+  if socket = "" then begin
+    prerr_endline "ndp_run client: --socket PATH required";
+    exit 2
+  end;
+  let spec_of name = spec_of_flags name cluster memory scheme window faults fault_seed repair in
+  let need_app () =
+    match app with
+    | Some (k : Ndp_core.Kernel.t) -> spec_of k.Ndp_core.Kernel.name
+    | None ->
+      prerr_endline "ndp_run client: this operation needs an APP argument";
+      exit 2
+  in
+  let request =
+    match op with
+    | `Ping -> Protocol.Ping
+    | `List -> Protocol.List_apps
+    | `Run -> Protocol.Run { spec = need_app (); metrics }
+    | `Compile -> Protocol.Compile (need_app ())
+    | `Profile -> Protocol.Profile { spec = need_app (); interval; top }
+    | `Analyze -> Protocol.Analyze { spec = need_app (); threshold }
+    | `Inject -> Protocol.Inject (need_app ())
+    | `Sweep -> Protocol.Sweep { spec = need_app (); variants = client_sweep_variants }
+    | `Cache_stats -> Protocol.Cache_stats
+    | `Metrics -> Protocol.Metrics_dump
+    | `Shutdown -> Protocol.Shutdown
+  in
+  match Ndp_serve.Client.connect socket with
+  | Error msg ->
+    Printf.eprintf "ndp_run client: %s\n" msg;
+    exit 1
+  | Ok client -> (
+    let r = Ndp_serve.Client.rpc client request in
+    Ndp_serve.Client.close client;
+    match r with
+    | Error msg ->
+      Printf.eprintf "ndp_run client: %s\n" msg;
+      exit 1
+    | Ok (env, body) ->
+      if meta then
+        Printf.eprintf "id=%d ok=%b cached=%b key=%s\n" env.Protocol.id env.Protocol.ok
+          env.Protocol.cached env.Protocol.key;
+      print_endline body;
+      if not env.Protocol.ok then exit 1)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string ""
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path of the serve daemon.")
+
+let stdio_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "stdio" ]
+        ~doc:"Serve one framed session over stdin/stdout instead of binding a socket.")
+
+let demo_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "demo-requests" ]
+        ~doc:
+          "Print the canonical demo request stream (a framed \
+           ping/list/run/run/compile/sweep/cache-stats/shutdown session) and exit; pipe it \
+           back through $(b,serve --stdio).")
+
+let result_capacity_arg =
+  Arg.(
+    value
+    & opt int 256
+    & info [ "result-cache" ] ~docv:"N" ~doc:"Result-cache capacity (rendered response bodies).")
+
+let schedule_capacity_arg =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "schedule-cache" ] ~docv:"N" ~doc:"Schedule-cache capacity (captured compiles).")
+
+let meta_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "meta" ] ~doc:"Print the response envelope (id/ok/cached/key) to stderr.")
+
+let op_arg =
+  let ops =
+    [
+      ("ping", `Ping);
+      ("list", `List);
+      ("run", `Run);
+      ("compile", `Compile);
+      ("profile", `Profile);
+      ("analyze", `Analyze);
+      ("inject", `Inject);
+      ("sweep", `Sweep);
+      ("cache-stats", `Cache_stats);
+      ("metrics", `Metrics);
+      ("shutdown", `Shutdown);
+    ]
+  in
+  Arg.(
+    required
+    & pos 0 (some (enum ops)) None
+    & info [] ~docv:"OP"
+        ~doc:
+          "Operation: ping, list, run, compile, profile, analyze, inject, sweep, cache-stats, \
+           metrics or shutdown.")
+
+let client_app =
+  Arg.(
+    value
+    & pos 1 (some Args.kernel_conv) None
+    & info [] ~docv:"APP"
+        ~doc:"Application kernel name (run/compile/profile/analyze/inject/sweep only).")
+
+(* ------------------------------------------------------------------ *)
 (* Command table                                                       *)
 
 type command = { name : string; summary : string; term : unit Term.t }
@@ -1100,6 +914,26 @@ let commands =
       name = "dot";
       summary = "Emit Graphviz DOT for a statement MST and one window's task graph.";
       term = Term.(const dot_act $ Args.kernel);
+    };
+    {
+      name = "serve";
+      summary =
+        "Run the compile-as-a-service daemon: accept framed JSON requests on a Unix-domain \
+         socket (or stdin with --stdio) and answer them from content-addressed result and \
+         schedule caches.";
+      term =
+        Term.(
+          const serve_act $ socket_arg $ stdio_arg $ demo_arg $ result_capacity_arg
+          $ schedule_capacity_arg $ Args.jobs);
+    };
+    {
+      name = "client";
+      summary = "Send one request to a running serve daemon and print the response body.";
+      term =
+        Term.(
+          const client_act $ op_arg $ client_app $ socket_arg $ Args.cluster $ Args.memory
+          $ Args.scheme $ Args.window $ Args.faults $ Args.fault_seed $ Args.repair
+          $ Args.interval $ Args.top $ Args.threshold $ Args.metrics $ meta_arg);
     };
     {
       name = "check";

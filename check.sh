@@ -4,7 +4,9 @@
 # attribution ledger must account for every flit-hop the NoC carried),
 # the static-cost-model reconciliation (the closed-form table must stay
 # within the divergence threshold of the measured ledger),
-# the fault-injection + schedule-repair self-check, then the static
+# the fault-injection + schedule-repair self-check, the serve daemon
+# round-trip (a repeated identical request must come back as a
+# byte-identical cache hit), then the static
 # analysis suite (IR lint + schedule race
 # detection over all 12 workloads under the default and partitioned
 # schemes). Every phase runs even when an earlier one fails; the gate
@@ -104,6 +106,40 @@ assert t['static_flit_hops'] > 0 and t['measured_flit_hops'] > 0, 'empty totals'
   rm -f "$_an"
 )
 
+serve_gate() (
+  # Start the compile-as-a-service daemon on a throwaway socket, send the
+  # same profile request twice, and assert the second reply is a result
+  # cache hit whose body is byte-identical to the cold one; then shut the
+  # daemon down cleanly.
+  set -e
+  _sock=$(mktemp -u /tmp/ndp_serve.XXXXXX.sock)
+  _cold=$(mktemp /tmp/ndp_cold.XXXXXX.json)
+  _warm=$(mktemp /tmp/ndp_warm.XXXXXX.json)
+  _meta=$(mktemp /tmp/ndp_meta.XXXXXX.txt)
+  dune exec bin/ndp_run.exe -- serve --socket "$_sock" 2>/dev/null &
+  _daemon=$!
+  # The daemon unlinks any stale socket then binds; poll for the file.
+  _tries=0
+  while [ ! -S "$_sock" ]; do
+    _tries=$((_tries + 1))
+    if [ "$_tries" -gt 100 ]; then
+      echo "serve_gate: daemon never bound $_sock" >&2
+      kill "$_daemon" 2>/dev/null || true
+      exit 1
+    fi
+    sleep 0.1
+  done
+  _client="$(pwd)/_build/default/bin/ndp_run.exe"
+  "$_client" client profile fft --socket "$_sock" --meta >"$_cold" 2>"$_meta"
+  grep -q "cached=false" "$_meta"
+  "$_client" client profile fft --socket "$_sock" --meta >"$_warm" 2>"$_meta"
+  grep -q "cached=true" "$_meta"
+  cmp "$_cold" "$_warm"
+  "$_client" client shutdown --socket "$_sock" >/dev/null
+  wait "$_daemon"
+  rm -f "$_sock" "$_cold" "$_warm" "$_meta"
+)
+
 fault_gate() (
   # Inject a deterministic fault plan (killed link, stalled node, slowed
   # MC), repair the schedule around it, and run the built-in selfcheck:
@@ -121,6 +157,7 @@ phase obs obs_gate
 phase profile profile_gate
 phase analyze analyze_gate
 phase fault fault_gate
+phase serve serve_gate
 phase check dune exec bin/ndp_run.exe -- check --jobs "$jobs"
 
 if [ -n "$failures" ]; then

@@ -171,8 +171,27 @@ let apply_tweaks tweaks (task : Task.t) =
 
 let line_of config va = va / config.Config.line_bytes
 
-let run ?(config = Config.default) ?(tweaks = no_tweaks) ?(validate = false) ?(capture = false)
-    ?pool ?(obs = Ndp_obs.Sink.none) ?faults ?(repair = false) scheme kernel =
+(* The record request behind every entry point: one value carries what
+   used to be [run]'s optional-argument sprawl, so jobs can be hashed
+   (Ndp_serve.Key), batched ([run_batch]) and shipped over a wire
+   (Ndp_serve.Protocol) without re-encoding eight optionals each time. *)
+type job = {
+  scheme : scheme;
+  kernel : Kernel.t;
+  config : Config.t;
+  tweaks : tweaks;
+  faults : Ndp_fault.Plan.t option;
+  repair : bool;
+  validate : bool;
+  capture : bool;
+}
+
+let job_make ?(config = Config.default) ?(tweaks = no_tweaks) ?faults ?(repair = false)
+    ?(validate = false) ?(capture = false) scheme kernel =
+  { scheme; kernel; config; tweaks; faults; repair; validate; capture }
+
+let run_job ?pool ?(obs = Ndp_obs.Sink.none) (j : job) =
+  let { scheme; kernel; config; tweaks; faults; repair; validate; capture } = j in
   let repair_plan = if repair then faults else None in
   let ctx = make_context ~config ~tweaks ~obs ?faults ?repair:repair_plan scheme kernel in
   let traces = ref [] in
@@ -423,27 +442,33 @@ let run ?(config = Config.default) ?(tweaks = no_tweaks) ?(validate = false) ?(c
     emitted = List.rev !emitted;
   }
 
+module Job = struct
+  type t = job = {
+    scheme : scheme;
+    kernel : Kernel.t;
+    config : Config.t;
+    tweaks : tweaks;
+    faults : Ndp_fault.Plan.t option;
+    repair : bool;
+    validate : bool;
+    capture : bool;
+  }
+
+  let make = job_make
+  let run = run_job
+end
+
+(* Thin compatibility wrapper over [Job]; prefer [Job.make] + [Job.run]. *)
+let run ?config ?tweaks ?(validate = false) ?(capture = false) ?pool ?obs ?faults ?repair
+    scheme kernel =
+  run_job ?pool ?obs (job_make ?config ?tweaks ?faults ?repair ~validate ~capture scheme kernel)
+
 (* --- Batched simulation ------------------------------------------------ *)
 
-type batch_job = {
-  job_scheme : scheme;
-  job_kernel : Kernel.t;
-  job_config : Config.t;
-  job_tweaks : tweaks;
-  job_faults : Ndp_fault.Plan.t option;
-  job_repair : bool;
-}
+type batch_job = Job.t
 
-let batch_job ?(config = Config.default) ?(tweaks = no_tweaks) ?faults ?(repair = false) scheme
-    kernel =
-  {
-    job_scheme = scheme;
-    job_kernel = kernel;
-    job_config = config;
-    job_tweaks = tweaks;
-    job_faults = faults;
-    job_repair = repair;
-  }
+let batch_job ?config ?tweaks ?faults ?repair scheme kernel =
+  job_make ?config ?tweaks ?faults ?repair scheme kernel
 
 (* Each job builds its own machine, engine, context and inspector, and a
    [Kernel.t] is immutable, so jobs share no mutable state and each result
@@ -457,22 +482,18 @@ let run_batch ?pool ?metrics jobs =
   let with_reg =
     match metrics with Some sh -> Ndp_obs.Metrics.Sharded.enabled sh | None -> false
   in
-  let run_job j =
+  let run_one (j : Job.t) =
     let reg = if with_reg then Ndp_obs.Metrics.create () else Ndp_obs.Metrics.disabled in
     let obs =
       if with_reg then { Ndp_obs.Sink.none with Ndp_obs.Sink.metrics = reg }
       else Ndp_obs.Sink.none
     in
-    let r =
-      run ~config:j.job_config ~tweaks:j.job_tweaks ~obs ?faults:j.job_faults
-        ~repair:j.job_repair j.job_scheme j.job_kernel
-    in
-    (r, reg)
+    (Job.run ~obs j, reg)
   in
   let outcomes =
     match pool with
-    | None -> List.map run_job jobs
-    | Some pool -> Ndp_prelude.Pool.parallel_map pool run_job jobs
+    | None -> List.map run_one jobs
+    | Some pool -> Ndp_prelude.Pool.parallel_map pool run_one jobs
   in
   (match metrics with
   | Some sh when with_reg ->

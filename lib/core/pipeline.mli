@@ -92,6 +92,44 @@ type result = {
           under a different cost model without recompiling. *)
 }
 
+(** The primary entry point: a pipeline request as one record.
+
+    [Job.t] is the record-based successor to {!run}'s optional-argument
+    sprawl: everything that determines a compile+simulate outcome lives in
+    one value, so the CLI, the serving daemon ([Ndp_serve]) and the tests
+    build requests the same way, [Ndp_serve.Key] can hash them, and
+    {!run_batch} can ship lists of them across a pool. *)
+module Job : sig
+  type t = {
+    scheme : scheme;
+    kernel : Kernel.t;
+    config : Ndp_sim.Config.t;
+    tweaks : tweaks;
+    faults : Ndp_fault.Plan.t option;
+    repair : bool;
+    validate : bool; (** capture {!schedule_trace}s for the validator *)
+    capture : bool; (** capture the emitted task stream for {!replay} *)
+  }
+
+  val make :
+    ?config:Ndp_sim.Config.t ->
+    ?tweaks:tweaks ->
+    ?faults:Ndp_fault.Plan.t ->
+    ?repair:bool ->
+    ?validate:bool ->
+    ?capture:bool ->
+    scheme ->
+    Kernel.t ->
+    t
+  (** Defaults: default config, no tweaks, no faults, no repair, no
+      validation traces, no capture. *)
+
+  val run : ?pool:Ndp_prelude.Pool.t -> ?obs:Ndp_obs.Sink.t -> t -> result
+  (** Execute one job. See {!run} below for the semantics of the job
+      fields and of [pool]/[obs]; the two entry points are the same code
+      path. *)
+end
+
 val run :
   ?config:Ndp_sim.Config.t ->
   ?tweaks:tweaks ->
@@ -104,7 +142,10 @@ val run :
   scheme ->
   Kernel.t ->
   result
-(** [~validate:true] additionally records a {!schedule_trace} per emitted
+(** Deprecated thin wrapper over {!Job.make} + {!Job.run}, kept for one
+    PR while external callers migrate; prefer {!Job}.
+
+    [~validate:true] additionally records a {!schedule_trace} per emitted
     window (or per nest under the default scheme) so the schedule can be
     re-checked against ground-truth dependences after the run. [pool]
     parallelizes the adaptive window-size preprocessing across candidate
@@ -127,14 +168,8 @@ val run :
 
 (** {1 Batched and replayed simulation} *)
 
-type batch_job = {
-  job_scheme : scheme;
-  job_kernel : Kernel.t;
-  job_config : Ndp_sim.Config.t;
-  job_tweaks : tweaks;
-  job_faults : Ndp_fault.Plan.t option;
-  job_repair : bool;
-}
+type batch_job = Job.t
+(** A batch entry is an ordinary {!Job.t}. *)
 
 val batch_job :
   ?config:Ndp_sim.Config.t ->

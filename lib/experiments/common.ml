@@ -27,77 +27,17 @@ let apps t =
   Mutex.unlock t.lock;
   ks
 
-(* Every [Config.t] field participates in the key: the original key kept
-   only cluster/memory/page-policy, so configs differing in (for example)
-   balance threshold, mesh dimensions, window bound or MCDRAM capacity
-   aliased each other's memoized results. Floats are rendered in hex
-   ([%h]) so distinct values can never round to the same key. *)
-let config_key (c : Config.t) =
-  String.concat ","
-    [
-      string_of_int c.Config.mesh_cols;
-      string_of_int c.Config.mesh_rows;
-      Ndp_noc.Cluster.letter c.Config.cluster;
-      Config.memory_mode_letter c.Config.memory_mode;
-      string_of_int c.Config.line_bytes;
-      string_of_int c.Config.l1_size;
-      string_of_int c.Config.l1_assoc;
-      string_of_int c.Config.l2_bank_size;
-      string_of_int c.Config.l2_assoc;
-      string_of_int c.Config.mcdram_capacity;
-      string_of_int c.Config.hop_cycles;
-      string_of_int c.Config.link_service_cycles;
-      string_of_int c.Config.flit_bytes;
-      string_of_int c.Config.l1_hit_cycles;
-      string_of_int c.Config.l2_hit_cycles;
-      string_of_int c.Config.mcdram_cycles;
-      string_of_int c.Config.ddr_cycles;
-      string_of_int c.Config.op_cycles;
-      string_of_int c.Config.sync_cycles;
-      string_of_int c.Config.load_issue_cycles;
-      string_of_int c.Config.outstanding_loads;
-      string_of_bool c.Config.coherence;
-      string_of_bool c.Config.prefetch_next_line;
-      Printf.sprintf "%h" c.Config.mlp_overlap;
-      Printf.sprintf "%h" c.Config.balance_threshold;
-      string_of_int c.Config.max_window;
-      (match c.Config.page_policy with
-      | Ndp_mem.Page_alloc.Coloring -> "col"
-      | Ndp_mem.Page_alloc.Scrambled -> "scr");
-      string_of_int c.Config.predictor_capacity_blocks;
-      string_of_int c.Config.seed;
-    ]
-
-let tweaks_key (tw : Pipeline.tweaks) =
-  if tw = Pipeline.no_tweaks then ""
-  else
-    (* The override list is serialized pairwise: keying on its length alone
-       let two different page->MC maps of equal size collide. *)
-    Printf.sprintf "|b%h d%h mc[%s] c%h s%d" tw.Pipeline.l1_boost tw.Pipeline.distance_factor
-      (String.concat ";"
-         (List.map (fun (page, mc) -> Printf.sprintf "%d:%d" page mc) tw.Pipeline.mc_overrides))
-      tw.Pipeline.cost_scale tw.Pipeline.extra_syncs
-
-let scheme_key = function
-  | Pipeline.Default -> "default"
-  | Pipeline.Partitioned o ->
-    Printf.sprintf "part(w=%s,r=%b,s=%b,l=%b,bt=%s,id=%b,insp=%b)"
-      (match o.Pipeline.window with
-      | Pipeline.Adaptive -> "a"
-      | Pipeline.Analytic -> "an"
-      | Pipeline.Fixed k -> string_of_int k)
-      o.Pipeline.reuse_aware o.Pipeline.sync_minimize o.Pipeline.level_based
-      (match o.Pipeline.balance_threshold with None -> "-" | Some f -> Printf.sprintf "%h" f)
-      o.Pipeline.ideal_data o.Pipeline.use_inspector
+(* Canonical content keys live in [Ndp_serve.Key] (this cache is where
+   they were born; the serve daemon promoted them). [Key.kernel] digests
+   the IR content, so same-named kernels with different bodies cannot
+   alias here either. *)
+module Key = Ndp_serve.Key
 
 let run t ?(config = Config.default) ?(tweaks = Pipeline.no_tweaks) ?(key_suffix = "") scheme
     kernel =
   let key =
     String.concat "#"
-      [
-        kernel.Ndp_core.Kernel.name; scheme_key scheme; config_key config; tweaks_key tweaks;
-        key_suffix;
-      ]
+      [ Key.kernel kernel; Key.scheme scheme; Key.config config; Key.tweaks tweaks; key_suffix ]
   in
   Mutex.lock t.lock;
   match Hashtbl.find_opt t.cache key with
@@ -109,7 +49,7 @@ let run t ?(config = Config.default) ?(tweaks = Pipeline.no_tweaks) ?(key_suffix
     (* Simulate outside the lock; a concurrent cell computing the same key
        produces a bit-identical result (runs are deterministic), and the
        first writer wins so every reader sees one value. *)
-    let r = Pipeline.run ~config ~tweaks ~pool:t.pool scheme kernel in
+    let r = Pipeline.Job.run ~pool:t.pool (Pipeline.Job.make ~config ~tweaks scheme kernel) in
     Mutex.lock t.lock;
     let r =
       match Hashtbl.find_opt t.cache key with

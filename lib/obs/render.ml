@@ -76,6 +76,149 @@ module Json = struct
     let buf = Buffer.create 256 in
     write buf j;
     Buffer.contents buf
+
+  (* A reader for the same dialect [to_string] writes (RFC 8259 minus
+     nothing we emit): numbers without '.', 'e' or 'E' that fit in an
+     OCaml int parse as [Int], everything else as [Float]; \uXXXX escapes
+     decode to UTF-8. The serve wire protocol and the tests parse with
+     this, so a [to_string]/[parse] round trip is the identity on every
+     document the renderer can produce (non-finite floats excepted — they
+     serialize as [null]). *)
+  let parse (s : string) : (t, string) result =
+    let n = String.length s in
+    let pos = ref 0 in
+    let exception Bad of string in
+    let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then s.[!pos] else '\000' in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws () | _ -> ()
+    in
+    let expect c =
+      if peek () = c then advance () else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let add_utf8 b cp =
+      if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+      else if cp < 0x800 then begin
+        Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+        Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+      else begin
+        Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+        Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+        Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | '\000' when !pos >= n -> fail "unterminated string"
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (match peek () with
+          | 'n' -> Buffer.add_char b '\n'; advance ()
+          | 't' -> Buffer.add_char b '\t'; advance ()
+          | 'r' -> Buffer.add_char b '\r'; advance ()
+          | 'b' -> Buffer.add_char b '\b'; advance ()
+          | 'f' -> Buffer.add_char b '\012'; advance ()
+          | '/' -> Buffer.add_char b '/'; advance ()
+          | '"' -> Buffer.add_char b '"'; advance ()
+          | '\\' -> Buffer.add_char b '\\'; advance ()
+          | 'u' ->
+            advance ();
+            if !pos + 4 > n then fail "truncated \\u escape";
+            let hex = String.sub s !pos 4 in
+            (match int_of_string_opt ("0x" ^ hex) with
+            | Some cp -> add_utf8 b cp
+            | None -> fail "bad \\u escape");
+            pos := !pos + 4
+          | _ -> fail "bad escape");
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while num_char (peek ()) do
+        advance ()
+      done;
+      let text = String.sub s start (!pos - start) in
+      let integral = String.for_all (function '0' .. '9' | '-' -> true | _ -> false) text in
+      match (integral, int_of_string_opt text) with
+      | true, Some i -> Int i
+      | _ -> (
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail "bad number")
+    in
+    let literal word v =
+      String.iter expect word;
+      v
+    in
+    let rec parse_value depth =
+      if depth > 512 then fail "nesting too deep";
+      skip_ws ();
+      match peek () with
+      | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then (advance (); Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value (depth + 1) in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); members ((key, v) :: acc)
+            | '}' -> advance (); Obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+      | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then (advance (); List [])
+        else
+          let rec elements acc =
+            let v = parse_value (depth + 1) in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); elements (v :: acc)
+            | ']' -> advance (); List (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+      | '"' -> Str (parse_string ())
+      | 't' -> literal "true" (Bool true)
+      | 'f' -> literal "false" (Bool false)
+      | 'n' -> literal "null" Null
+      | _ -> parse_number ()
+    in
+    match
+      let v = parse_value 0 in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Bad msg -> Error msg
+
+  let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
 end
 
 let sexp_atom s =

@@ -35,6 +35,18 @@ module Json : sig
   val to_string : t -> string
   (** Compact single-line rendering. Non-finite floats render as [null]
       (JSON has no spelling for them). *)
+
+  val parse : string -> (t, string) result
+  (** Parse one JSON document (the dialect {!to_string} writes; RFC 8259).
+      Numbers without a fraction or exponent that fit in an OCaml [int]
+      parse as [Int], everything else as [Float], so
+      [parse (to_string doc) = Ok doc] for every document the renderer can
+      produce (non-finite floats excepted — they serialize as [null]).
+      The error string names the offset of the first syntax error. *)
+
+  val member : string -> t -> t option
+  (** [member key (Obj kvs)] is the value bound to [key]; [None] on a
+      missing key or a non-object. *)
 end
 
 val sexp_atom : string -> string

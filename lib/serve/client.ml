@@ -1,0 +1,41 @@
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable next_id : int;
+}
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () ->
+    Ok
+      {
+        fd;
+        ic = Unix.in_channel_of_descr fd;
+        oc = Unix.out_channel_of_descr fd;
+        next_id = 1;
+      }
+  | exception Unix.Unix_error (err, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message err))
+
+let rpc t req =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  match
+    Protocol.write_request t.oc ~id req;
+    flush t.oc
+  with
+  | exception Sys_error msg -> Error ("send failed: " ^ msg)
+  | () -> (
+    match Protocol.read_response t.ic with
+    | Error _ as e -> e
+    | Ok (env, body) ->
+      if env.Protocol.id <> id then
+        Error (Printf.sprintf "response id %d does not match request id %d" env.Protocol.id id)
+      else Ok (env, body))
+
+let close t =
+  (try flush t.oc with Sys_error _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,11 @@
+(** Blocking Unix-domain-socket client for the serve daemon. *)
+
+type t
+
+val connect : string -> (t, string) result
+
+val rpc : t -> Protocol.request -> (Protocol.envelope * string, string) result
+(** Send one request (ids are assigned sequentially per connection) and
+    wait for its envelope + body. *)
+
+val close : t -> unit

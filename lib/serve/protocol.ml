@@ -1,0 +1,319 @@
+module Json = Ndp_obs.Render.Json
+module Pipeline = Ndp_core.Pipeline
+
+type job_spec = {
+  app : string;
+  scheme : string;
+  window : string;
+  cluster : string;
+  memory : string;
+  tweaks : Pipeline.tweaks;
+  faults : string;
+  fault_seed : int option;
+  repair : bool;
+}
+
+let default_spec ~app =
+  {
+    app;
+    scheme = "partitioned";
+    window = "adaptive";
+    cluster = "quadrant";
+    memory = "flat";
+    tweaks = Pipeline.no_tweaks;
+    faults = "";
+    fault_seed = None;
+    repair = false;
+  }
+
+type variant = { v_name : string; v_overrides : (string * int) list; v_tweaks : Pipeline.tweaks }
+
+type request =
+  | Ping
+  | List_apps
+  | Run of { spec : job_spec; metrics : bool }
+  | Compile of job_spec
+  | Profile of { spec : job_spec; interval : int; top : int }
+  | Analyze of { spec : job_spec; threshold : float }
+  | Inject of job_spec
+  | Batch of job_spec list
+  | Sweep of { spec : job_spec; variants : variant list }
+  | Cache_stats
+  | Metrics_dump
+  | Shutdown
+
+type envelope = { id : int; ok : bool; cached : bool; key : string }
+
+(* ------------------------------------------------------------------ *)
+(* JSON encoding                                                       *)
+
+let tweaks_to_json (tw : Pipeline.tweaks) =
+  Json.Obj
+    [
+      ("l1_boost", Json.Float tw.Pipeline.l1_boost);
+      ("distance_factor", Json.Float tw.Pipeline.distance_factor);
+      ( "mc_overrides",
+        Json.List
+          (List.map
+             (fun (page, mc) -> Json.List [ Json.Int page; Json.Int mc ])
+             tw.Pipeline.mc_overrides) );
+      ("cost_scale", Json.Float tw.Pipeline.cost_scale);
+      ("extra_syncs", Json.Int tw.Pipeline.extra_syncs);
+    ]
+
+let spec_to_json (s : job_spec) =
+  Json.Obj
+    [
+      ("app", Json.Str s.app);
+      ("scheme", Json.Str s.scheme);
+      ("window", Json.Str s.window);
+      ("cluster", Json.Str s.cluster);
+      ("memory", Json.Str s.memory);
+      ("tweaks", tweaks_to_json s.tweaks);
+      ("faults", Json.Str s.faults);
+      ("fault_seed", match s.fault_seed with None -> Json.Null | Some n -> Json.Int n);
+      ("repair", Json.Bool s.repair);
+    ]
+
+let variant_to_json (v : variant) =
+  Json.Obj
+    [
+      ("name", Json.Str v.v_name);
+      ("config", Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) v.v_overrides));
+      ("tweaks", tweaks_to_json v.v_tweaks);
+    ]
+
+let request_to_json ~id req =
+  let op name fields = Json.Obj (("id", Json.Int id) :: ("op", Json.Str name) :: fields) in
+  match req with
+  | Ping -> op "ping" []
+  | List_apps -> op "list" []
+  | Run { spec; metrics } -> op "run" [ ("spec", spec_to_json spec); ("metrics", Json.Bool metrics) ]
+  | Compile spec -> op "compile" [ ("spec", spec_to_json spec) ]
+  | Profile { spec; interval; top } ->
+    op "profile"
+      [ ("spec", spec_to_json spec); ("interval", Json.Int interval); ("top", Json.Int top) ]
+  | Analyze { spec; threshold } ->
+    op "analyze" [ ("spec", spec_to_json spec); ("threshold", Json.Float threshold) ]
+  | Inject spec -> op "inject" [ ("spec", spec_to_json spec) ]
+  | Batch specs -> op "batch" [ ("specs", Json.List (List.map spec_to_json specs)) ]
+  | Sweep { spec; variants } ->
+    op "sweep"
+      [ ("spec", spec_to_json spec); ("variants", Json.List (List.map variant_to_json variants)) ]
+  | Cache_stats -> op "cache-stats" []
+  | Metrics_dump -> op "metrics" []
+  | Shutdown -> op "shutdown" []
+
+let envelope_to_json (e : envelope) =
+  Json.Obj
+    [
+      ("id", Json.Int e.id);
+      ("ok", Json.Bool e.ok);
+      ("cached", Json.Bool e.cached);
+      ("key", Json.Str e.key);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* JSON decoding                                                       *)
+
+let ( let* ) = Result.bind
+
+let get name j = match Json.member name j with Some v -> Ok v | None -> Error ("missing field " ^ name)
+
+let get_str name j =
+  let* v = get name j in
+  match v with Json.Str s -> Ok s | _ -> Error ("field " ^ name ^ " must be a string")
+
+let get_int name j =
+  let* v = get name j in
+  match v with Json.Int n -> Ok n | _ -> Error ("field " ^ name ^ " must be an integer")
+
+let get_bool name j =
+  let* v = get name j in
+  match v with Json.Bool b -> Ok b | _ -> Error ("field " ^ name ^ " must be a boolean")
+
+let get_float name j =
+  let* v = get name j in
+  match v with
+  | Json.Float f -> Ok f
+  | Json.Int n -> Ok (float_of_int n)
+  | _ -> Error ("field " ^ name ^ " must be a number")
+
+let tweaks_of_json j =
+  let* l1_boost = get_float "l1_boost" j in
+  let* distance_factor = get_float "distance_factor" j in
+  let* cost_scale = get_float "cost_scale" j in
+  let* extra_syncs = get_int "extra_syncs" j in
+  let* overrides = get "mc_overrides" j in
+  let* mc_overrides =
+    match overrides with
+    | Json.List xs ->
+      List.fold_left
+        (fun acc x ->
+          let* acc = acc in
+          match x with
+          | Json.List [ Json.Int page; Json.Int mc ] -> Ok ((page, mc) :: acc)
+          | _ -> Error "mc_overrides entries must be [page, mc] integer pairs")
+        (Ok []) xs
+      |> Result.map List.rev
+    | _ -> Error "field mc_overrides must be a list"
+  in
+  Ok { Pipeline.l1_boost; distance_factor; mc_overrides; cost_scale; extra_syncs }
+
+let spec_of_json j =
+  let* app = get_str "app" j in
+  let* scheme = get_str "scheme" j in
+  let* window = get_str "window" j in
+  let* cluster = get_str "cluster" j in
+  let* memory = get_str "memory" j in
+  let* tw = get "tweaks" j in
+  let* tweaks = tweaks_of_json tw in
+  let* faults = get_str "faults" j in
+  let* fault_seed =
+    let* v = get "fault_seed" j in
+    match v with
+    | Json.Null -> Ok None
+    | Json.Int n -> Ok (Some n)
+    | _ -> Error "field fault_seed must be an integer or null"
+  in
+  let* repair = get_bool "repair" j in
+  Ok { app; scheme; window; cluster; memory; tweaks; faults; fault_seed; repair }
+
+let variant_of_json j =
+  let* v_name = get_str "name" j in
+  let* cfg = get "config" j in
+  let* v_overrides =
+    match cfg with
+    | Json.Obj kvs ->
+      List.fold_left
+        (fun acc (k, v) ->
+          let* acc = acc in
+          match v with
+          | Json.Int n -> Ok ((k, n) :: acc)
+          | _ -> Error ("variant config field " ^ k ^ " must be an integer"))
+        (Ok []) kvs
+      |> Result.map List.rev
+    | _ -> Error "variant config must be an object"
+  in
+  let* tw = get "tweaks" j in
+  let* v_tweaks = tweaks_of_json tw in
+  Ok { v_name; v_overrides; v_tweaks }
+
+let list_of_json name of_json j =
+  let* v = get name j in
+  match v with
+  | Json.List xs ->
+    List.fold_left
+      (fun acc x ->
+        let* acc = acc in
+        let* v = of_json x in
+        Ok (v :: acc))
+      (Ok []) xs
+    |> Result.map List.rev
+  | _ -> Error ("field " ^ name ^ " must be a list")
+
+let request_of_json j =
+  let* id = get_int "id" j in
+  let* op = get_str "op" j in
+  let* req =
+    match op with
+    | "ping" -> Ok Ping
+    | "list" -> Ok List_apps
+    | "run" ->
+      let* s = get "spec" j in
+      let* spec = spec_of_json s in
+      let* metrics = get_bool "metrics" j in
+      Ok (Run { spec; metrics })
+    | "compile" ->
+      let* s = get "spec" j in
+      let* spec = spec_of_json s in
+      Ok (Compile spec)
+    | "profile" ->
+      let* s = get "spec" j in
+      let* spec = spec_of_json s in
+      let* interval = get_int "interval" j in
+      let* top = get_int "top" j in
+      Ok (Profile { spec; interval; top })
+    | "analyze" ->
+      let* s = get "spec" j in
+      let* spec = spec_of_json s in
+      let* threshold = get_float "threshold" j in
+      Ok (Analyze { spec; threshold })
+    | "inject" ->
+      let* s = get "spec" j in
+      let* spec = spec_of_json s in
+      Ok (Inject spec)
+    | "batch" ->
+      let* specs = list_of_json "specs" spec_of_json j in
+      Ok (Batch specs)
+    | "sweep" ->
+      let* s = get "spec" j in
+      let* spec = spec_of_json s in
+      let* variants = list_of_json "variants" variant_of_json j in
+      Ok (Sweep { spec; variants })
+    | "cache-stats" -> Ok Cache_stats
+    | "metrics" -> Ok Metrics_dump
+    | "shutdown" -> Ok Shutdown
+    | other -> Error (Printf.sprintf "unknown op %S" other)
+  in
+  Ok (id, req)
+
+let envelope_of_json j =
+  let* id = get_int "id" j in
+  let* ok = get_bool "ok" j in
+  let* cached = get_bool "cached" j in
+  let* key = get_str "key" j in
+  Ok { id; ok; cached; key }
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+
+(* A frame is "<decimal byte length>\n<payload>\n". Requests are one
+   frame (the JSON object); responses are two — the envelope, then the
+   raw body. Shipping the body as its own frame keeps cached responses
+   byte-identical: the server never reparses or reserializes a stored
+   body, it just frames the stored string. *)
+
+type frame = Frame of string | Eof | Corrupt of string
+
+let max_frame_bytes = 64 * 1024 * 1024
+
+let write_frame oc payload =
+  Printf.fprintf oc "%d\n%s\n" (String.length payload) payload
+
+let read_frame ic =
+  match input_line ic with
+  | exception End_of_file -> Eof
+  | line -> (
+    match int_of_string_opt (String.trim line) with
+    | None -> Corrupt (Printf.sprintf "bad frame header %S" line)
+    | Some len when len < 0 || len > max_frame_bytes ->
+      Corrupt (Printf.sprintf "unreasonable frame length %d" len)
+    | Some len -> (
+      match really_input_string ic len with
+      | exception End_of_file -> Corrupt "truncated frame payload"
+      | payload -> (
+        match input_char ic with
+        | exception End_of_file -> Corrupt "missing frame terminator"
+        | '\n' -> Frame payload
+        | c -> Corrupt (Printf.sprintf "bad frame terminator %C" c))))
+
+let write_request oc ~id req =
+  write_frame oc (Json.to_string (request_to_json ~id req))
+
+let write_response oc (e : envelope) ~body =
+  write_frame oc (Json.to_string (envelope_to_json e));
+  write_frame oc body
+
+let read_response ic =
+  match read_frame ic with
+  | Eof -> Error "connection closed"
+  | Corrupt msg -> Error msg
+  | Frame env_s -> (
+    match Result.bind (Json.parse env_s) envelope_of_json with
+    | Error msg -> Error ("bad envelope: " ^ msg)
+    | Ok env -> (
+      match read_frame ic with
+      | Eof -> Error "connection closed before body"
+      | Corrupt msg -> Error msg
+      | Frame body -> Ok (env, body)))

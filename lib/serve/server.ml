@@ -1,0 +1,283 @@
+module Json = Ndp_obs.Render.Json
+module Metrics = Ndp_obs.Metrics
+module Pipeline = Ndp_core.Pipeline
+module Pool = Ndp_prelude.Pool
+module Stats = Ndp_sim.Stats
+
+type reply = { ok : bool; cached : bool; key : string; body : string }
+
+type t = {
+  pool : Pool.t;
+  reg : Metrics.t;
+  results : string Cache.t;
+  schedules : Pipeline.result Cache.t;
+  requests : Metrics.counter;
+  errors : Metrics.counter;
+  latency_ms : Metrics.histogram;
+  mutable stop : bool;
+}
+
+let create ?jobs ?(result_capacity = 256) ?(schedule_capacity = 64) ?metrics () =
+  let reg = match metrics with Some r -> r | None -> Metrics.create () in
+  {
+    pool = Pool.create ?jobs ();
+    reg;
+    results = Cache.create ~metrics:reg ~name:"results" ~capacity:result_capacity ();
+    schedules = Cache.create ~metrics:reg ~name:"schedules" ~capacity:schedule_capacity ();
+    requests = Metrics.counter reg "serve.requests";
+    errors = Metrics.counter reg "serve.errors";
+    latency_ms = Metrics.histogram reg "serve.request_ms";
+    stop = false;
+  }
+
+let registry t = t.reg
+
+let pool t = t.pool
+
+let result_cache t = t.results
+
+let schedule_cache t = t.schedules
+
+let shutdown t = Pool.shutdown t.pool
+
+let body doc = Json.to_string doc
+
+let plain doc = { ok = true; cached = false; key = ""; body = body doc }
+
+let error msg = { ok = false; cached = false; key = ""; body = body (Json.Obj [ ("error", Json.Str msg) ]) }
+
+(* Resolve the spec, derive the content key from the *resolved* job (so
+   spellings that mean the same job — e.g. window "adaptive" vs "" —
+   share a cache line), then serve from the result cache. The cache
+   stores rendered body strings: a hit returns the stored bytes verbatim,
+   which is what makes cached and uncached responses byte-identical. *)
+let cacheable t spec ~salt render =
+  match Service.job_of_spec spec with
+  | Error msg -> error msg
+  | Ok job ->
+    let key = Key.digest (salt ^ "#" ^ Key.job job) in
+    let b, hit = Cache.find_or_add t.results key (fun () -> render job) in
+    { ok = true; cached = hit; key; body = b }
+
+(* The schedule cache is keyed by the compile inputs alone (capture forced
+   on), so a Compile and every Sweep over the same job share one entry. *)
+let captured t (job : Pipeline.Job.t) =
+  let job = { job with Pipeline.Job.capture = true } in
+  let skey = Key.job_digest job in
+  let r, hit = Cache.find_or_add t.schedules skey (fun () -> Pipeline.Job.run ~pool:t.pool job) in
+  (skey, r, hit)
+
+let compile_body t (job : Pipeline.Job.t) =
+  let skey, r, _hit = captured t job in
+  body
+    (Json.Obj
+       [
+         ("schedule_key", Json.Str skey);
+         ("app", Json.Str r.Pipeline.kernel_name);
+         ("scheme", Json.Str r.Pipeline.scheme_name);
+         ("exec_time", Json.Int r.Pipeline.exec_time);
+         ("tasks", Json.Int r.Pipeline.tasks_emitted);
+         ("instances", Json.Int r.Pipeline.num_instances);
+         ( "windows",
+           Json.Obj (List.map (fun (n, w) -> (n, Json.Int w)) r.Pipeline.windows_chosen) );
+         ("captured_calls", Json.Int (List.length r.Pipeline.emitted));
+       ])
+
+let sweep_body t (job : Pipeline.Job.t) (variants : Protocol.variant list) =
+  let _skey, r, _hit = captured t job in
+  let base_exec = max 1 r.Pipeline.exec_time in
+  let kernel = job.Pipeline.Job.kernel in
+  let rows =
+    Pool.parallel_map t.pool
+      (fun (v : Protocol.variant) ->
+        match Service.variant_config job.Pipeline.Job.config v with
+        | Error msg -> Error (v.Protocol.v_name, msg)
+        | Ok config ->
+          let rp =
+            Pipeline.replay ~config ~tweaks:v.Protocol.v_tweaks kernel r.Pipeline.emitted
+          in
+          Ok
+            ( v.Protocol.v_name,
+              Json.Obj
+                [
+                  ("name", Json.Str v.Protocol.v_name);
+                  ("exec_time", Json.Int rp.Pipeline.rp_exec_time);
+                  ( "vs_base",
+                    Json.Float (float_of_int rp.Pipeline.rp_exec_time /. float_of_int base_exec)
+                  );
+                  ("hops", Json.Int (Stats.hops rp.Pipeline.rp_stats));
+                  ("load_wait", Json.Int (Stats.load_wait rp.Pipeline.rp_stats));
+                  ("energy_pj", Json.Float (Ndp_sim.Energy.total rp.Pipeline.rp_energy));
+                ] ))
+      variants
+  in
+  match List.find_opt Result.is_error rows with
+  | Some (Error (name, msg)) -> failwith (Printf.sprintf "variant %s: %s" name msg)
+  | _ ->
+    body
+      (Json.Obj
+         [
+           ("app", Json.Str r.Pipeline.kernel_name);
+           ("scheme", Json.Str r.Pipeline.scheme_name);
+           ("base_exec_time", Json.Int r.Pipeline.exec_time);
+           ("base_hops", Json.Int (Stats.hops r.Pipeline.stats));
+           ( "variants",
+             Json.List (List.filter_map (function Ok (_, j) -> Some j | Error _ -> None) rows)
+           );
+         ])
+
+let variants_salt (variants : Protocol.variant list) =
+  String.concat ";"
+    (List.map
+       (fun (v : Protocol.variant) ->
+         Printf.sprintf "%s(%s)%s" v.Protocol.v_name
+           (String.concat ","
+              (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) v.Protocol.v_overrides))
+           (Key.tweaks v.Protocol.v_tweaks))
+       variants)
+
+let cache_stats_json (s : Cache.stats) =
+  Json.Obj
+    [
+      ("entries", Json.Int s.Cache.entries);
+      ("hits", Json.Int s.Cache.hits);
+      ("misses", Json.Int s.Cache.misses);
+      ("evictions", Json.Int s.Cache.evictions);
+    ]
+
+let handle t (req : Protocol.request) =
+  Metrics.incr t.requests;
+  let reply =
+    try
+      match req with
+      | Protocol.Ping -> plain (Json.Obj [ ("pong", Json.Bool true) ])
+      | Protocol.List_apps ->
+        plain
+          (Json.Obj
+             [
+               ( "apps",
+                 Json.List (List.map (fun n -> Json.Str n) Ndp_workloads.Suite.names) );
+             ])
+      | Protocol.Shutdown -> plain (Json.Obj [ ("bye", Json.Bool true) ])
+      | Protocol.Cache_stats ->
+        plain
+          (Json.Obj
+             [
+               ("results", cache_stats_json (Cache.stats t.results));
+               ("schedules", cache_stats_json (Cache.stats t.schedules));
+             ])
+      | Protocol.Metrics_dump -> plain (Metrics.to_json t.reg)
+      | Protocol.Run { spec; metrics } ->
+        cacheable t spec
+          ~salt:(Printf.sprintf "run:%b" metrics)
+          (fun job -> body (Service.run ~pool:t.pool ~metrics job).Service.doc)
+      | Protocol.Profile { spec; interval; top } ->
+        cacheable t spec
+          ~salt:(Printf.sprintf "profile:%d:%d" interval top)
+          (fun job -> body (Service.profile ~pool:t.pool ~interval ~top job).Service.p_doc)
+      | Protocol.Analyze { spec; threshold } ->
+        cacheable t spec
+          ~salt:(Printf.sprintf "analyze:%h" threshold)
+          (fun job -> body (Service.analyze ~pool:t.pool ~threshold job).Service.a_doc)
+      | Protocol.Inject spec ->
+        cacheable t spec ~salt:"inject" (fun job ->
+            body (Service.inject ~pool:t.pool ~spec:spec.Protocol.faults job).Service.i_doc)
+      | Protocol.Compile spec ->
+        cacheable t spec ~salt:"compile" (fun job -> compile_body t job)
+      | Protocol.Sweep { spec; variants } ->
+        cacheable t spec
+          ~salt:("sweep:" ^ variants_salt variants)
+          (fun job -> sweep_body t job variants)
+      | Protocol.Batch specs -> (
+        let jobs =
+          List.fold_left
+            (fun acc spec ->
+              Result.bind acc (fun js ->
+                  Result.map (fun j -> j :: js) (Service.job_of_spec spec)))
+            (Ok []) specs
+          |> Result.map List.rev
+        in
+        match jobs with
+        | Error msg -> error msg
+        | Ok jobs ->
+          let key =
+            Key.digest (String.concat "#" ("batch" :: List.map Key.job jobs))
+          in
+          let b, hit =
+            Cache.find_or_add t.results key (fun () ->
+                let results = Pipeline.run_batch ~pool:t.pool jobs in
+                body (Json.Obj [ ("results", Json.List (List.map Service.result_json results)) ]))
+          in
+          { ok = true; cached = hit; key; body = b })
+    with e -> error (Printexc.to_string e)
+  in
+  if not reply.ok then Metrics.incr t.errors;
+  reply
+
+(* ------------------------------------------------------------------ *)
+(* Session loops                                                       *)
+
+(* One framed session: read request frames until EOF / Shutdown /
+   corrupt framing, answering each with an envelope + body pair.
+   Per-frame JSON or vocabulary errors are answered in-band (the framing
+   is still intact); corrupt framing poisons the byte stream, so the
+   session answers once with id 0 and closes. *)
+let serve_channels t ic oc =
+  let continue = ref true in
+  while !continue do
+    match Protocol.read_frame ic with
+    | Protocol.Eof -> continue := false
+    | Protocol.Corrupt msg ->
+      Protocol.write_response oc
+        { Protocol.id = 0; ok = false; cached = false; key = "" }
+        ~body:(body (Json.Obj [ ("error", Json.Str ("framing: " ^ msg)) ]));
+      flush oc;
+      continue := false
+    | Protocol.Frame payload -> (
+      match Result.bind (Json.parse payload) Protocol.request_of_json with
+      | Error msg ->
+        Metrics.incr t.requests;
+        Metrics.incr t.errors;
+        Protocol.write_response oc
+          { Protocol.id = 0; ok = false; cached = false; key = "" }
+          ~body:(body (Json.Obj [ ("error", Json.Str msg) ]));
+        flush oc
+      | Ok (id, req) ->
+        let t0 = Unix.gettimeofday () in
+        let reply = handle t req in
+        Metrics.observe t.latency_ms ((Unix.gettimeofday () -. t0) *. 1000.0);
+        Protocol.write_response oc
+          { Protocol.id = id; ok = reply.ok; cached = reply.cached; key = reply.key }
+          ~body:reply.body;
+        flush oc;
+        if req = Protocol.Shutdown then begin
+          t.stop <- true;
+          continue := false
+        end)
+  done
+
+let serve t ~socket_path =
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX socket_path);
+  Unix.listen sock 16;
+  let cleanup () =
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    try Unix.unlink socket_path with Unix.Unix_error _ -> ()
+  in
+  (try
+     (* Connections are served one at a time: within a request the domain
+        pool supplies the parallelism, and sequential sessions keep cache
+        accounting and replies deterministic for a given request order. *)
+     while not t.stop do
+       let fd, _ = Unix.accept sock in
+       let ic = Unix.in_channel_of_descr fd in
+       let oc = Unix.out_channel_of_descr fd in
+       (try serve_channels t ic oc with Sys_error _ | End_of_file -> ());
+       (try flush oc with Sys_error _ -> ());
+       try Unix.close fd with Unix.Unix_error _ -> ()
+     done
+   with e ->
+     cleanup ();
+     raise e);
+  cleanup ()

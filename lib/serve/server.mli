@@ -1,0 +1,53 @@
+(** The compile-as-a-service daemon: dispatches {!Protocol} requests onto
+    a domain pool and memoizes both rendered response bodies and captured
+    schedules in content-addressed LRU caches.
+
+    Two caches, two granularities:
+    - the {e result} cache maps [digest(op + params + Key.job)] to the
+      rendered response body string, so a repeated identical request is
+      answered from memory with byte-identical bytes;
+    - the {e schedule} cache maps [Key.job_digest] (capture forced on) to
+      the full captured {!Ndp_core.Pipeline.result}, so [Compile] and
+      every [Sweep] over the same job share one compile and sweep
+      variants replay the captured task stream without recompiling.
+
+    Instruments in the registry:
+    [serve.requests], [serve.errors], [serve.request_ms] and
+    [serve.cache_{hits,misses,evictions}{cache=results|schedules}]. *)
+
+type t
+
+type reply = { ok : bool; cached : bool; key : string; body : string }
+
+val create :
+  ?jobs:int -> ?result_capacity:int -> ?schedule_capacity:int -> ?metrics:Ndp_obs.Metrics.t -> unit -> t
+(** [jobs] sizes the embedded pool. Capacities default to 256 result
+    bodies and 64 captured schedules. [metrics] defaults to a fresh
+    enabled registry. *)
+
+val registry : t -> Ndp_obs.Metrics.t
+
+val pool : t -> Ndp_prelude.Pool.t
+
+val result_cache : t -> string Cache.t
+
+val schedule_cache : t -> Ndp_core.Pipeline.result Cache.t
+
+val handle : t -> Protocol.request -> reply
+(** In-process dispatch — the tests and the bench exercise exactly the
+    path the socket loop uses. Never raises: failures come back as
+    [{ok = false}] with an [{"error": ..}] body. *)
+
+val serve_channels : t -> in_channel -> out_channel -> unit
+(** One framed session over arbitrary channels (the [--stdio] mode and
+    the per-connection loop). Returns on EOF, corrupt framing, or after
+    answering [Shutdown] (which also marks the server stopped). *)
+
+val serve : t -> socket_path:string -> unit
+(** Bind a Unix-domain socket (unlinking any stale file), then accept and
+    serve sessions one at a time until a [Shutdown] request; unlinks the
+    socket on the way out. Parallelism comes from the pool within a
+    request, so replies for a given request order are deterministic. *)
+
+val shutdown : t -> unit
+(** Tear down the embedded pool. *)

@@ -1,0 +1,118 @@
+(** The one execution-and-rendering path behind every consumer of the
+    pipeline: `ndp_run`'s subcommands, the serve daemon and the tests all
+    resolve a {!Protocol.job_spec} to a {!Ndp_core.Pipeline.Job} here and
+    render results through the same document builders, so a response body
+    from the daemon is byte-identical to the corresponding CLI output
+    under [--format json]. *)
+
+(** {1 Spec resolution} *)
+
+val window_of_string : string -> (Ndp_core.Pipeline.window_policy, string) result
+(** [""]/["adaptive"], ["analytic"] or a decimal fixed size. *)
+
+val scheme_of_spec : Protocol.job_spec -> (Ndp_core.Pipeline.scheme, string) result
+
+val config_of_spec : Protocol.job_spec -> (Ndp_sim.Config.t, string) result
+(** The default config with the spec's cluster and memory modes applied. *)
+
+val job_of_spec : Protocol.job_spec -> (Ndp_core.Pipeline.Job.t, string) result
+(** Resolves the kernel by suite name, cluster/memory/scheme/window by
+    their CLI spellings, and parses the fault spec (seeded by [fault_seed]
+    or the config's seed). A spec with no fault text and no seed yields
+    [faults = None]. *)
+
+val variant_config :
+  Ndp_sim.Config.t -> Protocol.variant -> (Ndp_sim.Config.t, string) result
+(** Apply a sweep variant's integer overrides. Only simulation-side knobs
+    (hop/service/hit/miss/op/sync/load-issue cycles, outstanding loads)
+    may be overridden — address-shape parameters must match the capture
+    config for replay to be meaningful. *)
+
+(** {1 Shared renderers} *)
+
+val result_human : Ndp_core.Pipeline.result -> string
+
+val result_json : Ndp_core.Pipeline.result -> Ndp_obs.Render.Json.t
+
+val metrics_json : Ndp_obs.Metrics.t -> Ndp_obs.Render.Json.t
+
+val metrics_human : Ndp_obs.Metrics.t -> string
+
+val plan_json : Ndp_fault.Plan.t -> spec:string -> repair:bool -> Ndp_obs.Render.Json.t
+
+val link_flits_total : Ndp_obs.Metrics.t -> int
+(** Sum of [noc.link_flits{..}] over every link — the ledger
+    reconciliation target. *)
+
+val divergence_ratio : static:int -> measured:int -> float
+(** Symmetric >=1 divergence ratio; [infinity] when exactly one side is
+    zero, [1.0] when both are. *)
+
+val ratio_cell : float -> string
+
+(** {1 Operations}
+
+    Each operation runs one job and returns the result alongside the
+    rendered JSON document and a lazy human rendering — exactly the
+    artifacts the CLI prints and the daemon caches. *)
+
+type run_outcome = {
+  result : Ndp_core.Pipeline.result;
+  sink : Ndp_obs.Sink.t;
+  doc : Ndp_obs.Render.Json.t;
+  human : unit -> string;
+}
+
+val run :
+  ?pool:Ndp_prelude.Pool.t -> ?metrics:bool -> Ndp_core.Pipeline.Job.t -> run_outcome
+(** [metrics] collects the registry during the run and nests the result
+    under [{"result": .., "metrics": ..}], mirroring [ndp_run run
+    --metrics]. *)
+
+type profile_outcome = {
+  p_result : Ndp_core.Pipeline.result;
+  p_sink : Ndp_obs.Sink.t;
+  p_doc : Ndp_obs.Render.Json.t;
+  p_human : unit -> string;
+  p_reconciled : bool; (** ledger flit-hops = noc.link_flits *)
+  p_measured : int;
+  p_link_flits : int;
+}
+
+val profile :
+  ?pool:Ndp_prelude.Pool.t ->
+  ?trace:bool ->
+  interval:int ->
+  top:int ->
+  Ndp_core.Pipeline.Job.t ->
+  profile_outcome
+(** Movement-attribution ledger + counter timeline. [trace] additionally
+    fills the sink's tracer (for the CLI's Perfetto output); it never
+    changes the document. [top] bounds the human table only. *)
+
+type analyze_outcome = {
+  a_result : Ndp_core.Pipeline.result;
+  a_doc : Ndp_obs.Render.Json.t;
+  a_human : unit -> string;
+  a_within : bool;
+  a_ratio : float;
+  a_static_total : int;
+  a_measured_total : int;
+}
+
+val analyze :
+  ?pool:Ndp_prelude.Pool.t -> threshold:float -> Ndp_core.Pipeline.Job.t -> analyze_outcome
+(** Static cost table reconciled against one measured run. *)
+
+type inject_outcome = {
+  i_result : Ndp_core.Pipeline.result;
+  i_plan : Ndp_fault.Plan.t;
+  i_reg : Ndp_obs.Metrics.t;
+  i_doc : Ndp_obs.Render.Json.t;
+  i_human : unit -> string;
+}
+
+val inject :
+  ?pool:Ndp_prelude.Pool.t -> spec:string -> Ndp_core.Pipeline.Job.t -> inject_outcome
+(** Runs the job under its fault plan (an empty plan when the job carries
+    none); [spec] is echoed into the document's plan description. *)

@@ -145,49 +145,6 @@ let add_result_wait t n = Metrics.add t.result_wait n
 let incr_invalidations t = Metrics.incr t.invalidations
 let incr_prefetches t = Metrics.incr t.prefetches
 
-type legacy = {
-  l1_hits : int;
-  l1_misses : int;
-  l2_hits : int;
-  l2_misses : int;
-  mcdram_accesses : int;
-  ddr_accesses : int;
-  hops : int;
-  messages : int;
-  latency_sum : int;
-  latency_max : int;
-  ops : int;
-  syncs : int;
-  tasks : int;
-  finish_time : int;
-  load_wait : int;
-  result_wait : int;
-  invalidations : int;
-  prefetches : int;
-}
-
-let legacy_of t =
-  {
-    l1_hits = l1_hits t;
-    l1_misses = l1_misses t;
-    l2_hits = l2_hits t;
-    l2_misses = l2_misses t;
-    mcdram_accesses = mcdram_accesses t;
-    ddr_accesses = ddr_accesses t;
-    hops = hops t;
-    messages = messages t;
-    latency_sum = latency_sum t;
-    latency_max = latency_max t;
-    ops = ops t;
-    syncs = syncs t;
-    tasks = tasks t;
-    finish_time = finish_time t;
-    load_wait = load_wait t;
-    result_wait = result_wait t;
-    invalidations = invalidations t;
-    prefetches = prefetches t;
-  }
-
 let rate hits misses =
   let total = hits + misses in
   if total = 0 then 0.0 else float_of_int hits /. float_of_int total

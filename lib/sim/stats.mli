@@ -102,33 +102,6 @@ val add_result_wait : t -> int -> unit
 val incr_invalidations : t -> unit
 val incr_prefetches : t -> unit
 
-(** {1 Legacy bridge — removed next PR} *)
-
-type legacy = {
-  l1_hits : int;
-  l1_misses : int;
-  l2_hits : int;
-  l2_misses : int;
-  mcdram_accesses : int;
-  ddr_accesses : int;
-  hops : int;
-  messages : int;
-  latency_sum : int;
-  latency_max : int;
-  ops : int;
-  syncs : int;
-  tasks : int;
-  finish_time : int;
-  load_wait : int;
-  result_wait : int;
-  invalidations : int;
-  prefetches : int;
-}
-
-val legacy_of : t -> legacy
-(** Immutable field-level snapshot kept for one PR while external readers
-    migrate to the accessors; prefer those. *)
-
 val pp : Format.formatter -> t -> unit
 (** Human summary. Average latency renders as ["-"] on runs with no
     messages (never ["nan"]). *)

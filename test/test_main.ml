@@ -21,6 +21,7 @@ let suites =
     ("extra", Test_extra.tests);
     ("equiv", Test_equiv.tests);
     ("fault", Test_fault.tests);
+    ("serve", Test_serve.tests);
     ("prop", Test_prop.tests);
   ]
 

@@ -179,7 +179,7 @@ let check_same_result label (a : P.result) (b : P.result) =
 let batch_matches_solo_and_parallel () =
   let solo =
     List.map
-      (fun (j : P.batch_job) -> P.run ~config:j.P.job_config j.P.job_scheme j.P.job_kernel)
+      (fun (j : P.batch_job) -> P.Job.run j)
       (batch_jobs ())
   in
   let serial = P.run_batch (batch_jobs ()) in

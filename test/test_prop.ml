@@ -439,6 +439,74 @@ let shrinker_minimizes () =
   | Expr.Binop (Op.Div, Expr.Const _, Expr.Const _) -> ()
   | _ -> Alcotest.failf "not minimal: %s" (Stmt.to_string m)
 
+(* -------------------------------------------------------------------- *)
+(* Serve protocol: every request survives the JSON wire codec.           *)
+
+module Proto = Ndp_serve.Protocol
+
+(* Floats from a 1/8 grid: %.12g prints them exactly, so the codec's
+   float round-trip is representational, not approximate. *)
+let gen_grid_float rng = float_of_int (Rng.int rng 64) /. 8.0
+
+let gen_spec rng =
+  {
+    Proto.app = Rng.pick rng [| "fft"; "water"; "lu"; "ocean" |];
+    scheme = (if Rng.bool rng then "partitioned" else "default");
+    window = Rng.pick rng [| "adaptive"; "analytic"; "2"; "8" |];
+    cluster = Rng.pick rng [| "quadrant"; "all-to-all"; "snc-4" |];
+    memory = Rng.pick rng [| "flat"; "cache"; "hybrid" |];
+    tweaks =
+      (if Rng.bool rng then Pipeline.no_tweaks
+       else
+         {
+           Pipeline.l1_boost = gen_grid_float rng;
+           distance_factor = 1.0 +. gen_grid_float rng;
+           mc_overrides = (if Rng.bool rng then [] else [ (Rng.int rng 8, Rng.int rng 4) ]);
+           cost_scale = 1.0 +. gen_grid_float rng;
+           extra_syncs = Rng.int rng 3;
+         });
+    faults = Rng.pick rng [| ""; "kill=2"; "slow=1x2.5,stall=3@100+50" |];
+    fault_seed = (if Rng.bool rng then None else Some (Rng.int rng 1000));
+    repair = Rng.bool rng;
+  }
+
+let gen_request rng =
+  match Rng.int rng 8 with
+  | 0 -> Proto.Ping
+  | 1 -> Proto.List_apps
+  | 2 -> Proto.Run { spec = gen_spec rng; metrics = Rng.bool rng }
+  | 3 -> Proto.Compile (gen_spec rng)
+  | 4 -> Proto.Profile { spec = gen_spec rng; interval = Rng.int rng 5000; top = Rng.int rng 20 }
+  | 5 -> Proto.Analyze { spec = gen_spec rng; threshold = 1.0 +. gen_grid_float rng }
+  | 6 -> Proto.Batch [ gen_spec rng; gen_spec rng ]
+  | _ ->
+    Proto.Sweep
+      {
+        spec = gen_spec rng;
+        variants =
+          [
+            {
+              Proto.v_name = "v" ^ string_of_int (Rng.int rng 10);
+              v_overrides = [ ("hop_cycles", 1 + Rng.int rng 64) ];
+              v_tweaks = Pipeline.no_tweaks;
+            };
+          ];
+      }
+
+let request_round_trip () =
+  forall ~count:200 ~name:"serve request wire round-trip"
+    {
+      gen = (fun rng -> (1 + Rng.int rng 1000, gen_request rng));
+      shrink = (fun _ -> []);
+      print =
+        (fun (id, r) -> Ndp_obs.Render.Json.to_string (Proto.request_to_json ~id r));
+    }
+    (fun (id, r) ->
+      match Proto.request_of_json (Proto.request_to_json ~id r) with
+      | Ok (id', r') when id' = id && r' = r -> Ok ()
+      | Ok _ -> Error "decoded to a different request"
+      | Error m -> Error m)
+
 let tests =
   [
     ( "prop",
@@ -453,5 +521,6 @@ let tests =
         Alcotest.test_case "static cost table reconciles with ledger (suite)" `Slow
           analyze_reconciles_suite;
         Alcotest.test_case "shrinker reaches a minimal counterexample" `Quick shrinker_minimizes;
+        Alcotest.test_case "serve request wire round-trip" `Quick request_round_trip;
       ] );
   ]
