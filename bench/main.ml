@@ -253,6 +253,19 @@ let micro ?(json = false) () =
            in
            Ndp_core.Pipeline.Job.run ~obs fixed2_job))
   in
+  (* Fusion pass overhead: the same compile+simulate on the residual-block
+     chain workload with producer→consumer fusion on — covers Fusion.plan
+     (legality + profitability pricing) plus the store-elided simulation. *)
+  let bench_pipeline_fused =
+    let dnn = Ndp_workloads.Suite.find "resnet_block" in
+    Test.make ~name:"pipeline-fused"
+      (Staged.stage (fun () ->
+           Ndp_core.Pipeline.Job.run
+             (Ndp_core.Pipeline.Job.make
+                (Ndp_core.Pipeline.Partitioned
+                   { Ndp_core.Pipeline.partitioned_defaults with Ndp_core.Pipeline.fuse = true })
+                dnn)))
+  in
   (* Window-size preprocessing on a 256-instance sample. The sampled
      implementation compiles every (candidate, chunk) pair with the
      dependence analysis done once and sliced per chunk; the reanalyze
@@ -341,7 +354,7 @@ let micro ?(json = false) () =
         bench_metrics_disabled; bench_metrics_enabled; bench_pipeline_obs;
         bench_dep_bucketed; bench_dep_naive; bench_choose_sampled; bench_choose_reanalyze;
         bench_choose_analytic;
-        bench_inject_disabled; bench_inject_enabled;
+        bench_inject_disabled; bench_inject_enabled; bench_pipeline_fused;
         bench_net_send; bench_load_hit; bench_load_miss; bench_exec_task;
       ]
   in

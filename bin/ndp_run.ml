@@ -199,6 +199,35 @@ module Args = struct
           ~doc:
             "Hand the fault plan to the compiler as well: partition over the surviving mesh \
              with degraded link weights and remap subcomputations off stalled/isolated nodes.")
+
+  let fuse =
+    Arg.(
+      value
+      & flag
+      & info [ "fuse" ]
+          ~doc:
+            "Fuse producer$(b,->)consumer statement chains before MST scheduling (partitioned \
+             scheme only): each fused group runs on one node and intermediate store write-backs \
+             stay in that node's L1 instead of crossing the NoC.")
+
+  let fuse_capacity =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuse-capacity" ] ~docv:"BYTES"
+          ~doc:
+            "L1 footprint budget per fused group in bytes (with $(b,--fuse)). Default: the \
+             config's L1 size. 0 disables fusion (identity pass).")
+
+  let fusion =
+    Arg.(
+      value
+      & flag
+      & info [ "fusion" ]
+          ~doc:
+            "$(b,analyze) only: report the fusion decision table instead of the static cost \
+             table — each fused chain with its predicted saved flit-hops reconciled against the \
+             measured delta between an unfused and a fused run.")
 end
 
 (* ------------------------------------------------------------------ *)
@@ -206,7 +235,7 @@ end
 
 let config_of cluster memory = Ndp_sim.Config.with_modes Ndp_sim.Config.default cluster memory
 
-let scheme_of scheme window =
+let scheme_of ?(fuse = false) ?fuse_capacity scheme window =
   match scheme with
   | `Default -> Pipeline.Default
   | `Partitioned ->
@@ -216,7 +245,8 @@ let scheme_of scheme window =
       | Some `Analytic -> Pipeline.Analytic
       | Some (`Fixed k) -> Pipeline.Fixed k
     in
-    Pipeline.Partitioned { Pipeline.partitioned_defaults with Pipeline.window = w }
+    Pipeline.Partitioned
+      { Pipeline.partitioned_defaults with Pipeline.window = w; fuse; fuse_capacity }
 
 (* The document builders and human renderers live in [Ndp_serve.Service]
    now, shared with the daemon: a serve response body is byte-identical
@@ -237,20 +267,23 @@ let with_jobs jobs f =
   | None -> f None
   | Some j -> Ndp_prelude.Pool.with_pool ~jobs:(max 1 j) (fun p -> f (Some p))
 
-let run_act kernel cluster memory scheme window metrics format jobs =
+let run_act kernel cluster memory scheme window fuse fuse_capacity metrics format jobs =
   with_jobs jobs @@ fun pool ->
   let job =
-    Pipeline.Job.make ~config:(config_of cluster memory) (scheme_of scheme window) kernel
+    Pipeline.Job.make ~config:(config_of cluster memory)
+      (scheme_of ~fuse ?fuse_capacity scheme window)
+      kernel
   in
   let o = Service.run ?pool ~metrics job in
   print_endline (Render.output format ~human:o.Service.human o.Service.doc)
 
-let compare_act kernel cluster memory window metrics format jobs =
+let compare_act kernel cluster memory window fuse metrics format jobs =
   with_jobs jobs @@ fun pool ->
   let config = config_of cluster memory in
   let od = Service.run ?pool ~metrics (Pipeline.Job.make ~config Pipeline.Default kernel) in
   let oo =
-    Service.run ?pool ~metrics (Pipeline.Job.make ~config (scheme_of `Partitioned window) kernel)
+    Service.run ?pool ~metrics
+      (Pipeline.Job.make ~config (scheme_of ~fuse `Partitioned window) kernel)
   in
   let d = od.Service.result and o = oo.Service.result in
   let imp base opt = 100.0 *. float_of_int (base - opt) /. float_of_int (max 1 base) in
@@ -320,12 +353,13 @@ let link_table reg =
     (Metrics.to_alist reg);
   Ndp_prelude.Table.render t
 
-let stats_act kernel cluster memory scheme window format jobs =
+let stats_act kernel cluster memory scheme window fuse format jobs =
   with_jobs jobs @@ fun pool ->
   let obs = Ndp_obs.Sink.create ~metrics:true ~trace:false () in
   let config = config_of cluster memory in
   let r =
-    Pipeline.Job.run ?pool ~obs (Pipeline.Job.make ~config (scheme_of scheme window) kernel)
+    Pipeline.Job.run ?pool ~obs
+      (Pipeline.Job.make ~config (scheme_of ~fuse scheme window) kernel)
   in
   let reg = obs.Ndp_obs.Sink.metrics in
   let n = Ndp_noc.Mesh.size (Ndp_sim.Config.mesh config) in
@@ -522,20 +556,31 @@ let profile_act kernel cluster memory scheme window interval top out format jobs
 (* ------------------------------------------------------------------ *)
 (* analyze: static cost table reconciled against a measured run        *)
 
-let analyze_act kernel cluster memory scheme window threshold format jobs =
+let analyze_act kernel cluster memory scheme window fuse fuse_capacity fusion threshold format
+    jobs =
   with_jobs jobs @@ fun pool ->
   let job =
-    Pipeline.Job.make ~config:(config_of cluster memory) (scheme_of scheme window) kernel
+    Pipeline.Job.make ~config:(config_of cluster memory)
+      (scheme_of ~fuse ?fuse_capacity scheme window)
+      kernel
   in
-  let o = Service.analyze ?pool ~threshold job in
-  print_endline (Render.output format ~human:o.Service.a_human o.Service.a_doc);
-  if not o.Service.a_within then begin
-    Printf.eprintf
-      "ndp_run analyze: static model diverges from the measured ledger: static %d vs measured \
-       %d flit-hops (%s > x%.2f)\n"
-      o.Service.a_static_total o.Service.a_measured_total
-      (Service.ratio_cell o.Service.a_ratio) threshold;
-    exit 1
+  if fusion then begin
+    (* The decision table: [analyze_fusion] forces the fused/unfused pair
+       itself, so --fusion works with or without --fuse. *)
+    let o = Service.analyze_fusion ?pool job in
+    print_endline (Render.output format ~human:o.Service.f_human o.Service.f_doc)
+  end
+  else begin
+    let o = Service.analyze ?pool ~threshold job in
+    print_endline (Render.output format ~human:o.Service.a_human o.Service.a_doc);
+    if not o.Service.a_within then begin
+      Printf.eprintf
+        "ndp_run analyze: static model diverges from the measured ledger: static %d vs measured \
+         %d flit-hops (%s > x%.2f)\n"
+        o.Service.a_static_total o.Service.a_measured_total
+        (Service.ratio_cell o.Service.a_ratio) threshold;
+      exit 1
+    end
   end
 
 (* ------------------------------------------------------------------ *)
@@ -618,7 +663,7 @@ let dot_act kernel =
     let compiled = Ndp_core.Window.compile ctx metas in
     print_endline (Ndp_core.Graphviz.task_graph compiled.Ndp_core.Window.tasks)
 
-let check_act kernel cluster memory window format jobs =
+let check_act kernel cluster memory window fuse format jobs =
   let config = config_of cluster memory in
   let kernels =
     match kernel with
@@ -626,7 +671,10 @@ let check_act kernel cluster memory window format jobs =
     | None -> List.map Ndp_workloads.Suite.find Ndp_workloads.Suite.names
   in
   let jobs = match jobs with Some j -> max 1 j | None -> Ndp_prelude.Pool.default_jobs () in
-  let schemes = [ Pipeline.Default; scheme_of `Partitioned window ] in
+  let schemes =
+    [ Pipeline.Default; scheme_of `Partitioned window ]
+    @ (if fuse then [ scheme_of ~fuse `Partitioned window ] else [])
+  in
   (* W204 checks a concrete size against each nest; only a fixed window
      gives it one. *)
   let fixed = match window with Some (`Fixed k) -> Some k | Some `Analytic | None -> None in
@@ -845,7 +893,7 @@ let commands =
       term =
         Term.(
           const run_act $ Args.kernel $ Args.cluster $ Args.memory $ Args.scheme $ Args.window
-          $ Args.metrics $ Args.format $ Args.jobs);
+          $ Args.fuse $ Args.fuse_capacity $ Args.metrics $ Args.format $ Args.jobs);
     };
     {
       name = "compare";
@@ -853,7 +901,7 @@ let commands =
       term =
         Term.(
           const compare_act $ Args.kernel $ Args.cluster $ Args.memory $ Args.window
-          $ Args.metrics $ Args.format $ Args.jobs);
+          $ Args.fuse $ Args.metrics $ Args.format $ Args.jobs);
     };
     {
       name = "stats";
@@ -861,7 +909,7 @@ let commands =
       term =
         Term.(
           const stats_act $ Args.kernel $ Args.cluster $ Args.memory $ Args.scheme $ Args.window
-          $ Args.format $ Args.jobs);
+          $ Args.fuse $ Args.format $ Args.jobs);
     };
     {
       name = "inject";
@@ -898,11 +946,13 @@ let commands =
       summary =
         "Static cost model: symbolic footprints, reuse classes and closed-form per-statement \
          movement, reconciled against the measured ledger of one run; exit nonzero when the \
-         totals diverge beyond --threshold.";
+         totals diverge beyond --threshold. With --fusion, report the fusion decision table \
+         (predicted vs measured saved flit-hops per fused chain) instead.";
       term =
         Term.(
           const analyze_act $ Args.kernel $ Args.cluster $ Args.memory $ Args.scheme
-          $ Args.window $ Args.threshold $ Args.format $ Args.jobs);
+          $ Args.window $ Args.fuse $ Args.fuse_capacity $ Args.fusion $ Args.threshold
+          $ Args.format $ Args.jobs);
     };
     { name = "list"; summary = "List the application kernels."; term = Term.(const list_act $ const ()) };
     {
@@ -939,11 +989,12 @@ let commands =
       name = "check";
       summary =
         "Lint every kernel's IR and validate the compiled schedules (dependence race detection) \
-         under the default and partitioned schemes; exit nonzero on any error.";
+         under the default and partitioned schemes — plus the fused partitioned scheme with \
+         --fuse; exit nonzero on any error.";
       term =
         Term.(
           const check_act $ Args.kernel_opt $ Args.cluster $ Args.memory $ Args.window
-          $ Args.format $ Args.jobs);
+          $ Args.fuse $ Args.format $ Args.jobs);
     };
   ]
 

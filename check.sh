@@ -6,10 +6,13 @@
 # within the divergence threshold of the measured ledger),
 # the fault-injection + schedule-repair self-check, the serve daemon
 # round-trip (a repeated identical request must come back as a
-# byte-identical cache hit), then the static
-# analysis suite (IR lint + schedule race
-# detection over all 12 workloads under the default and partitioned
-# schemes). Every phase runs even when an earlier one fails; the gate
+# byte-identical cache hit), the fusion reconciliation gate (the fusion
+# decision table must show a real >=15% measured flit-hop reduction on
+# the residual-block chain workload), then the static analysis suite
+# (IR lint + schedule race detection over all 14 workloads under the
+# default, partitioned, and fused partitioned schemes — the fused
+# schedules are race-validated over the whole suite here). Every phase
+# runs even when an earlier one fails; the gate
 # exits nonzero naming each failed phase, so a broken build can no longer
 # mask a broken test phase (or vice versa). See DESIGN.md "Analysis &
 # validation" for the diagnostic codes and "Fault model & repair" for the
@@ -140,6 +143,33 @@ serve_gate() (
   rm -f "$_sock" "$_cold" "$_warm" "$_meta"
 )
 
+fusion_gate() (
+  # Reconcile the fusion pass against the measured ledger: the decision
+  # table must be non-empty on the residual-block chain workload, every
+  # decision must elide stores and predict a positive saving, and the
+  # fused run must undercut the unfused one by at least 15% of the
+  # measured NoC flit-hops. (The fused schedules themselves are
+  # race-validated suite-wide by the check phase's --fuse sweep.)
+  set -e
+  _fus=$(mktemp /tmp/ndp_fusion.XXXXXX.json)
+  dune exec bin/ndp_run.exe -- analyze resnet_block --fusion --format json >"$_fus"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -c "
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d['decisions'], 'no fusion decisions on resnet_block'
+t = d['totals']
+assert t['fused_flit_hops'] < t['unfused_flit_hops'], t
+assert t['reduction_pct'] >= 15.0, 'reduction below 15%%: %r' % t
+for dec in d['decisions']:
+    assert dec['elided_stores'] > 0, dec
+    assert dec['predicted_saved_flit_hops'] > 0, dec
+    assert dec['measured_delta_flit_hops'] > 0, dec
+" "$_fus"
+  fi
+  rm -f "$_fus"
+)
+
 fault_gate() (
   # Inject a deterministic fault plan (killed link, stalled node, slowed
   # MC), repair the schedule around it, and run the built-in selfcheck:
@@ -158,7 +188,8 @@ phase profile profile_gate
 phase analyze analyze_gate
 phase fault fault_gate
 phase serve serve_gate
-phase check dune exec bin/ndp_run.exe -- check --jobs "$jobs"
+phase fusion fusion_gate
+phase check dune exec bin/ndp_run.exe -- check --fuse --jobs "$jobs"
 
 if [ -n "$failures" ]; then
   echo "check.sh: FAILED phases:$failures" >&2

@@ -15,6 +15,10 @@ type part_options = {
   balance_threshold : float option;
   ideal_data : bool;
   use_inspector : bool;
+  fuse : bool;
+  fuse_capacity : int option;
+      (** footprint bound in bytes for one fused chain; [None] uses the
+          configured L1 size, [Some 0] makes fusion the identity pass *)
 }
 
 type scheme = Default | Partitioned of part_options
@@ -28,6 +32,8 @@ let partitioned_defaults =
     balance_threshold = None;
     ideal_data = false;
     use_inspector = true;
+    fuse = false;
+    fuse_capacity = None;
   }
 
 type tweaks = {
@@ -72,6 +78,9 @@ type result = {
   remapped_tasks : int;
   node_finish : int array;
   node_busy : int array;
+  fusion_decisions : Fusion.decision list;
+      (** the fusion plans applied, aggregated per chain signature; empty
+          unless the scheme fuses *)
   traces : schedule_trace list;
   emitted : Task.t list list;
       (** the task stream as issued to the engine (one sublist per
@@ -81,11 +90,14 @@ type result = {
 
 let scheme_name = function
   | Default -> "default"
-  | Partitioned o -> (
-    match o.window with
-    | Adaptive -> "partitioned(adaptive)"
-    | Analytic -> "partitioned(analytic)"
-    | Fixed k -> Printf.sprintf "partitioned(w=%d)" k)
+  | Partitioned o ->
+    let base =
+      match o.window with
+      | Adaptive -> "partitioned(adaptive)"
+      | Analytic -> "partitioned(analytic)"
+      | Fixed k -> Printf.sprintf "partitioned(w=%d)" k
+    in
+    if o.fuse then base ^ "+fuse" else base
 
 (* Enumerate the statement-instance stream of a nest, in execution order.
    Built through one pre-sized array rather than nested [List.mapi] +
@@ -263,6 +275,40 @@ let run_job ?pool ?(obs = Ndp_obs.Sink.none) (j : job) =
   let offload = ref Task.zero_mix in
   let windows_chosen = ref [] in
   let tasks_emitted = ref 0 in
+  let fusion_decisions = ref [] in
+  (* Arrays fusion must never elide: referenced by more than one nest
+     (the intermediate outlives its nest), or read through an index-array
+     indirection anywhere (those reads are invisible to the dependence
+     analysis, which buckets by the referenced data array). *)
+  let shared_arrays =
+    let counts = Hashtbl.create 16 in
+    List.iter
+      (fun (nest : Loop.nest) ->
+        let local = Hashtbl.create 16 in
+        List.iter
+          (fun (s : Ndp_ir.Stmt.t) ->
+            List.iter
+              (fun (r : Ndp_ir.Reference.t) ->
+                Hashtbl.replace local r.Ndp_ir.Reference.array ();
+                let rec index_arrays (sub : Ndp_ir.Subscript.t) =
+                  match sub with
+                  | Ndp_ir.Subscript.Indirect { index_array; inner } ->
+                    Hashtbl.replace counts index_array 2;
+                    index_arrays inner
+                  | Ndp_ir.Subscript.Affine _ -> ()
+                in
+                index_arrays r.Ndp_ir.Reference.subscript)
+              (Ndp_ir.Stmt.output s :: Ndp_ir.Stmt.inputs s))
+          nest.Loop.body;
+        Hashtbl.iter
+          (fun a () ->
+            Hashtbl.replace counts a (1 + Option.value (Hashtbl.find_opt counts a) ~default:0))
+          local)
+      kernel.Kernel.program.Loop.nests;
+    let shared = Hashtbl.create 16 in
+    Hashtbl.iter (fun a c -> if c > 1 then Hashtbl.replace shared a ()) counts;
+    shared
+  in
   (match scheme with
   | Default ->
     List.iter
@@ -341,6 +387,28 @@ let run_job ?pool ?(obs = Ndp_obs.Sink.none) (j : job) =
             (Dep.analyze ctx.Context.compiler_resolve
                (List.map (fun (m : Window.meta) -> m.Window.inst) metas))
         in
+        (* The fusion plan is computed once per nest against the full
+           dependence analysis (the first-kill rule needs every later
+           sweep's re-write in view) and sliced per chunk below. Fusion
+           and fault repair do not compose: repair may remap a chain
+           member off its node, stranding the L1-resident intermediate. *)
+        let fusion_slots =
+          if opts.fuse && repair_plan = None then begin
+            let metas_arr = Array.of_list metas in
+            let insts = Array.map (fun (m : Window.meta) -> m.Window.inst) metas_arr in
+            let default_node =
+              Array.map (fun (m : Window.meta) -> m.Window.default_node) metas_arr
+            in
+            let capacity = Option.value opts.fuse_capacity ~default:config.Config.l1_size in
+            let slots, decs =
+              Fusion.plan ctx ~nest:nest.Loop.nest_name ~window:w ~capacity
+                ~shared:shared_arrays ~default_node insts deps_arr
+            in
+            fusion_decisions := !fusion_decisions @ decs;
+            Some slots
+          end
+          else None
+        in
         let dp = ref 0 in
         List.iteri
           (fun ci window_metas ->
@@ -358,7 +426,8 @@ let run_job ?pool ?(obs = Ndp_obs.Sink.none) (j : job) =
               incr p
             done;
             dp := !p;
-            let compiled = Window.compile ~deps:(List.rev !sliced) ctx window_metas in
+            let fusion = Option.map (fun s -> Array.sub s lo (hi - lo)) fusion_slots in
+            let compiled = Window.compile ~deps:(List.rev !sliced) ?fusion ctx window_metas in
             if validate then
               traces :=
                 Windowed
@@ -438,6 +507,7 @@ let run_job ?pool ?(obs = Ndp_obs.Sink.none) (j : job) =
     remapped_tasks = ctx.Context.remapped_tasks;
     node_finish = Engine.node_clocks engine;
     node_busy = Engine.node_busy engine;
+    fusion_decisions = !fusion_decisions;
     traces = List.rev !traces;
     emitted = List.rev !emitted;
   }

@@ -17,6 +17,12 @@ type part_options = {
   balance_threshold : float option; (** [None]: the config's 10% *)
   ideal_data : bool; (** perfect analysis + location (Section 6.4) *)
   use_inspector : bool; (** executor phase for indirect accesses *)
+  fuse : bool;
+      (** producer→consumer fusion ({!Fusion}): chains schedule as one
+          Kruskal vertex and intermediate write-backs never cross the NoC *)
+  fuse_capacity : int option;
+      (** footprint bound in bytes for one fused chain; [None] uses the
+          configured L1 size, [Some 0] makes fusion the identity pass *)
 }
 
 type scheme = Default | Partitioned of part_options
@@ -84,6 +90,11 @@ type result = {
           degraded-weight rebalancing); always 0 without [~repair] *)
   node_finish : int array; (** per-node completion times *)
   node_busy : int array; (** per-node busy cycles (occupancy) *)
+  fusion_decisions : Fusion.decision list;
+      (** fusion chains applied, aggregated per (nest, chain statement
+          signature); empty unless the scheme fuses. Fusion is skipped
+          under fault repair (a remap would strand the L1-resident
+          intermediate). *)
   traces : schedule_trace list; (** empty unless run with [~validate:true] *)
   emitted : Ndp_sim.Task.t list list;
       (** the task stream as issued to the engine, one sublist per engine

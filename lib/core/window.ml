@@ -50,7 +50,7 @@ let margin_num, margin_den = (7, 10)
 let margin_ruled ~default_est est =
   if est * margin_den < default_est * margin_num then est else default_est
 
-let compile ?deps (ctx : Context.t) metas =
+let compile ?deps ?fusion (ctx : Context.t) metas =
   Context.clear_reuse ctx;
   (* Task ids allocated during this compile form the dense range
      [id_base, ctx.next_task); every per-task table below is an array
@@ -58,11 +58,16 @@ let compile ?deps (ctx : Context.t) metas =
      the compiler's hot path. *)
   let id_base = ctx.Context.next_task in
   let per_stmt =
-    List.map
-      (fun meta ->
+    List.mapi
+      (fun i meta ->
         let stmt = meta.inst.Dep.stmt in
         let env = meta.inst.Dep.env in
-        let store_node = store_node_of ctx meta in
+        let fslot =
+          match fusion with Some f when i < Array.length f -> f.(i) | Some _ | None -> None
+        in
+        let store_node =
+          match fslot with Some s -> s.Fusion.f_node | None -> store_node_of ctx meta
+        in
         let split = Splitter.split ctx ~store_node stmt env in
         let default_est = Splitter.default_movement ctx ~store_node stmt env in
         (* Splitting must satisfy the minimum-data-movement requirement:
@@ -73,14 +78,36 @@ let compile ?deps (ctx : Context.t) metas =
            result forwarding are not in it, so splitting must clear a
            margin before it is worth doing. *)
         let split =
-          if split.Splitter.est_movement * margin_den < default_est * margin_num then split
-          else { (Splitter.unsplit split) with Splitter.est_movement = default_est }
+          match fslot with
+          | Some _ ->
+            (* A fused member executes whole on the chain's node — one
+               Kruskal vertex — so the elided intermediate is in the same
+               L1 its consumer loads from. *)
+            { (Splitter.unsplit split) with Splitter.est_movement = default_est }
+          | None ->
+            if split.Splitter.est_movement * margin_den < default_est * margin_num then split
+            else { (Splitter.unsplit split) with Splitter.est_movement = default_est }
         in
         (* Repair before anything reads task placements: the cross-node
            arc filter and the variable2node propagation below must see the
            post-remap nodes or sync arcs would be elided against stale
            placements. *)
         let sched = Schedule.repair ctx (Schedule.schedule ctx ~group:meta.group split stmt env) in
+        let sched =
+          match fslot with
+          | Some { Fusion.f_elide = true; _ } ->
+            {
+              sched with
+              Schedule.tasks =
+                List.map
+                  (fun (t : Task.t) ->
+                    if t.Task.id = sched.Schedule.root_task && t.Task.store <> None then
+                      { t with Task.store_local = true }
+                    else t)
+                  sched.Schedule.tasks;
+            }
+          | _ -> sched
+        in
         Context.advance_statement ctx;
         (* Propagate this statement's L1 placements to later statements in
            the window (the variable2node map of Algorithm 1, line 37). *)

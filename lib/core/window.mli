@@ -44,12 +44,21 @@ val store_node_of : Context.t -> meta -> int
 (** Home node of the statement's output under the compiler's view; falls
     back to the default node when the output is unanalyzable. *)
 
-val compile : ?deps:Ndp_ir.Dependence.dep list -> Context.t -> meta list -> compiled
+val compile :
+  ?deps:Ndp_ir.Dependence.dep list ->
+  ?fusion:Fusion.slot option array ->
+  Context.t ->
+  meta list ->
+  compiled
 (** Compile one window. Clears and then populates the variable2node map.
     [deps], when given, must be the dependence analysis of exactly these
     instances (indices local to the list) and skips the per-window
     re-analysis — the window-size preprocessing derives one analysis per
-    nest sample and slices it per chunk. *)
+    nest sample and slices it per chunk. [fusion], when given, is the
+    fusion plan sliced to this window (parallel to the meta list): a
+    fused member executes whole on its chain's node, and its write-back
+    becomes L1-local when the slot elides it. An absent array or all-
+    [None] slots compile exactly as without [fusion]. *)
 
 val choose_size : ?pool:Ndp_prelude.Pool.t -> Context.t -> meta list -> max:int -> int
 (** The preprocessing step of Section 4.4: pick the window size in

@@ -57,14 +57,15 @@ let tweaks (tw : Pipeline.tweaks) =
 let scheme = function
   | Pipeline.Default -> "default"
   | Pipeline.Partitioned o ->
-    Printf.sprintf "part(w=%s,r=%b,s=%b,l=%b,bt=%s,id=%b,insp=%b)"
+    Printf.sprintf "part(w=%s,r=%b,s=%b,l=%b,bt=%s,id=%b,insp=%b,f=%b,fc=%s)"
       (match o.Pipeline.window with
       | Pipeline.Adaptive -> "a"
       | Pipeline.Analytic -> "an"
       | Pipeline.Fixed k -> string_of_int k)
       o.Pipeline.reuse_aware o.Pipeline.sync_minimize o.Pipeline.level_based
       (match o.Pipeline.balance_threshold with None -> "-" | Some f -> Printf.sprintf "%h" f)
-      o.Pipeline.ideal_data o.Pipeline.use_inspector
+      o.Pipeline.ideal_data o.Pipeline.use_inspector o.Pipeline.fuse
+      (match o.Pipeline.fuse_capacity with None -> "-" | Some c -> string_of_int c)
 
 let digest s = Digest.to_hex (Digest.string s)
 

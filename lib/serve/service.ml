@@ -28,7 +28,15 @@ let scheme_of_spec (s : Protocol.job_spec) =
   | "partitioned" ->
     let* w = window_of_string s.Protocol.window in
     Ok (Pipeline.Partitioned { Pipeline.partitioned_defaults with Pipeline.window = w })
-  | other -> Error (Printf.sprintf "unknown scheme %S (expected default or partitioned)" other)
+  | "partitioned+fuse" | "fused" ->
+    let* w = window_of_string s.Protocol.window in
+    Ok
+      (Pipeline.Partitioned
+         { Pipeline.partitioned_defaults with Pipeline.window = w; Pipeline.fuse = true })
+  | other ->
+    Error
+      (Printf.sprintf "unknown scheme %S (expected default, partitioned or partitioned+fuse)"
+         other)
 
 let config_of_spec (s : Protocol.job_spec) =
   let* cluster = Ndp_noc.Cluster.of_string s.Protocol.cluster in
@@ -510,6 +518,142 @@ let analyze ?pool ~threshold (job : Pipeline.Job.t) =
     a_ratio = ratio;
     a_static_total = table.Cost.total_flit_hops;
     a_measured_total = measured_total;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* analyze --fusion: per-decision predicted vs measured movement delta *)
+
+type fusion_outcome = {
+  f_fused : Pipeline.result;
+  f_unfused : Pipeline.result;
+  f_doc : Render.Json.t;
+  f_human : unit -> string;
+  f_fused_total : int; (** measured ledger flit-hops, fused run *)
+  f_unfused_total : int;
+  f_reduction_pct : float;
+}
+
+let chain_label (d : Ndp_core.Fusion.decision) =
+  String.concat ">" (List.map (fun s -> Printf.sprintf "s%d" s) d.Ndp_core.Fusion.d_stmts)
+
+(* Run the job fused and unfused (same window policy, same config), each
+   with its own movement ledger, and join the fused run's fusion
+   decisions with the per-statement measured flit-hop deltas — the same
+   reconciliation discipline [analyze] applies to the static cost model,
+   aimed at the fusion pass's own predictions. *)
+let analyze_fusion ?pool (job : Pipeline.Job.t) =
+  let opts =
+    match job.Pipeline.Job.scheme with
+    | Pipeline.Partitioned o -> o
+    | Pipeline.Default -> Pipeline.partitioned_defaults
+  in
+  let fused_job =
+    { job with Pipeline.Job.scheme = Pipeline.Partitioned { opts with Pipeline.fuse = true } }
+  in
+  let unfused_job =
+    { job with Pipeline.Job.scheme = Pipeline.Partitioned { opts with Pipeline.fuse = false } }
+  in
+  let run_with_ledger j =
+    let obs = Ndp_obs.Sink.create ~metrics:false ~trace:false ~ledger:true () in
+    let r = Pipeline.Job.run ?pool ~obs j in
+    let measured =
+      let tbl = Hashtbl.create 16 in
+      List.iter
+        (fun (s : Ledger.stmt_total) ->
+          Hashtbl.replace tbl (s.Ledger.s_nest, s.Ledger.s_stmt) s.Ledger.s_flit_hops)
+        (Ledger.statements obs.Ndp_obs.Sink.ledger);
+      fun nest stmt -> Option.value (Hashtbl.find_opt tbl (nest, stmt)) ~default:0
+    in
+    (r, measured, Ledger.total_flit_hops obs.Ndp_obs.Sink.ledger)
+  in
+  let fused, fused_of, fused_total = run_with_ledger fused_job in
+  let unfused, unfused_of, unfused_total = run_with_ledger unfused_job in
+  let decisions = fused.Pipeline.fusion_decisions in
+  let measured_delta (d : Ndp_core.Fusion.decision) =
+    List.fold_left
+      (fun acc s ->
+        acc + unfused_of d.Ndp_core.Fusion.d_nest s - fused_of d.Ndp_core.Fusion.d_nest s)
+      0 d.Ndp_core.Fusion.d_stmts
+  in
+  let reduction_pct =
+    if unfused_total = 0 then 0.0
+    else 100.0 *. float_of_int (unfused_total - fused_total) /. float_of_int unfused_total
+  in
+  let decision_json (d : Ndp_core.Fusion.decision) =
+    Render.Json.Obj
+      [
+        ("nest", Render.Json.Str d.Ndp_core.Fusion.d_nest);
+        ("chain", Render.Json.Str (chain_label d));
+        ( "arrays",
+          Render.Json.List
+            (List.map (fun a -> Render.Json.Str a) d.Ndp_core.Fusion.d_arrays) );
+        ("instances", Render.Json.Int d.Ndp_core.Fusion.d_instances);
+        ("elided_stores", Render.Json.Int d.Ndp_core.Fusion.d_elided_stores);
+        ("predicted_saved_flit_hops", Render.Json.Int d.Ndp_core.Fusion.d_pred_saved_flit_hops);
+        ("measured_delta_flit_hops", Render.Json.Int (measured_delta d));
+      ]
+  in
+  let doc =
+    Render.Json.Obj
+      [
+        ("app", Render.Json.Str fused.Pipeline.kernel_name);
+        ("fused_scheme", Render.Json.Str fused.Pipeline.scheme_name);
+        ("unfused_scheme", Render.Json.Str unfused.Pipeline.scheme_name);
+        ("decisions", Render.Json.List (List.map decision_json decisions));
+        ( "totals",
+          Render.Json.Obj
+            [
+              ("fused_flit_hops", Render.Json.Int fused_total);
+              ("unfused_flit_hops", Render.Json.Int unfused_total);
+              ( "predicted_saved_flit_hops",
+                Render.Json.Int
+                  (List.fold_left
+                     (fun acc (d : Ndp_core.Fusion.decision) ->
+                       acc + d.Ndp_core.Fusion.d_pred_saved_flit_hops)
+                     0 decisions) );
+              ("reduction_pct", Render.Json.Float reduction_pct);
+            ] );
+      ]
+  in
+  let human () =
+    let buf = Buffer.create 1024 in
+    let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    pr "%s fusion decisions (%s vs %s)\n\n" fused.Pipeline.kernel_name
+      fused.Pipeline.scheme_name unfused.Pipeline.scheme_name;
+    if decisions = [] then pr "no fusion decisions (no eligible producer→consumer chains)\n"
+    else begin
+      let t =
+        Ndp_prelude.Table.create
+          ~header:
+            [ "nest"; "chain"; "arrays"; "instances"; "elided"; "pred_saved"; "measured_delta" ]
+      in
+      List.iter
+        (fun (d : Ndp_core.Fusion.decision) ->
+          Ndp_prelude.Table.add_row t
+            [
+              d.Ndp_core.Fusion.d_nest;
+              chain_label d;
+              String.concat "," d.Ndp_core.Fusion.d_arrays;
+              string_of_int d.Ndp_core.Fusion.d_instances;
+              string_of_int d.Ndp_core.Fusion.d_elided_stores;
+              string_of_int d.Ndp_core.Fusion.d_pred_saved_flit_hops;
+              string_of_int (measured_delta d);
+            ])
+        decisions;
+      Buffer.add_string buf (Ndp_prelude.Table.render t)
+    end;
+    pr "\nmovement: unfused %d -> fused %d flit-hops (%.1f%% reduction)" unfused_total
+      fused_total reduction_pct;
+    Buffer.contents buf
+  in
+  {
+    f_fused = fused;
+    f_unfused = unfused;
+    f_doc = doc;
+    f_human = human;
+    f_fused_total = fused_total;
+    f_unfused_total = unfused_total;
+    f_reduction_pct = reduction_pct;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -104,6 +104,25 @@ val analyze :
   ?pool:Ndp_prelude.Pool.t -> threshold:float -> Ndp_core.Pipeline.Job.t -> analyze_outcome
 (** Static cost table reconciled against one measured run. *)
 
+type fusion_outcome = {
+  f_fused : Ndp_core.Pipeline.result;
+  f_unfused : Ndp_core.Pipeline.result;
+  f_doc : Ndp_obs.Render.Json.t;
+  f_human : unit -> string;
+  f_fused_total : int;  (** measured ledger flit-hops, fused run *)
+  f_unfused_total : int;
+  f_reduction_pct : float;
+}
+
+val analyze_fusion :
+  ?pool:Ndp_prelude.Pool.t -> Ndp_core.Pipeline.Job.t -> fusion_outcome
+(** Runs the job twice — fused and unfused partitioned schemes, same
+    window policy and config, each under its own movement ledger — and
+    joins the fused run's per-chain fusion decisions with the measured
+    per-statement flit-hop deltas (unfused minus fused). The same
+    reconciliation discipline as {!analyze}, aimed at the fusion pass's
+    own savings predictions. *)
+
 type inject_outcome = {
   i_result : Ndp_core.Pipeline.result;
   i_plan : Ndp_fault.Plan.t;

@@ -176,7 +176,9 @@ let run ?(on_load = fun ~va:_ ~l1_hit:_ ~l2_hit:_ -> ()) t tasks =
     let finish = start + (task.cost * config.Config.op_cycles) in
     (match task.store with
     | Some (va, bytes) ->
-      ignore (Machine.store t.machine ~node:task.node ~va ~bytes ~time:finish ~stats:t.stats)
+      if task.store_local then
+        ignore (Machine.store_local t.machine ~node:task.node ~va ~bytes ~time:finish ~stats:t.stats)
+      else ignore (Machine.store t.machine ~node:task.node ~va ~bytes ~time:finish ~stats:t.stats)
     | None -> ());
     (* The core issues its loads, then overlaps part of the wait with the
        next tasks in its queue (outstanding-miss parallelism); the

@@ -344,6 +344,19 @@ let store t ~node ~va ~bytes ~time ~stats =
   Cache.insert t.l2s.(home) pa;
   arrival
 
+(* Fused-intermediate store: the value stays in the producer node's L1 and
+   is never written back to the home bank, because the fusion pass proved
+   every consumer runs on this same node. Coherence invalidations still
+   fire (another node may hold a stale copy from an earlier sweep), but no
+   line crosses the NoC toward home and the L2 bank is left untouched. *)
+let store_local t ~node ~va ~bytes ~time ~stats =
+  ignore bytes;
+  Ledger.enter_va t.ledger va;
+  invalidate_sharers t ~writer:node ~va ~time ~stats;
+  Cache.insert t.l1s.(node) va;
+  note_sharer t ~node ~va;
+  time
+
 let probe_l2 t ~va =
   let pa = translate t va in
   let home = Snuca.home_node t.snuca pa in

@@ -45,6 +45,12 @@ val store : t -> node:int -> va:int -> bytes:int -> time:int -> stats:Stats.t ->
 (** Write-back of a result to its home L2 bank; returns completion time.
     The writing core does not stall on it. *)
 
+val store_local : t -> node:int -> va:int -> bytes:int -> time:int -> stats:Stats.t -> int
+(** Store of a fused intermediate: the line stays in the executing node's
+    L1 (coherence invalidations still fire) and no write-back crosses the
+    NoC. Legal only when the fusion pass proved every consumer of the
+    value runs on this node. *)
+
 val translate : t -> int -> int
 (** VA -> PA under the configured page policy. *)
 

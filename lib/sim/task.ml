@@ -12,6 +12,7 @@ type t = {
   mix : op_mix;
   operands : operand list;
   store : (int * int) option;
+  store_local : bool;
   syncs : int;
   label : string;
 }
@@ -36,5 +37,16 @@ let mix_total m = m.add_sub + m.mul_div + m.other
 
 let cost_of_ops ops = List.fold_left (fun acc op -> acc + Ndp_ir.Op.cost op) 0 ops
 
-let make ~id ~group ~node ~ops ~operands ?store ?(syncs = 0) ~label () =
-  { id; group; node; cost = cost_of_ops ops; mix = mix_of_ops ops; operands; store; syncs; label }
+let make ~id ~group ~node ~ops ~operands ?store ?(store_local = false) ?(syncs = 0) ~label () =
+  {
+    id;
+    group;
+    node;
+    cost = cost_of_ops ops;
+    mix = mix_of_ops ops;
+    operands;
+    store;
+    store_local;
+    syncs;
+    label;
+  }

@@ -20,6 +20,10 @@ type t = {
   mix : op_mix;
   operands : operand list;
   store : (int * int) option; (** (va, bytes) final result write-back *)
+  store_local : bool;
+      (** the store stays in the executing node's L1 (no home write-back):
+          set by the fusion pass on intermediates whose every consumer runs
+          on this node, so the line never crosses the NoC *)
   syncs : int; (** explicit synchronizations awaited before starting *)
   label : string;
 }
@@ -41,6 +45,7 @@ val make :
   ops:Ndp_ir.Op.t list ->
   operands:operand list ->
   ?store:int * int ->
+  ?store_local:bool ->
   ?syncs:int ->
   label:string ->
   unit ->

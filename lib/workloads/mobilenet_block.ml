@@ -1,0 +1,32 @@
+(** Inverted residual block (MobileNet-style), flattened to per-element
+    statement chains: 1x1 expand -> relu6 mask -> depthwise -> relu6 mask
+    -> 1x1 project + residual. Four intermediates (e, h, d, g), each with
+    a single consumer, form a five-statement chain per element: fusion
+    elides four of the five write-backs, leaving only the block output
+    [y] on the NoC. *)
+
+let n = 16 * 1024
+let trips = 256
+
+let kernel () =
+  Spec.kernel ~name:"mobilenet_block"
+    ~description:"Inverted residual: expand/act/depthwise/act/project chains"
+    ~arrays:
+      [
+        ("x", n, 8); ("we", n, 8); ("be", n, 8); ("me", n, 8);
+        ("wd", n, 8); ("bd", n, 8); ("md", n, 8); ("wp", n, 8);
+        ("e", n, 8); ("h", n, 8); ("d", n, 8); ("g", n, 8); ("y", n, 8);
+      ]
+    ~nests:
+      [
+        (Spec.nest "block"
+           [ ("i", 0, trips) ]
+           [
+             "e[i] = x[i] * we[i] + be[i]";
+             "h[i] = e[i] * me[i]";
+             "d[i] = h[i] * wd[i] + bd[i]";
+             "g[i] = d[i] * md[i]";
+             "y[i] = g[i] * wp[i] + x[i]";
+           ]);
+      ]
+    ~hot:[ "x"; "we"; "wd" ] ()

@@ -1,0 +1,31 @@
+(** Residual block (ResNet-style), flattened to per-element statement
+    chains: conv1 -> activation mask -> conv2 -> residual add. The three
+    intermediates (t1, t2, t3) each have exactly one consumer — the next
+    statement of the same iteration — so the fusion pass can chain all
+    four statements onto one node and elide every intermediate
+    write-back; only the block output [y] crosses the NoC. *)
+
+let n = 16 * 1024
+let trips = 256
+
+let kernel () =
+  Spec.kernel ~name:"resnet_block"
+    ~description:"Residual block: conv/act/conv/add element chains"
+    ~arrays:
+      [
+        ("x", n, 8); ("w1", n, 8); ("b1", n, 8); ("m1", n, 8);
+        ("w2", n, 8); ("b2", n, 8); ("t1", n, 8); ("t2", n, 8);
+        ("t3", n, 8); ("y", n, 8);
+      ]
+    ~nests:
+      [
+        (Spec.nest "block"
+           [ ("i", 0, trips) ]
+           [
+             "t1[i] = x[i] * w1[i] + b1[i]";
+             "t2[i] = t1[i] * m1[i]";
+             "t3[i] = t2[i] * w2[i] + b2[i]";
+             "y[i] = t3[i] + x[i]";
+           ]);
+      ]
+    ~hot:[ "x"; "w1"; "w2" ] ()

@@ -12,6 +12,8 @@ let builders =
     ("water", Water.kernel);
     ("minimd", Minimd.kernel);
     ("minixyce", Minixyce.kernel);
+    ("resnet_block", Resnet_block.kernel);
+    ("mobilenet_block", Mobilenet_block.kernel);
   ]
 
 let all () = List.map (fun (_, build) -> build ()) builders

@@ -1,8 +1,12 @@
-(** The twelve-application suite of the paper's evaluation (Table 1). *)
+(** The application suite: the paper's twelve evaluation kernels
+    (Table 1) plus two DNN-style fusion targets. *)
 
 val all : unit -> Ndp_core.Kernel.t list
 (** In the paper's order: Barnes, Cholesky, FFT, FMM, LU, Ocean,
-    Radiosity, Radix, Raytrace, Water, MiniMD, MiniXyce. *)
+    Radiosity, Radix, Raytrace, Water, MiniMD, MiniXyce — followed by the
+    DNN-style residual and inverted-residual block kernels
+    (resnet_block, mobilenet_block), whose producer→consumer statement
+    chains are what the fusion pass targets. *)
 
 val names : string list
 

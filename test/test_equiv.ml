@@ -1,7 +1,9 @@
-(* Frozen seed digests: every observable output of all 12 workloads x
-   both schemes x {plain, faulted, profiled} runs, captured before the
-   flat-engine rewrite (PR 7). `bench/main.exe equiv` regenerates the
-   table; any intentional behaviour change must update it explicitly. *)
+(* Frozen seed digests: every observable output of all 14 workloads x
+   both schemes x {plain, faulted, profiled} runs — the original 12
+   captured before the flat-engine rewrite (PR 7), the DNN chain
+   workloads on their introduction alongside the fusion pass.
+   `bench/main.exe equiv` regenerates the table; any intentional
+   behaviour change must update it explicitly. *)
 
 module E = Ndp_experiments.Equiv
 module P = Ndp_core.Pipeline
@@ -80,6 +82,18 @@ let expected =
     ("minixyce/partitioned(adaptive)/plain", "1edb0530e1f85006");
     ("minixyce/partitioned(adaptive)/faulted", "36e161051c5a1cc");
     ("minixyce/partitioned(adaptive)/profiled", "35abd2fedcd119b0");
+    ("resnet_block/default/plain", "3699321dfdb40334");
+    ("resnet_block/default/faulted", "defc3d3f81bed96");
+    ("resnet_block/default/profiled", "2a03febce1c60823");
+    ("resnet_block/partitioned(adaptive)/plain", "1bf1e0c1e6f1ca3c");
+    ("resnet_block/partitioned(adaptive)/faulted", "3d906a6df6894831");
+    ("resnet_block/partitioned(adaptive)/profiled", "2efc6fc155f25719");
+    ("mobilenet_block/default/plain", "98f28fd5abde6a6");
+    ("mobilenet_block/default/faulted", "24aa729b5d8cb5b");
+    ("mobilenet_block/default/profiled", "284a78c5f8c622a5");
+    ("mobilenet_block/partitioned(adaptive)/plain", "bc22c694a3d8a6e");
+    ("mobilenet_block/partitioned(adaptive)/faulted", "16bb27b286823011");
+    ("mobilenet_block/partitioned(adaptive)/profiled", "1e5b4af69402f81f");
   ]
 
 let combos = E.all_combos ()

@@ -22,6 +22,7 @@ let suites =
     ("equiv", Test_equiv.tests);
     ("fault", Test_fault.tests);
     ("serve", Test_serve.tests);
+    ("fusion", Test_fusion.tests);
     ("prop", Test_prop.tests);
   ]
 

@@ -253,11 +253,14 @@ let print_kernel (k : Ndp_core.Kernel.t) =
   String.concat "; " (List.map Stmt.to_string (Ndp_ir.Loop.all_statements k.Ndp_core.Kernel.program))
 
 let gen_scheme rng =
+  (* Half the schemes fuse: fused schedules must pass the race detector
+     exactly as unfused ones do. *)
+  let fuse = Rng.bool rng in
   match Rng.int rng 4 with
-  | 0 -> Pipeline.Partitioned Pipeline.partitioned_defaults
+  | 0 -> Pipeline.Partitioned { Pipeline.partitioned_defaults with Pipeline.fuse = fuse }
   | n ->
     Pipeline.Partitioned
-      { Pipeline.partitioned_defaults with Pipeline.window = Pipeline.Fixed n }
+      { Pipeline.partitioned_defaults with Pipeline.window = Pipeline.Fixed n; fuse }
 
 let schedules_pass_race_validator () =
   forall ~count:15 ~name:"random schedules race-free"
@@ -411,6 +414,261 @@ let analyze_reconciles_suite () =
     Ndp_workloads.Suite.names
 
 (* -------------------------------------------------------------------- *)
+(* Fusion: semantics preserved, capacity 0 is the identity pass.         *)
+
+module Fusion = Ndp_core.Fusion
+module Window = Ndp_core.Window
+
+(* Random flow-only chain kernels — the class fusion targets: statement k
+   writes its own array o{k}[i] and reads pure inputs plus earlier
+   outputs of the same iteration, so every hazard is a producer→consumer
+   flow dependence. All subscripts are affine and in bounds (64-element
+   arrays, trips <= 8, strides <= 2, offsets <= 3). *)
+type chain_case = { c_trip : int; c_reads : int list list }
+(* [c_reads] row k lists which earlier statements k reads (j < k); each
+   row implicitly also reads one fresh input array. *)
+
+let gen_chain_case rng =
+  let nstmts = 2 + Rng.int rng 4 in
+  let reads =
+    List.init nstmts (fun k ->
+        List.filter (fun j -> j < k) (List.init (Rng.int rng 3) (fun _ -> Rng.int rng nstmts)))
+  in
+  { c_trip = 4 + Rng.int rng 5; c_reads = List.map (List.sort_uniq compare) reads }
+
+let shrink_chain_case { c_trip; c_reads } =
+  (if c_trip > 2 then [ { c_trip = c_trip - 1; c_reads } ] else [])
+  @ (if List.length c_reads > 2 then
+       (* Dropping the last statement is safe: earlier rows never read it. *)
+       [ { c_trip; c_reads = List.filteri (fun k _ -> k < List.length c_reads - 1) c_reads } ]
+     else [])
+  @ List.concat
+      (List.mapi
+         (fun k row ->
+           List.map
+             (fun j ->
+               {
+                 c_trip;
+                 c_reads =
+                   List.mapi
+                     (fun k' row' -> if k' = k then List.filter (( <> ) j) row' else row')
+                     c_reads;
+               })
+             row)
+         c_reads)
+
+let chain_kernel { c_trip; c_reads } =
+  let body =
+    List.mapi
+      (fun k row ->
+        let reads =
+          Printf.sprintf "x%d[%d*i+%d]" k (1 + (k mod 2)) (k mod 4)
+          :: List.map (fun j -> Printf.sprintf "o%d[i]" j) row
+        in
+        Printf.sprintf "o%d[i] = %s" k (String.concat " + " reads))
+      c_reads
+  in
+  let arrays =
+    List.concat_map
+      (fun k -> [ (Printf.sprintf "o%d" k, 64, 8); (Printf.sprintf "x%d" k, 64, 8) ])
+      (List.init (List.length c_reads) Fun.id)
+  in
+  Spec.kernel ~name:"prop-chain" ~description:"flow-only fusion chain"
+    ~arrays:(List.sort_uniq compare arrays)
+    ~nests:[ Spec.nest ~sweeps:1 "n" [ ("i", 0, c_trip) ] body ]
+    ()
+
+let print_chain_case c =
+  Printf.sprintf "for i in [0,%d): %s" c.c_trip
+    (String.concat "; "
+       (List.map Stmt.to_string (Ndp_ir.Loop.all_statements (chain_kernel c).Ndp_core.Kernel.program)))
+
+(* A tiny reference interpreter over float array states. Division guards
+   to 0 and bitwise operators truncate to ints; the generators above only
+   emit Add, so this totality is belt-and-braces. *)
+let apply_op op a b =
+  match op with
+  | Op.Add -> a +. b
+  | Op.Sub -> a -. b
+  | Op.Mul -> a *. b
+  | Op.Div -> if b = 0. then 0. else a /. b
+  | Op.Shl | Op.Shr | Op.Band | Op.Bor | Op.Bxor ->
+    let ia = int_of_float a and ib = int_of_float b land 62 in
+    float_of_int
+      (match op with
+      | Op.Shl -> ia lsl ib
+      | Op.Shr -> ia asr ib
+      | Op.Band -> ia land int_of_float b
+      | Op.Bor -> ia lor int_of_float b
+      | _ -> ia lxor int_of_float b)
+
+(* Execute the statement instances in [order] and digest the final array
+   state. Initial contents are a deterministic nonzero function of (array,
+   index); out-of-range indices wrap like [Array_decl.address]. *)
+let interp_digest (kernel : Ndp_core.Kernel.t) order =
+  let store =
+    List.map
+      (fun (d : Ndp_ir.Array_decl.t) ->
+        ( d.Ndp_ir.Array_decl.name,
+          Array.init d.Ndp_ir.Array_decl.length (fun i ->
+              float_of_int ((Hashtbl.hash (d.Ndp_ir.Array_decl.name, i) mod 97) + 1)) ))
+      kernel.Ndp_core.Kernel.program.Ndp_ir.Loop.arrays
+  in
+  let slot name i =
+    let a = List.assoc name store in
+    let n = Array.length a in
+    (a, ((i mod n) + n) mod n)
+  in
+  let rec eval env = function
+    | Expr.Const c -> c
+    | Expr.Group e -> eval env e
+    | Expr.Binop (op, a, b) -> apply_op op (eval env a) (eval env b)
+    | Expr.Ref r -> (
+      match Sub.eval_affine env r.Ref.subscript with
+      | Some i ->
+        let a, i = slot r.Ref.array i in
+        a.(i)
+      | None -> Alcotest.fail "non-affine reference reached the interpreter")
+  in
+  List.iter
+    (fun (inst : Dep.instance) ->
+      let s = inst.Dep.stmt in
+      let v = eval inst.Dep.env s.Stmt.rhs in
+      match Sub.eval_affine inst.Dep.env s.Stmt.lhs.Ref.subscript with
+      | Some i ->
+        let a, i = slot s.Stmt.lhs.Ref.array i in
+        a.(i) <- v
+      | None -> Alcotest.fail "non-affine store reached the interpreter")
+    order;
+  Digest.to_hex
+    (Digest.string
+       (String.concat "|"
+          (List.map
+             (fun (n, a) ->
+               n ^ ":" ^ String.concat "," (Array.to_list (Array.map string_of_float a)))
+             store)))
+
+(* Compile the whole nest as one window (fused or not) and return the
+   statement instances in root-emission order: each instance keyed by the
+   position of its root (store-performing) task in the level-major task
+   list. This is the order the schedule retires outputs in; flow
+   dependences force a producer's root to an earlier position than any
+   consumer's. *)
+let scheduled_order (kernel : Ndp_core.Kernel.t) ~fuse =
+  let scheme = Pipeline.Partitioned Pipeline.partitioned_defaults in
+  let ctx = Pipeline.static_context scheme kernel in
+  let nest = List.hd kernel.Ndp_core.Kernel.program.Ndp_ir.Loop.nests in
+  let metas, _ = Pipeline.nest_stream ctx nest ~first_group:0 in
+  let insts = List.map (fun (m : Window.meta) -> m.Window.inst) metas in
+  let deps = Dep.analyze ctx.Ndp_core.Context.compiler_resolve insts in
+  let fusion =
+    if not fuse then None
+    else begin
+      let insts_arr = Array.of_list insts in
+      let default_node =
+        Array.of_list (List.map (fun (m : Window.meta) -> m.Window.default_node) metas)
+      in
+      let slots, _ =
+        Fusion.plan ctx ~nest:nest.Ndp_ir.Loop.nest_name ~window:(List.length metas)
+          ~capacity:Ndp_sim.Config.default.Ndp_sim.Config.l1_size
+          ~shared:(Hashtbl.create 1) ~default_node insts_arr (Array.of_list deps)
+      in
+      Some slots
+    end
+  in
+  let compiled = Window.compile ~deps ?fusion ctx metas in
+  let pos = Hashtbl.create 64 in
+  List.iteri
+    (fun i ((t : Ndp_sim.Task.t), _level) -> Hashtbl.replace pos t.Ndp_sim.Task.id i)
+    compiled.Window.tasks;
+  let root_pos group =
+    match List.assoc_opt group compiled.Window.roots with
+    | Some task -> Hashtbl.find pos task
+    | None -> Alcotest.failf "no root task recorded for statement group %d" group
+  in
+  ( List.map snd
+      (List.sort compare
+         (List.map (fun (m : Window.meta) -> (root_pos m.Window.group, m.Window.inst)) metas)),
+    match fusion with
+    | Some slots ->
+      Array.exists (function Some { Fusion.f_elide = true; _ } -> true | _ -> false) slots
+    | None -> false )
+
+let fusion_preserves_semantics () =
+  let fused_nonempty = ref 0 in
+  forall ~count:40 ~name:"fusion preserves array state"
+    { gen = gen_chain_case; shrink = shrink_chain_case; print = print_chain_case }
+    (fun case ->
+      let kernel = chain_kernel case in
+      let program_order =
+        let nest = List.hd kernel.Ndp_core.Kernel.program.Ndp_ir.Loop.nests in
+        List.concat_map
+          (fun env ->
+            List.mapi (fun stmt_idx stmt -> { Dep.stmt_idx; stmt; env }) nest.Ndp_ir.Loop.body)
+          (Ndp_ir.Loop.iterations nest)
+      in
+      let reference = interp_digest kernel program_order in
+      let unfused_order, _ = scheduled_order kernel ~fuse:false in
+      let fused_order, elided = scheduled_order kernel ~fuse:true in
+      if elided then incr fused_nonempty;
+      let unfused = interp_digest kernel unfused_order in
+      let fused = interp_digest kernel fused_order in
+      if unfused <> reference then
+        Error
+          (Printf.sprintf "unfused schedule order diverged from program order (%s vs %s)"
+             unfused reference)
+      else if fused <> reference then
+        Error
+          (Printf.sprintf "fused schedule order diverged from program order (%s vs %s)" fused
+             reference)
+      else Ok ());
+  (* The property is vacuous if no generated case ever fused. *)
+  if !fused_nonempty = 0 then
+    Alcotest.fail "no generated chain kernel produced a fusion elision"
+
+let capacity_zero_is_identity () =
+  forall ~count:25 ~name:"fuse with capacity 0 is the identity pass"
+    { gen = gen_dep_case; shrink = shrink_dep_case; print = print_dep_case }
+    (fun case ->
+      let kernel =
+        Spec.kernel ~name:"prop-cap0" ~description:"capacity-0 identity case"
+          ~arrays:[ ("a", 64, 8); ("b", 64, 8); ("c", 64, 8); ("y", 64, 8) ]
+          ~nests:
+            [
+              Spec.nest ~sweeps:1 "n"
+                [ ("i", 0, case.trip) ]
+                (List.map Stmt.to_string case.body);
+            ]
+          ~index_arrays:[ ("y", y_table) ]
+          ()
+      in
+      let run fuse =
+        Pipeline.run
+          (Pipeline.Partitioned
+             {
+               Pipeline.partitioned_defaults with
+               Pipeline.window = Pipeline.Fixed 4;
+               fuse;
+               fuse_capacity = (if fuse then Some 0 else None);
+             })
+          kernel
+      in
+      let plain = run false and fused = run true in
+      if plain.Pipeline.exec_time <> fused.Pipeline.exec_time then
+        Error
+          (Printf.sprintf "exec_time diverged: %d plain vs %d with capacity-0 fusion"
+             plain.Pipeline.exec_time fused.Pipeline.exec_time)
+      else if
+        Ndp_sim.Stats.to_alist plain.Pipeline.stats
+        <> Ndp_sim.Stats.to_alist fused.Pipeline.stats
+      then Error "stats diverged under capacity-0 fusion"
+      else if fused.Pipeline.fusion_decisions <> [] then
+        Error
+          (Printf.sprintf "capacity-0 fusion still recorded %d decisions"
+             (List.length fused.Pipeline.fusion_decisions))
+      else Ok ())
+
+(* -------------------------------------------------------------------- *)
 (* The shrinker itself: a deliberately false property must minimize.     *)
 
 let shrinker_minimizes () =
@@ -520,6 +778,9 @@ let tests =
           analytic_equals_sampled_estimate;
         Alcotest.test_case "static cost table reconciles with ledger (suite)" `Slow
           analyze_reconciles_suite;
+        Alcotest.test_case "fusion preserves array state" `Slow fusion_preserves_semantics;
+        Alcotest.test_case "fuse with capacity 0 is the identity pass" `Slow
+          capacity_zero_is_identity;
         Alcotest.test_case "shrinker reaches a minimal counterexample" `Quick shrinker_minimizes;
         Alcotest.test_case "serve request wire round-trip" `Quick request_round_trip;
       ] );

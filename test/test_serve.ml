@@ -97,6 +97,11 @@ let key_covers_scheme () =
       Pipeline.Partitioned { Pipeline.partitioned_defaults with Pipeline.window = Pipeline.Fixed 2 };
       Pipeline.Partitioned { Pipeline.partitioned_defaults with Pipeline.window = Pipeline.Fixed 4 };
       Pipeline.Partitioned { Pipeline.partitioned_defaults with Pipeline.window = Pipeline.Analytic };
+      (* A job differing only in --fuse (or its capacity bound) must miss
+         the schedule cache: fused schedules store different task graphs. *)
+      Pipeline.Partitioned { Pipeline.partitioned_defaults with Pipeline.fuse = true };
+      Pipeline.Partitioned
+        { Pipeline.partitioned_defaults with Pipeline.fuse = true; fuse_capacity = Some 4096 };
     ]
   in
   let keys = List.map Key.scheme schemes in

@@ -1,8 +1,9 @@
 let suite_complete () =
-  Alcotest.(check int) "twelve applications" 12 (List.length Ndp_workloads.Suite.names);
-  Alcotest.(check (list string)) "paper order"
+  Alcotest.(check int) "twelve applications + two DNN chains" 14
+    (List.length Ndp_workloads.Suite.names);
+  Alcotest.(check (list string)) "paper order, DNN chains last"
     [ "barnes"; "cholesky"; "fft"; "fmm"; "lu"; "ocean"; "radiosity"; "radix"; "raytrace";
-      "water"; "minimd"; "minixyce" ]
+      "water"; "minimd"; "minixyce"; "resnet_block"; "mobilenet_block" ]
     Ndp_workloads.Suite.names
 
 let kernels_build () =
