@@ -182,6 +182,28 @@ let micro ?(json = false) () =
                      Ndp_core.Pipeline.window = Ndp_core.Pipeline.Fixed 2 })
                 kernel)))
   in
+  (* Span overhead, same discipline as the metrics pair: a disabled
+     enter/exit is one branch and no allocation; the enabled side pays
+     the clock reads and log append. The pipeline pair below bounds the
+     end-to-end cost of tracing a whole compile+simulate (the acceptance
+     bar is <=5% over the untraced run). *)
+  let bench_spans_disabled =
+    Test.make ~name:"span-enter-exit-x1000-disabled"
+      (Staged.stage (fun () ->
+           for _ = 1 to 1000 do
+             let sp = Ndp_obs.Span.enter Ndp_obs.Span.none "dead" in
+             Ndp_obs.Span.exit Ndp_obs.Span.none sp
+           done))
+  in
+  let bench_spans_enabled =
+    Test.make ~name:"span-enter-exit-x1000-enabled"
+      (Staged.stage (fun () ->
+           let t = Ndp_obs.Span.create () in
+           for _ = 1 to 1000 do
+             let sp = Ndp_obs.Span.enter t "live" in
+             Ndp_obs.Span.exit t sp
+           done))
+  in
   (* Dependence analysis on a real instance stream: the bucketed analyze
      against the O(n^2) naive oracle it replaced. *)
   let module Dep = Ndp_ir.Dependence in
@@ -243,6 +265,18 @@ let micro ?(json = false) () =
   let bench_profile_disabled =
     Test.make ~name:"pipeline-profile-disabled"
       (Staged.stage (fun () -> Ndp_core.Pipeline.Job.run fixed2_job))
+  in
+  let bench_pipeline_spans_disabled =
+    Test.make ~name:"pipeline-spans-disabled"
+      (Staged.stage (fun () -> Ndp_core.Pipeline.Job.run fixed2_job))
+  in
+  let bench_pipeline_spans_enabled =
+    Test.make ~name:"pipeline-spans-enabled"
+      (Staged.stage (fun () ->
+           let obs =
+             { Ndp_obs.Sink.none with Ndp_obs.Sink.spans = Ndp_obs.Span.create () }
+           in
+           Ndp_core.Pipeline.Job.run ~obs fixed2_job))
   in
   let bench_profile_enabled =
     Test.make ~name:"pipeline-profile-enabled"
@@ -352,6 +386,8 @@ let micro ?(json = false) () =
       [
         bench_mst; bench_route; bench_nested; bench_parse; bench_pipeline;
         bench_metrics_disabled; bench_metrics_enabled; bench_pipeline_obs;
+        bench_spans_disabled; bench_spans_enabled;
+        bench_pipeline_spans_disabled; bench_pipeline_spans_enabled;
         bench_dep_bucketed; bench_dep_naive; bench_choose_sampled; bench_choose_reanalyze;
         bench_choose_analytic;
         bench_inject_disabled; bench_inject_enabled; bench_pipeline_fused;
@@ -406,18 +442,34 @@ let micro ?(json = false) () =
     let gate_seconds = Unix.gettimeofday () -. t0 in
     let gate_errors = Ndp_analysis.Checker.has_errors reports in
     let rps, hit_ratio, cold_ms, warm_ms, speedup, identical = serve_loadgen () in
+    (* Provenance header for `ndp_run bench diff`: shown when comparing
+       snapshots, never part of the deltas. *)
+    let timestamp =
+      let tm = Unix.gmtime (Unix.time ()) in
+      Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+        (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+    in
+    let commit =
+      match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+      | ic ->
+        let line = try input_line ic with End_of_file -> "" in
+        (match Unix.close_process_in ic with Unix.WEXITED 0 -> line | _ -> "")
+      | exception _ -> ""
+    in
+    let hostname = try Unix.gethostname () with _ -> "" in
     let oc = open_out "BENCH_micro.json" in
     let tests =
       List.sort compare !estimates
       |> List.map (fun (test, est) -> Printf.sprintf "    {\"name\": %S, \"ns\": %.1f}" test est)
     in
     Printf.fprintf oc
-      "{\n  \"tests\": [\n%s\n  ],\n  \"full_gate\": {\"seconds\": %.3f, \"jobs\": %d, \
+      "{\n  \"meta\": {\"timestamp\": %S, \"commit\": %S, \"jobs\": %d, \"hostname\": %S},\n\
+      \  \"tests\": [\n%s\n  ],\n  \"full_gate\": {\"seconds\": %.3f, \"jobs\": %d, \
        \"errors\": %b},\n  \"serve\": {\"req_per_s\": %.1f, \"hit_ratio\": %.4f, \
        \"cold_ms_per_req\": %.3f, \"warm_ms_per_req\": %.4f, \"warm_speedup\": %.1f, \
        \"bodies_identical\": %b}\n}\n"
-      (String.concat ",\n" tests) gate_seconds jobs gate_errors rps hit_ratio cold_ms warm_ms
-      speedup identical;
+      timestamp commit jobs hostname (String.concat ",\n" tests) gate_seconds jobs gate_errors
+      rps hit_ratio cold_ms warm_ms speedup identical;
     close_out oc;
     Printf.printf "full gate (check sweep, %d jobs): %.1f s -> BENCH_micro.json\n" jobs
       gate_seconds

@@ -171,6 +171,17 @@ module Args = struct
             "Also write a Chrome/Perfetto trace — task events plus one counter track per \
              timeline series — to FILE; \"-\" writes it to stdout.")
 
+  let spans =
+    Arg.(
+      value
+      & flag
+      & info [ "spans" ]
+          ~doc:
+            "Collect per-phase pipeline spans (parse/deps/window/fusion/schedule/simulate) \
+             and append them to the output: a $(b,spans) object under $(b,--format json), a \
+             per-phase summary table under $(b,--format human), nested slices in the \
+             Perfetto trace written by $(b,-o).")
+
   let faults =
     Arg.(
       value
@@ -521,20 +532,21 @@ let trace_act kernel cluster memory scheme window out format selfcheck jobs =
 (* ------------------------------------------------------------------ *)
 (* profile: movement attribution ledger + counter timeline             *)
 
-let profile_act kernel cluster memory scheme window interval top out format jobs =
+let profile_act kernel cluster memory scheme window interval top out spans format jobs =
   with_jobs jobs @@ fun pool ->
   let want_trace = out <> "" in
   let job =
     Pipeline.Job.make ~config:(config_of cluster memory) (scheme_of scheme window) kernel
   in
-  let o = Service.profile ?pool ~trace:want_trace ~interval ~top job in
+  let sp = if spans then Ndp_obs.Span.create () else Ndp_obs.Span.none in
+  let o = Service.profile ?pool ~trace:want_trace ~spans:sp ~interval ~top job in
   let obs = o.Service.p_sink in
   let timeline = obs.Ndp_obs.Sink.timeline in
   if want_trace then begin
     let payload =
       Trace.to_chrome
         ~counters:(Ndp_obs.Timeline.chrome_counter_events timeline)
-        obs.Ndp_obs.Sink.trace
+        ~spans:sp obs.Ndp_obs.Sink.trace
     in
     match out with
     | "-" -> print_string payload
@@ -546,7 +558,22 @@ let profile_act kernel cluster memory scheme window interval top out format jobs
         (Trace.length obs.Ndp_obs.Sink.trace)
         (List.length (Ndp_obs.Timeline.chrome_counter_events timeline))
   end;
-  print_endline (Render.output format ~human:o.Service.p_human o.Service.p_doc);
+  (* The service keeps spans out of the shared document (daemon bodies
+     must stay byte-identical); --spans composes them into the CLI
+     output here. *)
+  let doc =
+    if not spans then o.Service.p_doc
+    else
+      match o.Service.p_doc with
+      | Render.Json.Obj fields ->
+        Render.Json.Obj (fields @ [ ("spans", Ndp_obs.Span.to_json sp) ])
+      | other -> other
+  in
+  let human () =
+    if not spans then o.Service.p_human ()
+    else o.Service.p_human () ^ "\nphase spans\n" ^ Ndp_obs.Span.summary_table sp
+  in
+  print_endline (Render.output format ~human doc);
   if not o.Service.p_reconciled then begin
     Printf.eprintf "ndp_run profile: ledger flit-hops %d do not reconcile with noc.link_flits %d\n"
       o.Service.p_measured o.Service.p_link_flits;
@@ -729,11 +756,13 @@ let demo_requests () =
   List.iteri (fun i req -> Protocol.write_request stdout ~id:(i + 1) req) session;
   flush stdout
 
-let serve_act socket stdio demo result_capacity schedule_capacity jobs =
+let serve_act socket stdio demo result_capacity schedule_capacity access_log slow_ms jobs =
   if demo then demo_requests ()
   else begin
+    let access_oc = if access_log = "" then None else Some (open_out access_log) in
     let server =
-      Ndp_serve.Server.create ?jobs ~result_capacity ~schedule_capacity ()
+      Ndp_serve.Server.create ?jobs ~result_capacity ~schedule_capacity ?access_log:access_oc
+        ?slow_ms ()
     in
     if stdio then Ndp_serve.Server.serve_channels server stdin stdout
     else if socket = "" then begin
@@ -744,7 +773,8 @@ let serve_act socket stdio demo result_capacity schedule_capacity jobs =
       Printf.eprintf "ndp_run serve: listening on %s\n%!" socket;
       Ndp_serve.Server.serve server ~socket_path:socket
     end;
-    Ndp_serve.Server.shutdown server
+    Ndp_serve.Server.shutdown server;
+    Option.iter close_out access_oc
   end
 
 (* Sim-side cost-model variants for [client sweep]: the same standard
@@ -788,6 +818,7 @@ let client_act op app socket cluster memory scheme window faults fault_seed repa
     | `Sweep -> Protocol.Sweep { spec = need_app (); variants = client_sweep_variants }
     | `Cache_stats -> Protocol.Cache_stats
     | `Metrics -> Protocol.Metrics_dump
+    | `Metrics_text -> Protocol.Metrics_text
     | `Shutdown -> Protocol.Shutdown
   in
   match Ndp_serve.Client.connect socket with
@@ -808,6 +839,54 @@ let client_act op app socket cluster memory scheme window faults fault_seed repa
       print_endline body;
       if not env.Protocol.ok then exit 1)
 
+(* ------------------------------------------------------------------ *)
+(* bench diff: the perf-regression sentinel                            *)
+
+let bench_diff_act old_file new_file threshold format =
+  let slurp path =
+    match In_channel.with_open_bin path In_channel.input_all with
+    | s -> Ok s
+    | exception Sys_error msg -> Error msg
+  in
+  let report =
+    Result.bind (slurp old_file) @@ fun old_text ->
+    Result.bind (slurp new_file) @@ fun new_text ->
+    Ndp_obs.Bench_diff.compare_strings ~threshold ~old_text ~new_text ()
+  in
+  match report with
+  | Error msg ->
+    Printf.eprintf "ndp_run bench diff: %s\n" msg;
+    exit 2
+  | Ok r ->
+    print_endline
+      (Render.output format
+         ~human:(fun () -> Ndp_obs.Bench_diff.render r)
+         (Ndp_obs.Bench_diff.to_json r));
+    if Ndp_obs.Bench_diff.has_regressions r then exit 1
+
+let bench_old_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"OLD.json" ~doc:"Baseline benchmark snapshot (BENCH_micro.json shape).")
+
+let bench_new_arg =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"NEW.json" ~doc:"Candidate benchmark snapshot to compare against OLD.")
+
+let bench_threshold_arg =
+  Arg.(
+    value
+    & opt float 10.0
+    & info [ "threshold" ] ~docv:"PCT"
+        ~doc:
+          "Regression threshold in percent: a benchmark whose per-iteration time grew by \
+           more than PCT fails the diff (nonzero exit).")
+
+(* ------------------------------------------------------------------ *)
+
 let socket_arg =
   Arg.(
     value
@@ -820,6 +899,23 @@ let stdio_arg =
     & flag
     & info [ "stdio" ]
         ~doc:"Serve one framed session over stdin/stdout instead of binding a socket.")
+
+let access_log_arg =
+  Arg.(
+    value
+    & opt string ""
+    & info [ "access-log" ] ~docv:"FILE"
+        ~doc:
+          "Append one JSON line per request to FILE: sequence number, request id, op, cache \
+           key, hit/miss, latency ms, response bytes and the per-phase span breakdown.")
+
+let slow_ms_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:
+          "Print a span breakdown to stderr for every request slower than MS milliseconds.")
 
 let demo_arg =
   Arg.(
@@ -862,6 +958,7 @@ let op_arg =
       ("sweep", `Sweep);
       ("cache-stats", `Cache_stats);
       ("metrics", `Metrics);
+      ("metrics-text", `Metrics_text);
       ("shutdown", `Shutdown);
     ]
   in
@@ -871,7 +968,7 @@ let op_arg =
     & info [] ~docv:"OP"
         ~doc:
           "Operation: ping, list, run, compile, profile, analyze, inject, sweep, cache-stats, \
-           metrics or shutdown.")
+           metrics, metrics-text (Prometheus text exposition) or shutdown.")
 
 let client_app =
   Arg.(
@@ -939,7 +1036,8 @@ let commands =
       term =
         Term.(
           const profile_act $ Args.kernel $ Args.cluster $ Args.memory $ Args.scheme
-          $ Args.window $ Args.interval $ Args.top $ Args.profile_out $ Args.format $ Args.jobs);
+          $ Args.window $ Args.interval $ Args.top $ Args.profile_out $ Args.spans
+          $ Args.format $ Args.jobs);
     };
     {
       name = "analyze";
@@ -974,7 +1072,7 @@ let commands =
       term =
         Term.(
           const serve_act $ socket_arg $ stdio_arg $ demo_arg $ result_capacity_arg
-          $ schedule_capacity_arg $ Args.jobs);
+          $ schedule_capacity_arg $ access_log_arg $ slow_ms_arg $ Args.jobs);
     };
     {
       name = "client";
@@ -998,7 +1096,22 @@ let commands =
     };
   ]
 
+(* [bench] is a command group of its own: [bench diff] compares two
+   benchmark snapshots (the perf-regression sentinel check.sh runs). *)
+let bench_cmd =
+  let diff =
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Compare two BENCH_micro.json snapshots per benchmark and exit nonzero when any \
+            grew beyond --threshold percent. The meta blocks (timestamp, commit, jobs, host) \
+            are shown in the header but never affect the deltas.")
+      Term.(
+        const bench_diff_act $ bench_old_arg $ bench_new_arg $ bench_threshold_arg $ Args.format)
+  in
+  Cmd.group (Cmd.info "bench" ~doc:"Benchmark snapshot tooling (perf-regression sentinel).") [ diff ]
+
 let () =
   let info = Cmd.info "ndp_run" ~doc:"Data-movement-aware computation partitioning playground." in
   let cmds = List.map (fun c -> Cmd.v (Cmd.info c.name ~doc:c.summary) c.term) commands in
-  exit (Cmd.eval (Cmd.group info cmds))
+  exit (Cmd.eval (Cmd.group info (cmds @ [ bench_cmd ])))

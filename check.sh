@@ -6,7 +6,12 @@
 # within the divergence threshold of the measured ledger),
 # the fault-injection + schedule-repair self-check, the serve daemon
 # round-trip (a repeated identical request must come back as a
-# byte-identical cache hit), the fusion reconciliation gate (the fusion
+# byte-identical cache hit), the telemetry gate (one JSONL access-log
+# line per request, a well-formed Prometheus exposition, and per-phase
+# span sums reconciling with the request-latency histogram within 5%),
+# the bench sentinel (`bench diff` accepts the committed BENCH_micro.json
+# against itself and provably rejects a synthetic 2x regression),
+# the fusion reconciliation gate (the fusion
 # decision table must show a real >=15% measured flit-hop reduction on
 # the residual-block chain workload), then the static analysis suite
 # (IR lint + schedule race detection over all 14 workloads under the
@@ -170,6 +175,122 @@ for dec in d['decisions']:
   rm -f "$_fus"
 )
 
+telemetry_gate() (
+  # Observability gate, two halves. (1) A deterministic stdio session
+  # under the fake clock must emit exactly one well-formed JSONL
+  # access-log line per demo request. (2) A real daemon must serve a
+  # well-formed Prometheus exposition (TYPE'd families, no duplicate
+  # series, cumulative histogram buckets, per-op request histograms),
+  # and on a cold traced request the per-phase span sum must reconcile
+  # with the recorded serve.request_ms within 5%.
+  set -e
+  _log=$(mktemp /tmp/ndp_access.XXXXXX.jsonl)
+  _reqs=$(mktemp /tmp/ndp_reqs.XXXXXX.txt)
+  dune exec bin/ndp_run.exe -- serve --demo-requests >"$_reqs"
+  NDP_FAKE_CLOCK=1 dune exec bin/ndp_run.exe -- serve --stdio --access-log "$_log" <"$_reqs" >/dev/null
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$_reqs" "$_log" <<'PY'
+import json, sys
+reqs = sum(1 for i, _ in enumerate(open(sys.argv[1])) if i % 2 == 1)  # frames: len\npayload\n
+lines = [json.loads(l) for l in open(sys.argv[2])]
+assert len(lines) == reqs, 'expected %d access-log lines, got %d' % (reqs, len(lines))
+for i, d in enumerate(lines):
+    assert d['seq'] == i + 1 and d['id'] == i + 1, d
+    for k in ('op', 'key', 'ok', 'cached', 'ms', 'bytes_out', 'spans', 'phases'):
+        assert k in d, (k, d)
+PY
+  fi
+  _sock=$(mktemp -u /tmp/ndp_tele.XXXXXX.sock)
+  _prom=$(mktemp /tmp/ndp_prom.XXXXXX.txt)
+  : >"$_log"
+  dune exec bin/ndp_run.exe -- serve --socket "$_sock" --access-log "$_log" 2>/dev/null &
+  _daemon=$!
+  _tries=0
+  while [ ! -S "$_sock" ]; do
+    _tries=$((_tries + 1))
+    if [ "$_tries" -gt 100 ]; then
+      echo "telemetry_gate: daemon never bound $_sock" >&2
+      kill "$_daemon" 2>/dev/null || true
+      exit 1
+    fi
+    sleep 0.1
+  done
+  _client="$(pwd)/_build/default/bin/ndp_run.exe"
+  "$_client" client profile cholesky --socket "$_sock" >/dev/null
+  "$_client" client metrics-text --socket "$_sock" >"$_prom"
+  "$_client" client shutdown --socket "$_sock" >/dev/null
+  wait "$_daemon"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$_prom" <<'PY'
+import re, sys
+seen, families, last = set(), {}, {}
+for raw in open(sys.argv[1]):
+    line = raw.rstrip('\n')
+    if not line:
+        continue
+    if line.startswith('#'):
+        m = re.match(r'# TYPE (\w+) (counter|gauge|histogram)$', line)
+        assert m, 'bad comment line: %r' % line
+        assert m.group(1) not in families, 'duplicate TYPE for %s' % m.group(1)
+        families[m.group(1)] = m.group(2)
+        continue
+    m = re.match(r'([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$', line)
+    assert m, 'bad sample line: %r' % line
+    name, labels, value = m.group(1), m.group(2) or '', m.group(3)
+    assert (name, labels) not in seen, 'duplicate series %s%s' % (name, labels)
+    seen.add((name, labels))
+    float(value)
+    base = re.sub(r'_(bucket|sum|count)$', '', name)
+    assert base in families or name in families, 'sample %s lacks a TYPE' % name
+    if name.endswith('_bucket'):
+        key = (base, re.sub(r'le="[^"]*",?', '', labels))
+        v = float(value)
+        assert v >= last.get(key, 0.0), 'non-cumulative buckets for %s%s' % (name, labels)
+        last[key] = v
+assert families.get('serve_requests') == 'counter', families
+assert families.get('serve_request_ms') == 'histogram', families
+assert any(n == 'serve_request_ms_bucket' and 'op="profile"' in l for n, l in seen), \
+    'no per-op request histogram series'
+PY
+    python3 - "$_log" <<'PY'
+import json, sys
+cold = [d for d in map(json.loads, open(sys.argv[1])) if d['op'] == 'profile' and not d['cached']]
+assert cold, 'no cold traced profile request in the access log'
+d = cold[0]
+phase_ms = sum(p['ms'] for p in d['phases'].values())
+ratio = phase_ms / d['ms']
+assert 0.95 <= ratio <= 1.0, \
+    'phase spans (%.3f ms) do not reconcile with request ms (%.3f ms): ratio %.3f' \
+    % (phase_ms, d['ms'], ratio)
+PY
+  fi
+  rm -f "$_log" "$_reqs" "$_prom" "$_sock"
+)
+
+bench_sentinel_gate() (
+  # The perf-regression sentinel must accept the committed baseline
+  # against itself, and its self-test must prove it can actually fire:
+  # a copy with one benchmark synthetically doubled has to come back
+  # nonzero. A sentinel that cannot reject anything guards nothing.
+  set -e
+  dune exec bin/ndp_run.exe -- bench diff BENCH_micro.json BENCH_micro.json >/dev/null
+  if command -v python3 >/dev/null 2>&1; then
+    _slow=$(mktemp /tmp/ndp_bench_slow.XXXXXX.json)
+    python3 -c "
+import json, sys
+d = json.load(open('BENCH_micro.json'))
+d['tests'][0]['ns'] *= 2.0
+json.dump(d, open(sys.argv[1], 'w'))
+" "$_slow"
+    if dune exec bin/ndp_run.exe -- bench diff BENCH_micro.json "$_slow" >/dev/null; then
+      echo "bench_sentinel_gate: bench diff failed to flag a 2x regression" >&2
+      rm -f "$_slow"
+      exit 1
+    fi
+    rm -f "$_slow"
+  fi
+)
+
 fault_gate() (
   # Inject a deterministic fault plan (killed link, stalled node, slowed
   # MC), repair the schedule around it, and run the built-in selfcheck:
@@ -188,6 +309,8 @@ phase profile profile_gate
 phase analyze analyze_gate
 phase fault fault_gate
 phase serve serve_gate
+phase telemetry telemetry_gate
+phase bench-sentinel bench_sentinel_gate
 phase fusion fusion_gate
 phase check dune exec bin/ndp_run.exe -- check --fuse --jobs "$jobs"
 

@@ -205,6 +205,11 @@ let job_make ?(config = Config.default) ?(tweaks = no_tweaks) ?faults ?(repair =
 let run_job ?pool ?(obs = Ndp_obs.Sink.none) (j : job) =
   let { scheme; kernel; config; tweaks; faults; repair; validate; capture } = j in
   let repair_plan = if repair then faults else None in
+  (* Phase spans live on the calling domain only: window-size estimation
+     and batch runs fan work across the pool, so per-phase brackets here
+     stay race-free and deterministic at any [--jobs]. *)
+  let spans = obs.Ndp_obs.Sink.spans in
+  let sp_parse = Ndp_obs.Span.enter spans "parse" in
   let ctx = make_context ~config ~tweaks ~obs ?faults ?repair:repair_plan scheme kernel in
   let traces = ref [] in
   let emitted = ref [] in
@@ -309,10 +314,18 @@ let run_job ?pool ?(obs = Ndp_obs.Sink.none) (j : job) =
     Hashtbl.iter (fun a c -> if c > 1 then Hashtbl.replace shared a ()) counts;
     shared
   in
+  Ndp_obs.Span.attr_int spans sp_parse "instances" total_groups;
+  Ndp_obs.Span.exit spans sp_parse;
   (match scheme with
   | Default ->
     List.iter
       (fun ((nest : Loop.nest), metas) ->
+        (* The default scheme interleaves per-instance compilation with
+           execution, so it gets one coarse per-nest span rather than the
+           partitioned scheme's phase breakdown. *)
+        let sp_sim = Ndp_obs.Span.enter spans "simulate" in
+        Ndp_obs.Span.attr_str spans sp_sim "nest" nest.Loop.nest_name;
+        let c0 = Ndp_sim.Stats.finish_time (Engine.stats engine) in
         let nest_tasks = ref [] in
         List.iter
           (fun (m : Window.meta) ->
@@ -333,17 +346,23 @@ let run_job ?pool ?(obs = Ndp_obs.Sink.none) (j : job) =
           traces :=
             Serialized
               { t_nest = nest.Loop.nest_name; t_metas = metas; t_tasks = List.rev !nest_tasks }
-            :: !traces)
+            :: !traces;
+        let c1 = Ndp_sim.Stats.finish_time (Engine.stats engine) in
+        Ndp_obs.Span.exit ~cycles:(c1 - c0) spans sp_sim)
       streams
   | Partitioned opts ->
     List.iter
       (fun ((nest : Loop.nest), metas) ->
+        let sp_w = Ndp_obs.Span.enter spans "window" in
+        Ndp_obs.Span.attr_str spans sp_w "nest" nest.Loop.nest_name;
         let w =
           match opts.window with
           | Fixed k -> max 1 k
           | Adaptive -> Window.choose_size ?pool ctx metas ~max:config.Config.max_window
           | Analytic -> Window.choose_size_analytic ?pool ctx metas ~max:config.Config.max_window
         in
+        Ndp_obs.Span.attr_int spans sp_w "w" w;
+        Ndp_obs.Span.exit spans sp_w;
         windows_chosen := (nest.Loop.nest_name, w) :: !windows_chosen;
         let pending : (int, bool Queue.t) Hashtbl.t = Hashtbl.create 64 in
         let push_prediction (va, p) =
@@ -382,11 +401,15 @@ let run_job ?pool ?(obs = Ndp_obs.Sink.none) (j : job) =
            [analyze] emits deps in ascending (src, dst) order, so each
            chunk's slice is one pointer walk instead of a re-analysis that
            re-resolves every reference in the window. *)
+        let sp_d = Ndp_obs.Span.enter spans "deps" in
+        Ndp_obs.Span.attr_str spans sp_d "nest" nest.Loop.nest_name;
         let deps_arr =
           Array.of_list
             (Dep.analyze ctx.Context.compiler_resolve
                (List.map (fun (m : Window.meta) -> m.Window.inst) metas))
         in
+        Ndp_obs.Span.attr_int spans sp_d "deps" (Array.length deps_arr);
+        Ndp_obs.Span.exit spans sp_d;
         (* The fusion plan is computed once per nest against the full
            dependence analysis (the first-kill rule needs every later
            sweep's re-write in view) and sliced per chunk below. Fusion
@@ -394,6 +417,8 @@ let run_job ?pool ?(obs = Ndp_obs.Sink.none) (j : job) =
            member off its node, stranding the L1-resident intermediate. *)
         let fusion_slots =
           if opts.fuse && repair_plan = None then begin
+            let sp_f = Ndp_obs.Span.enter spans "fusion" in
+            Ndp_obs.Span.attr_str spans sp_f "nest" nest.Loop.nest_name;
             let metas_arr = Array.of_list metas in
             let insts = Array.map (fun (m : Window.meta) -> m.Window.inst) metas_arr in
             let default_node =
@@ -405,10 +430,14 @@ let run_job ?pool ?(obs = Ndp_obs.Sink.none) (j : job) =
                 ~shared:shared_arrays ~default_node insts deps_arr
             in
             fusion_decisions := !fusion_decisions @ decs;
+            Ndp_obs.Span.attr_int spans sp_f "decisions" (List.length decs);
+            Ndp_obs.Span.exit spans sp_f;
             Some slots
           end
           else None
         in
+        let sp_s = Ndp_obs.Span.enter spans "schedule" in
+        Ndp_obs.Span.attr_str spans sp_s "nest" nest.Loop.nest_name;
         let dp = ref 0 in
         List.iteri
           (fun ci window_metas ->
@@ -459,10 +488,17 @@ let run_job ?pool ?(obs = Ndp_obs.Sink.none) (j : job) =
           Array.stable_sort (fun ((_ : Task.t), la) ((_ : Task.t), lb) -> compare la lb) arr;
           arr
         in
+        Ndp_obs.Span.attr_int spans sp_s "tasks" (Array.length ordered);
+        Ndp_obs.Span.exit spans sp_s;
         if capture then
           emitted := Array.fold_right (fun (t, _) acc -> t :: acc) ordered [] :: !emitted;
+        let sp_sim = Ndp_obs.Span.enter spans "simulate" in
+        Ndp_obs.Span.attr_str spans sp_sim "nest" nest.Loop.nest_name;
+        let c0 = Ndp_sim.Stats.finish_time (Engine.stats engine) in
         Engine.run ~on_load engine
-          (Array.fold_right (fun (t, _) acc -> apply_tweaks tweaks t :: acc) ordered []))
+          (Array.fold_right (fun (t, _) acc -> apply_tweaks tweaks t :: acc) ordered []);
+        let c1 = Ndp_sim.Stats.finish_time (Engine.stats engine) in
+        Ndp_obs.Span.exit ~cycles:(c1 - c0) spans sp_sim)
       streams);
   let stats = Ndp_sim.Stats.copy (Engine.stats engine) in
   (* End every timeline series at the run's last cycle, boundary or not. *)
@@ -600,8 +636,11 @@ let replay ?(config = Config.default) ?(tweaks = no_tweaks) ?(obs = Ndp_obs.Sink
   Ndp_sim.Network.set_distance_factor (Machine.network machine) tweaks.distance_factor;
   Machine.set_mc_overrides machine tweaks.mc_overrides;
   let engine = Engine.create ~obs machine in
+  let spans = obs.Ndp_obs.Sink.spans in
+  let sp = Ndp_obs.Span.enter spans "replay" in
   List.iter (fun batch -> Engine.run engine (List.map (apply_tweaks tweaks) batch)) emitted;
   let stats = Ndp_sim.Stats.copy (Engine.stats engine) in
+  Ndp_obs.Span.exit ~cycles:(Ndp_sim.Stats.finish_time stats) spans sp;
   Ndp_obs.Timeline.flush obs.Ndp_obs.Sink.timeline ~now:(Ndp_sim.Stats.finish_time stats);
   {
     rp_stats = stats;

@@ -1,0 +1,162 @@
+(* The perf-regression sentinel: compare two BENCH_micro.json snapshots
+   test-by-test. The "tests" arrays are joined by benchmark name; the
+   optional "meta" blocks (timestamp, commit, jobs, hostname) are carried
+   into the report header but never into the deltas, so re-benchmarking
+   on a different day or host only gates on the numbers. *)
+
+module Json = Render.Json
+
+type delta = { d_name : string; d_old_ns : float; d_new_ns : float; d_pct : float }
+
+type report = {
+  r_threshold : float; (* percent; regressions are d_pct > threshold *)
+  r_old_meta : (string * string) list;
+  r_new_meta : (string * string) list;
+  r_deltas : delta list; (* name-sorted; tests present on both sides *)
+  r_only_old : string list;
+  r_only_new : string list;
+}
+
+let meta_value = function
+  | Json.Str s -> s
+  | Json.Int i -> string_of_int i
+  | Json.Bool b -> string_of_bool b
+  | v -> Json.to_string v
+
+let meta_of doc =
+  match Json.member "meta" doc with
+  | Some (Json.Obj kvs) -> List.map (fun (k, v) -> (k, meta_value v)) kvs
+  | _ -> []
+
+let tests_of doc =
+  match Json.member "tests" doc with
+  | Some (Json.List entries) ->
+    let entry = function
+      | Json.Obj _ as e -> (
+        match (Json.member "name" e, Json.member "ns" e) with
+        | Some (Json.Str name), Some (Json.Float ns) -> Ok (name, ns)
+        | Some (Json.Str name), Some (Json.Int ns) -> Ok (name, float_of_int ns)
+        | _ -> Error "test entry missing \"name\"/\"ns\"")
+      | _ -> Error "test entry is not an object"
+    in
+    List.fold_left
+      (fun acc e ->
+        match (acc, entry e) with
+        | Error _, _ -> acc
+        | _, Error msg -> Error msg
+        | Ok tests, Ok t -> Ok (t :: tests))
+      (Ok []) entries
+    |> Result.map List.rev
+  | Some _ -> Error "\"tests\" is not an array"
+  | None -> Error "no \"tests\" array"
+
+let pct_change ~old_ns ~new_ns =
+  if old_ns > 0.0 then (new_ns -. old_ns) /. old_ns *. 100.0
+  else if new_ns > 0.0 then Float.infinity
+  else 0.0
+
+let compare_docs ?(threshold = 10.0) ~old_doc ~new_doc () =
+  match (tests_of old_doc, tests_of new_doc) with
+  | Error msg, _ -> Error ("old snapshot: " ^ msg)
+  | _, Error msg -> Error ("new snapshot: " ^ msg)
+  | Ok old_tests, Ok new_tests ->
+    let deltas =
+      List.filter_map
+        (fun (name, old_ns) ->
+          match List.assoc_opt name new_tests with
+          | None -> None
+          | Some new_ns ->
+            Some { d_name = name; d_old_ns = old_ns; d_new_ns = new_ns;
+                   d_pct = pct_change ~old_ns ~new_ns })
+        old_tests
+      |> List.sort (fun a b -> compare a.d_name b.d_name)
+    in
+    let missing_from other = fun (name, _) -> not (List.mem_assoc name other) in
+    Ok
+      {
+        r_threshold = threshold;
+        r_old_meta = meta_of old_doc;
+        r_new_meta = meta_of new_doc;
+        r_deltas = deltas;
+        r_only_old = List.sort compare (List.map fst (List.filter (missing_from new_tests) old_tests));
+        r_only_new = List.sort compare (List.map fst (List.filter (missing_from old_tests) new_tests));
+      }
+
+let compare_strings ?threshold ~old_text ~new_text () =
+  match (Json.parse old_text, Json.parse new_text) with
+  | Error msg, _ -> Error ("old snapshot: " ^ msg)
+  | _, Error msg -> Error ("new snapshot: " ^ msg)
+  | Ok old_doc, Ok new_doc -> compare_docs ?threshold ~old_doc ~new_doc ()
+
+let regressions r = List.filter (fun d -> d.d_pct > r.r_threshold) r.r_deltas
+
+let has_regressions r = regressions r <> []
+
+let status r d =
+  if d.d_pct > r.r_threshold then "REGRESSED"
+  else if d.d_pct < -.r.r_threshold then "improved"
+  else "ok"
+
+let meta_line tag = function
+  | [] -> Printf.sprintf "%s: (no meta)" tag
+  | kvs ->
+    Printf.sprintf "%s: %s" tag
+      (String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) kvs))
+
+let render r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (meta_line "old" r.r_old_meta);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (meta_line "new" r.r_new_meta);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "threshold: +%.1f%%\n\n" r.r_threshold);
+  let tbl = Ndp_prelude.Table.create ~header:[ "benchmark"; "old ns"; "new ns"; "delta"; "status" ] in
+  List.iter
+    (fun d ->
+      Ndp_prelude.Table.add_row tbl
+        [
+          d.d_name;
+          Printf.sprintf "%.1f" d.d_old_ns;
+          Printf.sprintf "%.1f" d.d_new_ns;
+          (if Float.is_finite d.d_pct then Printf.sprintf "%+.1f%%" d.d_pct else "+inf");
+          status r d;
+        ])
+    r.r_deltas;
+  Buffer.add_string buf (Ndp_prelude.Table.render tbl);
+  List.iter
+    (fun n -> Buffer.add_string buf (Printf.sprintf "\nonly in old: %s" n))
+    r.r_only_old;
+  List.iter
+    (fun n -> Buffer.add_string buf (Printf.sprintf "\nonly in new: %s" n))
+    r.r_only_new;
+  let regs = regressions r in
+  Buffer.add_string buf
+    (Printf.sprintf "\n\n%d compared, %d regressed (> +%.1f%%)"
+       (List.length r.r_deltas) (List.length regs) r.r_threshold);
+  Buffer.contents buf
+
+let to_json r =
+  let open Json in
+  let meta kvs = Obj (List.map (fun (k, v) -> (k, Str v)) kvs) in
+  Obj
+    [
+      ("threshold_pct", Float r.r_threshold);
+      ("old_meta", meta r.r_old_meta);
+      ("new_meta", meta r.r_new_meta);
+      ( "deltas",
+        List
+          (List.map
+             (fun d ->
+               Obj
+                 [
+                   ("name", Str d.d_name);
+                   ("old_ns", Float d.d_old_ns);
+                   ("new_ns", Float d.d_new_ns);
+                   ("delta_pct", Float d.d_pct);
+                   ("status", Str (status r d));
+                 ])
+             r.r_deltas) );
+      ("only_old", List (List.map (fun n -> Str n) r.r_only_old));
+      ("only_new", List (List.map (fun n -> Str n) r.r_only_new));
+      ("regressions", Int (List.length (regressions r)));
+    ]

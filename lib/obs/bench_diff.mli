@@ -1,0 +1,43 @@
+(** Perf-regression sentinel over BENCH_micro.json snapshots.
+
+    Compares the ["tests"] arrays of two snapshots by benchmark name and
+    flags entries whose per-iteration time grew by more than a threshold
+    percentage. The optional ["meta"] block (timestamp, commit, jobs,
+    hostname) is surfaced in the report header but never influences the
+    deltas. Backs [ndp_run bench diff OLD.json NEW.json]. *)
+
+type delta = { d_name : string; d_old_ns : float; d_new_ns : float; d_pct : float }
+
+type report = {
+  r_threshold : float; (** percent; a regression is [d_pct > threshold] *)
+  r_old_meta : (string * string) list;
+  r_new_meta : (string * string) list;
+  r_deltas : delta list; (** name-sorted; tests present on both sides *)
+  r_only_old : string list;
+  r_only_new : string list;
+}
+
+val compare_docs :
+  ?threshold:float ->
+  old_doc:Render.Json.t ->
+  new_doc:Render.Json.t ->
+  unit ->
+  (report, string) result
+(** [threshold] defaults to 10.0 (percent). Errors name the side whose
+    snapshot is malformed. *)
+
+val compare_strings :
+  ?threshold:float -> old_text:string -> new_text:string -> unit -> (report, string) result
+(** {!compare_docs} after parsing both snapshot texts. *)
+
+val regressions : report -> delta list
+(** Deltas beyond the threshold, name-sorted. *)
+
+val has_regressions : report -> bool
+
+val render : report -> string
+(** Human report: meta header, per-benchmark delta table
+    (ok / improved / REGRESSED), tests present on only one side, and a
+    summary line. *)
+
+val to_json : report -> Render.Json.t

@@ -247,6 +247,50 @@ let to_json t =
   in
   Render.Json.Obj (List.map (fun (name, s) -> (name, sample_json s)) (to_alist t))
 
+(* Prometheus text exposition of the whole registry. Families are the
+   mangled instrument names; exploded-vec labels ride along as label
+   pairs; histograms emit cumulative _bucket series plus _sum/_count, the
+   standard shape. Output is name-sorted (inherited from [to_alist]), so
+   the exposition is deterministic and free of duplicate series. *)
+let to_prometheus t =
+  let open Render.Prom in
+  let buf = Buffer.create 1024 in
+  let typed = Hashtbl.create 32 in
+  let emit_type family kind =
+    if not (Hashtbl.mem typed family) then begin
+      Hashtbl.add typed family kind;
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" family kind)
+    end
+  in
+  let line name labels value =
+    Buffer.add_string buf (sample_line name labels value);
+    Buffer.add_char buf '\n'
+  in
+  List.iter
+    (fun (name, sample) ->
+      let base, labels = split_series name in
+      let family = mangle base in
+      match sample with
+      | Counter_v n ->
+        emit_type family "counter";
+        line family labels (string_of_int n)
+      | Gauge_v v ->
+        emit_type family "gauge";
+        line family labels (float_repr v)
+      | Histogram_v { counts; bounds; sum; count } ->
+        emit_type family "histogram";
+        let cum = ref 0 in
+        Array.iteri
+          (fun i n ->
+            cum := !cum + n;
+            let le = if i < Array.length bounds then float_repr bounds.(i) else "+Inf" in
+            line (family ^ "_bucket") (labels @ [ ("le", le) ]) (string_of_int !cum))
+          counts;
+        line (family ^ "_sum") labels (float_repr sum);
+        line (family ^ "_count") labels (string_of_int count))
+    (to_alist t);
+  Buffer.contents buf
+
 module Sharded = struct
   type registry = t
 

@@ -112,6 +112,15 @@ val to_json : t -> Render.Json.t
     histograms as
     [{"count":..,"sum":..,"p50":..,"p95":..,"p99":..,"buckets":[[le,count],..]}]. *)
 
+val to_prometheus : t -> string
+(** Prometheus text exposition of the whole registry: one [# TYPE] line
+    per family, then name-sorted [name{labels} value] sample lines.
+    Instrument names are mangled ([Render.Prom.mangle]); exploded-vec
+    labels become label pairs; histograms emit cumulative
+    [_bucket{le=...}] series (ending at [le="+Inf"]) plus [_sum] and
+    [_count]. Deterministic for a deterministic registry, with no
+    duplicate series. *)
+
 (** {1 Per-domain sharding} *)
 
 (** Shards one logical registry across domains: each domain bumps a

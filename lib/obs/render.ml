@@ -253,6 +253,72 @@ let rec json_to_sexp (j : Json.t) =
         (List.map (fun (k, v) -> "(" ^ sexp_atom k ^ " " ^ json_to_sexp v ^ ")") fields)
     ^ ")"
 
+(* Prometheus text-exposition lexical helpers. The semantic assembly
+   (families, bucket cumulation) lives in [Metrics.to_prometheus] —
+   [Metrics] already depends on [Render], so only the format vocabulary
+   can live here. *)
+module Prom = struct
+  let mangle name =
+    let mangled =
+      String.map
+        (fun c ->
+          match c with
+          | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+          | _ -> '_')
+        name
+    in
+    if mangled = "" then "_"
+    else
+      match mangled.[0] with '0' .. '9' -> "_" ^ mangled | _ -> mangled
+
+  (* Registry sample names are [base] or [base{label}] (the exploded-vec
+     form). A label of shape [k=v] becomes the pair; anything else (e.g. a
+     NoC link like "1,0->2,0") is kept whole under the key "label". *)
+  let split_series name =
+    match String.index_opt name '{' with
+    | Some i when String.length name > 0 && name.[String.length name - 1] = '}' ->
+      let base = String.sub name 0 i in
+      let label = String.sub name (i + 1) (String.length name - i - 2) in
+      let pair =
+        match String.index_opt label '=' with
+        | Some j ->
+          (String.sub label 0 j, String.sub label (j + 1) (String.length label - j - 1))
+        | None -> ("label", label)
+      in
+      (base, [ pair ])
+    | _ -> (name, [])
+
+  let escape_label_value v =
+    let buf = Buffer.create (String.length v) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      v;
+    Buffer.contents buf
+
+  let labels_to_string = function
+    | [] -> ""
+    | kvs ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" (mangle k) (escape_label_value v)) kvs)
+      ^ "}"
+
+  let float_repr f =
+    if Float.is_nan f then "NaN"
+    else if f = Float.infinity then "+Inf"
+    else if f = Float.neg_infinity then "-Inf"
+    else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.12g" f
+
+  let sample_line name labels value =
+    Printf.sprintf "%s%s %s" name (labels_to_string labels) value
+end
+
 let output fmt ~human (doc : Json.t) =
   match fmt with
   | Human -> human ()

@@ -49,6 +49,36 @@ module Json : sig
       missing key or a non-object. *)
 end
 
+(** Prometheus text-exposition lexical helpers, composed by
+    [Metrics.to_prometheus] (the semantic assembly lives there because
+    [Metrics] depends on [Render], not the reverse). *)
+module Prom : sig
+  val mangle : string -> string
+  (** Map a dotted instrument name to a valid Prometheus metric name:
+      characters outside [[a-zA-Z0-9_:]] become ['_'], a leading digit is
+      prefixed with ['_']. *)
+
+  val split_series : string -> string * (string * string) list
+  (** Split an exploded registry sample name ([base] or [base{label}])
+      into the family name and its label pairs: [k=v] labels become
+      [(k, v)]; a label without ['='] is kept whole as [("label", l)]. *)
+
+  val escape_label_value : string -> string
+  (** Backslash-escape backslash, double-quote and newline for a quoted
+      label value. *)
+
+  val labels_to_string : (string * string) list -> string
+  (** [{k="v",...}], or [""] for no labels. Keys are {!mangle}d, values
+      {!escape_label_value}d. *)
+
+  val float_repr : float -> string
+  (** Prometheus float spelling: integers bare, non-finite as
+      [NaN]/[+Inf]/[-Inf]. *)
+
+  val sample_line : string -> (string * string) list -> string -> string
+  (** [name{labels} value]. *)
+end
+
 val sexp_atom : string -> string
 (** Quote/escape a string as a single s-expression atom; bare symbols pass
     through unquoted. *)

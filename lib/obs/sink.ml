@@ -3,13 +3,20 @@ type t = {
   trace : Trace.t;
   ledger : Ledger.t;
   timeline : Timeline.t;
+  spans : Span.t;
 }
 
 let none =
-  { metrics = Metrics.disabled; trace = Trace.none; ledger = Ledger.none; timeline = Timeline.none }
+  {
+    metrics = Metrics.disabled;
+    trace = Trace.none;
+    ledger = Ledger.none;
+    timeline = Timeline.none;
+    spans = Span.none;
+  }
 
 let create ?(metrics = true) ?(trace = true) ?trace_capacity ?(ledger = false)
-    ?(timeline_interval = 0) ?timeline_capacity () =
+    ?(timeline_interval = 0) ?timeline_capacity ?(spans = false) () =
   {
     metrics = (if metrics then Metrics.create () else Metrics.disabled);
     trace = (if trace then Trace.create ?capacity:trace_capacity () else Trace.none);
@@ -18,6 +25,7 @@ let create ?(metrics = true) ?(trace = true) ?trace_capacity ?(ledger = false)
       (if timeline_interval > 0 then
          Timeline.create ?capacity:timeline_capacity ~interval:timeline_interval ()
        else Timeline.none);
+    spans = (if spans then Span.create () else Span.none);
   }
 
 let metrics_enabled t = Metrics.enabled t.metrics
@@ -27,3 +35,5 @@ let trace_enabled t = Trace.enabled t.trace
 let ledger_enabled t = Ledger.enabled t.ledger
 
 let timeline_enabled t = Timeline.enabled t.timeline
+
+let spans_enabled t = Span.enabled t.spans

@@ -10,6 +10,7 @@ type t = {
   trace : Trace.t;
   ledger : Ledger.t;
   timeline : Timeline.t;
+  spans : Span.t;
 }
 
 val none : t
@@ -22,12 +23,15 @@ val create :
   ?ledger:bool ->
   ?timeline_interval:int ->
   ?timeline_capacity:int ->
+  ?spans:bool ->
   unit ->
   t
 (** Enable the requested parts. [metrics] and [trace] default to [true];
     the profiling layers default to off ([ledger = false],
-    [timeline_interval = 0]) so existing callers keep their exact
-    pre-profiling behaviour. *)
+    [timeline_interval = 0], [spans = false]) so existing callers keep
+    their exact pre-profiling behaviour. Callers that already hold a
+    {!Span.t} (e.g. a per-request collector) substitute it with a record
+    update: [{ sink with Sink.spans }]. *)
 
 val metrics_enabled : t -> bool
 
@@ -36,3 +40,5 @@ val trace_enabled : t -> bool
 val ledger_enabled : t -> bool
 
 val timeline_enabled : t -> bool
+
+val spans_enabled : t -> bool

@@ -110,13 +110,14 @@ let chrome_event e =
   let args = ("id", e.id) :: e.args in
   common @ shape @ [ ("args", Obj (List.map (fun (k, v) -> (k, Int v)) args)) ]
 
-let to_chrome ?(counters = []) t =
+let to_chrome ?(counters = []) ?spans t =
   let open Render.Json in
   let events = List.map (fun e -> Obj (chrome_event e)) (sorted_events t) in
+  let span_events = match spans with None -> [] | Some s -> Span.chrome_events s in
   to_string
     (Obj
        [
-         ("traceEvents", List (events @ counters));
+         ("traceEvents", List (events @ counters @ span_events));
          ("displayTimeUnit", Str "ns");
          ("otherData", Obj [ ("emitted", Int (total t)); ("dropped", Int (dropped t)) ]);
        ])

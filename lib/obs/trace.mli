@@ -58,7 +58,7 @@ val total : t -> int
 val dropped : t -> int
 (** [total - length]: events overwritten by the ring. *)
 
-val to_chrome : ?counters:Render.Json.t list -> t -> string
+val to_chrome : ?counters:Render.Json.t list -> ?spans:Span.t -> t -> string
 (** One Chrome [trace_event] JSON document:
     [{"traceEvents": [...], "displayTimeUnit": "ns", ...}]. Tasks and
     messages are complete ("X") events with [pid] 0 and [tid] = node
@@ -66,7 +66,9 @@ val to_chrome : ?counters:Render.Json.t list -> t -> string
     sorted by start cycle, so timestamps are globally (and per-node)
     non-decreasing. [counters] are pre-rendered extra events — e.g.
     {!Timeline.chrome_counter_events} counter tracks — appended after the
-    task events (Perfetto orders by timestamp itself). *)
+    task events (Perfetto orders by timestamp itself). [spans] appends
+    {!Span.chrome_events} slices: request-scoped wall-clock phases on
+    their own pid track, nested next to the cycle-domain tracks. *)
 
 val to_jsonl : t -> string
 (** One JSON object per line, same field names as {!to_chrome} events,

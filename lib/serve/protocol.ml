@@ -40,7 +40,25 @@ type request =
   | Sweep of { spec : job_spec; variants : variant list }
   | Cache_stats
   | Metrics_dump
+  | Metrics_text
   | Shutdown
+
+(* The wire op string; also the access-log "op" field and the label of
+   the per-op serve.request_ms histogram. *)
+let op_name = function
+  | Ping -> "ping"
+  | List_apps -> "list"
+  | Run _ -> "run"
+  | Compile _ -> "compile"
+  | Profile _ -> "profile"
+  | Analyze _ -> "analyze"
+  | Inject _ -> "inject"
+  | Batch _ -> "batch"
+  | Sweep _ -> "sweep"
+  | Cache_stats -> "cache-stats"
+  | Metrics_dump -> "metrics"
+  | Metrics_text -> "metrics-text"
+  | Shutdown -> "shutdown"
 
 type envelope = { id : int; ok : bool; cached : bool; key : string }
 
@@ -102,6 +120,7 @@ let request_to_json ~id req =
       [ ("spec", spec_to_json spec); ("variants", Json.List (List.map variant_to_json variants)) ]
   | Cache_stats -> op "cache-stats" []
   | Metrics_dump -> op "metrics" []
+  | Metrics_text -> op "metrics-text" []
   | Shutdown -> op "shutdown" []
 
 let envelope_to_json (e : envelope) =
@@ -253,6 +272,7 @@ let request_of_json j =
       Ok (Sweep { spec; variants })
     | "cache-stats" -> Ok Cache_stats
     | "metrics" -> Ok Metrics_dump
+    | "metrics-text" -> Ok Metrics_text
     | "shutdown" -> Ok Shutdown
     | other -> Error (Printf.sprintf "unknown op %S" other)
   in

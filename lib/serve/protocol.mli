@@ -42,9 +42,19 @@ type request =
   | Inject of job_spec
   | Batch of job_spec list (** one [run_batch] across the pool *)
   | Sweep of { spec : job_spec; variants : variant list }
-  | Cache_stats (** deterministic cache counters *)
+  | Cache_stats
+      (** cache counters plus per-op request-latency percentiles
+          (deterministic under [NDP_FAKE_CLOCK]) *)
   | Metrics_dump (** full registry incl. latency (not deterministic) *)
+  | Metrics_text
+      (** full registry as Prometheus text exposition
+          ([Metrics.to_prometheus]); the response body is plain text, not
+          JSON *)
   | Shutdown
+
+val op_name : request -> string
+(** The wire op string — also the access-log ["op"] field and the label
+    of the per-op [serve.request_ms{op=...}] histogram. *)
 
 type envelope = { id : int; ok : bool; cached : bool; key : string }
 (** [key] is the content digest the response was cached under ([""] for

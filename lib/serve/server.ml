@@ -4,7 +4,15 @@ module Pipeline = Ndp_core.Pipeline
 module Pool = Ndp_prelude.Pool
 module Stats = Ndp_sim.Stats
 
-type reply = { ok : bool; cached : bool; key : string; body : string }
+type reply = {
+  seq : int;
+  ok : bool;
+  cached : bool;
+  key : string;
+  body : string;
+  ms : float;
+  spans : Ndp_obs.Span.t;
+}
 
 type t = {
   pool : Pool.t;
@@ -14,11 +22,17 @@ type t = {
   requests : Metrics.counter;
   errors : Metrics.counter;
   latency_ms : Metrics.histogram;
+  clock : unit -> float;
+  access_log : out_channel option;
+  slow_ms : float option;
+  mutable seq : int;
   mutable stop : bool;
 }
 
-let create ?jobs ?(result_capacity = 256) ?(schedule_capacity = 64) ?metrics () =
+let create ?jobs ?(result_capacity = 256) ?(schedule_capacity = 64) ?metrics ?clock ?access_log
+    ?slow_ms () =
   let reg = match metrics with Some r -> r | None -> Metrics.create () in
+  let clock = match clock with Some c -> c | None -> Ndp_obs.Span.default_clock () in
   {
     pool = Pool.create ?jobs ();
     reg;
@@ -27,6 +41,10 @@ let create ?jobs ?(result_capacity = 256) ?(schedule_capacity = 64) ?metrics () 
     requests = Metrics.counter reg "serve.requests";
     errors = Metrics.counter reg "serve.errors";
     latency_ms = Metrics.histogram reg "serve.request_ms";
+    clock;
+    access_log;
+    slow_ms;
+    seq = 0;
     stop = false;
   }
 
@@ -42,9 +60,21 @@ let shutdown t = Pool.shutdown t.pool
 
 let body doc = Json.to_string doc
 
-let plain doc = { ok = true; cached = false; key = ""; body = body doc }
+(* seq/ms/spans are stamped once per request by [handle]; the dispatch
+   helpers below fill only the outcome fields. *)
+let reply_of ~ok ~cached ~key body =
+  { seq = 0; ok; cached; key; body; ms = 0.0; spans = Ndp_obs.Span.none }
 
-let error msg = { ok = false; cached = false; key = ""; body = body (Json.Obj [ ("error", Json.Str msg) ]) }
+let plain doc = reply_of ~ok:true ~cached:false ~key:"" (body doc)
+
+let plain_text s = reply_of ~ok:true ~cached:false ~key:"" s
+
+(* Body serialization is charged to its own "render" phase so that, on a
+   cold traced request, the recorded phases account for (nearly) all of
+   the request wall time — the reconciliation check.sh enforces. *)
+let rendered spans f = Ndp_obs.Span.with_span spans "render" f
+
+let error msg = reply_of ~ok:false ~cached:false ~key:"" (body (Json.Obj [ ("error", Json.Str msg) ]))
 
 (* Resolve the spec, derive the content key from the *resolved* job (so
    spellings that mean the same job — e.g. window "adaptive" vs "" —
@@ -57,18 +87,21 @@ let cacheable t spec ~salt render =
   | Ok job ->
     let key = Key.digest (salt ^ "#" ^ Key.job job) in
     let b, hit = Cache.find_or_add t.results key (fun () -> render job) in
-    { ok = true; cached = hit; key; body = b }
+    reply_of ~ok:true ~cached:hit ~key b
 
 (* The schedule cache is keyed by the compile inputs alone (capture forced
    on), so a Compile and every Sweep over the same job share one entry. *)
-let captured t (job : Pipeline.Job.t) =
+let captured t ~spans (job : Pipeline.Job.t) =
   let job = { job with Pipeline.Job.capture = true } in
   let skey = Key.job_digest job in
-  let r, hit = Cache.find_or_add t.schedules skey (fun () -> Pipeline.Job.run ~pool:t.pool job) in
+  let obs = { Ndp_obs.Sink.none with Ndp_obs.Sink.spans = spans } in
+  let r, hit =
+    Cache.find_or_add t.schedules skey (fun () -> Pipeline.Job.run ~pool:t.pool ~obs job)
+  in
   (skey, r, hit)
 
-let compile_body t (job : Pipeline.Job.t) =
-  let skey, r, _hit = captured t job in
+let compile_body t ~spans (job : Pipeline.Job.t) =
+  let skey, r, _hit = captured t ~spans job in
   body
     (Json.Obj
        [
@@ -83,10 +116,14 @@ let compile_body t (job : Pipeline.Job.t) =
          ("captured_calls", Json.Int (List.length r.Pipeline.emitted));
        ])
 
-let sweep_body t (job : Pipeline.Job.t) (variants : Protocol.variant list) =
-  let _skey, r, _hit = captured t job in
+let sweep_body t ~spans (job : Pipeline.Job.t) (variants : Protocol.variant list) =
+  let _skey, r, _hit = captured t ~spans job in
   let base_exec = max 1 r.Pipeline.exec_time in
   let kernel = job.Pipeline.Job.kernel in
+  (* The replay fan-out runs on pool domains; the collector is
+     single-domain, so one coarse span on this domain covers the sweep. *)
+  let sp_replay = Ndp_obs.Span.enter spans "replay" in
+  Ndp_obs.Span.attr_int spans sp_replay "variants" (List.length variants);
   let rows =
     Pool.parallel_map t.pool
       (fun (v : Protocol.variant) ->
@@ -111,6 +148,7 @@ let sweep_body t (job : Pipeline.Job.t) (variants : Protocol.variant list) =
                 ] ))
       variants
   in
+  Ndp_obs.Span.exit spans sp_replay;
   match List.find_opt Result.is_error rows with
   | Some (Error (name, msg)) -> failwith (Printf.sprintf "variant %s: %s" name msg)
   | _ ->
@@ -145,8 +183,43 @@ let cache_stats_json (s : Cache.stats) =
       ("evictions", Json.Int s.Cache.evictions);
     ]
 
+(* Per-op latency percentiles, read back from [serve.request_ms] and its
+   lazily-registered [serve.request_ms{op=..}] family. The aggregate
+   histogram renders under the key "all". *)
+let latency_json t =
+  Json.Obj
+    (List.filter_map
+       (fun (name, sample) ->
+         match sample with
+         | Metrics.Histogram_v { counts; bounds; count; _ } ->
+           let base, labels = Ndp_obs.Render.Prom.split_series name in
+           if base <> "serve.request_ms" then None
+           else
+             let key =
+               match List.assoc_opt "op" labels with Some op -> op | None -> "all"
+             in
+             let p q = Metrics.percentile ~counts ~bounds q in
+             Some
+               ( key,
+                 Json.Obj
+                   [
+                     ("count", Json.Int count);
+                     ("p50_ms", Json.Float (p 0.5));
+                     ("p95_ms", Json.Float (p 0.95));
+                     ("p99_ms", Json.Float (p 0.99));
+                   ] )
+         | _ -> None)
+       (Metrics.to_alist t.reg))
+
 let handle t (req : Protocol.request) =
   Metrics.incr t.requests;
+  t.seq <- t.seq + 1;
+  let seq = t.seq in
+  let op = Protocol.op_name req in
+  let spans = Ndp_obs.Span.create ~clock:t.clock () in
+  let t0 = t.clock () in
+  let root = Ndp_obs.Span.enter spans "request" in
+  Ndp_obs.Span.attr_str spans root "op" op;
   let reply =
     try
       match req with
@@ -165,29 +238,38 @@ let handle t (req : Protocol.request) =
              [
                ("results", cache_stats_json (Cache.stats t.results));
                ("schedules", cache_stats_json (Cache.stats t.schedules));
+               ("latency", latency_json t);
              ])
       | Protocol.Metrics_dump -> plain (Metrics.to_json t.reg)
+      | Protocol.Metrics_text -> plain_text (Metrics.to_prometheus t.reg)
       | Protocol.Run { spec; metrics } ->
         cacheable t spec
           ~salt:(Printf.sprintf "run:%b" metrics)
-          (fun job -> body (Service.run ~pool:t.pool ~metrics job).Service.doc)
+          (fun job ->
+            let o = Service.run ~pool:t.pool ~metrics ~spans job in
+            rendered spans (fun () -> body o.Service.doc))
       | Protocol.Profile { spec; interval; top } ->
         cacheable t spec
           ~salt:(Printf.sprintf "profile:%d:%d" interval top)
-          (fun job -> body (Service.profile ~pool:t.pool ~interval ~top job).Service.p_doc)
+          (fun job ->
+            let o = Service.profile ~pool:t.pool ~spans ~interval ~top job in
+            rendered spans (fun () -> body o.Service.p_doc))
       | Protocol.Analyze { spec; threshold } ->
         cacheable t spec
           ~salt:(Printf.sprintf "analyze:%h" threshold)
-          (fun job -> body (Service.analyze ~pool:t.pool ~threshold job).Service.a_doc)
+          (fun job ->
+            let o = Service.analyze ~pool:t.pool ~spans ~threshold job in
+            rendered spans (fun () -> body o.Service.a_doc))
       | Protocol.Inject spec ->
         cacheable t spec ~salt:"inject" (fun job ->
-            body (Service.inject ~pool:t.pool ~spec:spec.Protocol.faults job).Service.i_doc)
+            let o = Service.inject ~pool:t.pool ~spans ~spec:spec.Protocol.faults job in
+            rendered spans (fun () -> body o.Service.i_doc))
       | Protocol.Compile spec ->
-        cacheable t spec ~salt:"compile" (fun job -> compile_body t job)
+        cacheable t spec ~salt:"compile" (fun job -> compile_body t ~spans job)
       | Protocol.Sweep { spec; variants } ->
         cacheable t spec
           ~salt:("sweep:" ^ variants_salt variants)
-          (fun job -> sweep_body t job variants)
+          (fun job -> sweep_body t ~spans job variants)
       | Protocol.Batch specs -> (
         let jobs =
           List.fold_left
@@ -208,11 +290,67 @@ let handle t (req : Protocol.request) =
                 let results = Pipeline.run_batch ~pool:t.pool jobs in
                 body (Json.Obj [ ("results", Json.List (List.map Service.result_json results)) ]))
           in
-          { ok = true; cached = hit; key; body = b })
+          reply_of ~ok:true ~cached:hit ~key b)
     with e -> error (Printexc.to_string e)
   in
+  Ndp_obs.Span.exit spans root;
+  let ms = (t.clock () -. t0) *. 1000.0 in
+  Metrics.observe t.latency_ms ms;
+  Metrics.observe (Metrics.histogram t.reg (Printf.sprintf "serve.request_ms{op=%s}" op)) ms;
   if not reply.ok then Metrics.incr t.errors;
-  reply
+  { reply with seq; ms; spans }
+
+(* ------------------------------------------------------------------ *)
+(* Access and slow logs                                                *)
+
+(* Per-phase totals from the request's span log, without the synthetic
+   "request" root (it would double-count everything under it). *)
+let phase_fields spans =
+  List.filter_map
+    (fun (name, (count, total_ms, _cycles)) ->
+      if name = "request" then None
+      else
+        Some (name, Json.Obj [ ("count", Json.Int count); ("ms", Json.Float total_ms) ]))
+    (Ndp_obs.Span.summary spans)
+
+(* One JSONL object per request: who, what, hit/miss, latency, bytes out
+   and the per-phase breakdown. *)
+let log_access t ~id ~op (reply : reply) =
+  match t.access_log with
+  | None -> ()
+  | Some oc ->
+    let line =
+      Json.to_string
+        (Json.Obj
+           [
+             ("seq", Json.Int reply.seq);
+             ("id", Json.Int id);
+             ("op", Json.Str op);
+             ("key", Json.Str reply.key);
+             ("ok", Json.Bool reply.ok);
+             ("cached", Json.Bool reply.cached);
+             ("ms", Json.Float reply.ms);
+             ("bytes_out", Json.Int (String.length reply.body));
+             ("spans", Json.Int (Ndp_obs.Span.count reply.spans));
+             ("phases", Json.Obj (phase_fields reply.spans));
+           ])
+    in
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+
+let log_slow t ~op (reply : reply) =
+  match t.slow_ms with
+  | Some threshold when reply.ms > threshold ->
+    Printf.eprintf "[slow] #%d %s %.3f ms (threshold %.1f ms)\n" reply.seq op reply.ms
+      threshold;
+    List.iter
+      (fun (name, (count, total_ms, _cycles)) ->
+        if name <> "request" then
+          Printf.eprintf "[slow]   %-9s x%-4d %12.3f ms\n" name count total_ms)
+      (Ndp_obs.Span.summary reply.spans);
+    flush stderr
+  | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Session loops                                                       *)
@@ -243,13 +381,14 @@ let serve_channels t ic oc =
           ~body:(body (Json.Obj [ ("error", Json.Str msg) ]));
         flush oc
       | Ok (id, req) ->
-        let t0 = Unix.gettimeofday () in
         let reply = handle t req in
-        Metrics.observe t.latency_ms ((Unix.gettimeofday () -. t0) *. 1000.0);
         Protocol.write_response oc
           { Protocol.id = id; ok = reply.ok; cached = reply.cached; key = reply.key }
           ~body:reply.body;
         flush oc;
+        let op = Protocol.op_name req in
+        log_access t ~id ~op reply;
+        log_slow t ~op reply;
         if req = Protocol.Shutdown then begin
           t.stop <- true;
           continue := false

@@ -12,18 +12,46 @@
       variants replay the captured task stream without recompiling.
 
     Instruments in the registry:
-    [serve.requests], [serve.errors], [serve.request_ms] and
-    [serve.cache_{hits,misses,evictions}{cache=results|schedules}]. *)
+    [serve.requests], [serve.errors], [serve.request_ms] (aggregate plus
+    a lazily-registered [serve.request_ms{op=..}] histogram per op) and
+    [serve.cache_{hits,misses,evictions}{cache=results|schedules}].
+
+    Every request is traced: [handle] opens a per-request span collector
+    with a root "request" span, threads it through the service layer (so
+    uncached pipeline work records its phase spans under it) and stamps
+    the reply with a monotone sequence number, the request latency and
+    the collector. Tracing never touches the response body, so cached
+    bodies stay byte-identical. *)
 
 type t
 
-type reply = { ok : bool; cached : bool; key : string; body : string }
+type reply = {
+  seq : int;  (** server-wide request sequence number (the request id) *)
+  ok : bool;
+  cached : bool;
+  key : string;
+  body : string;
+  ms : float;  (** request latency by the server's clock *)
+  spans : Ndp_obs.Span.t;  (** per-request span log, root span "request" *)
+}
 
 val create :
-  ?jobs:int -> ?result_capacity:int -> ?schedule_capacity:int -> ?metrics:Ndp_obs.Metrics.t -> unit -> t
+  ?jobs:int ->
+  ?result_capacity:int ->
+  ?schedule_capacity:int ->
+  ?metrics:Ndp_obs.Metrics.t ->
+  ?clock:(unit -> float) ->
+  ?access_log:out_channel ->
+  ?slow_ms:float ->
+  unit ->
+  t
 (** [jobs] sizes the embedded pool. Capacities default to 256 result
     bodies and 64 captured schedules. [metrics] defaults to a fresh
-    enabled registry. *)
+    enabled registry. [clock] (default {!Ndp_obs.Span.default_clock}, so
+    [NDP_FAKE_CLOCK] applies) times requests and spans. [access_log]
+    makes {!serve_channels} append one JSONL line per request;
+    [slow_ms] makes it print a span breakdown to stderr for requests
+    slower than the threshold. *)
 
 val registry : t -> Ndp_obs.Metrics.t
 
@@ -41,7 +69,9 @@ val handle : t -> Protocol.request -> reply
 val serve_channels : t -> in_channel -> out_channel -> unit
 (** One framed session over arbitrary channels (the [--stdio] mode and
     the per-connection loop). Returns on EOF, corrupt framing, or after
-    answering [Shutdown] (which also marks the server stopped). *)
+    answering [Shutdown] (which also marks the server stopped). After
+    each well-formed request it writes the access-log line and, past the
+    [slow_ms] threshold, the slow-log breakdown. *)
 
 val serve : t -> socket_path:string -> unit
 (** Bind a Unix-domain socket (unlinking any stale file), then accept and

@@ -207,10 +207,11 @@ type run_outcome = {
   human : unit -> string;
 }
 
-let run ?pool ?(metrics = false) (job : Pipeline.Job.t) =
+let run ?pool ?(metrics = false) ?(spans = Ndp_obs.Span.none) (job : Pipeline.Job.t) =
   let obs =
     if metrics then Ndp_obs.Sink.create ~metrics:true ~trace:false () else Ndp_obs.Sink.none
   in
+  let obs = { obs with Ndp_obs.Sink.spans = spans } in
   let r = Pipeline.Job.run ?pool ~obs job in
   let doc =
     if metrics then
@@ -321,10 +322,12 @@ type profile_outcome = {
   p_link_flits : int;
 }
 
-let profile ?pool ?(trace = false) ~interval ~top (job : Pipeline.Job.t) =
+let profile ?pool ?(trace = false) ?(spans = Ndp_obs.Span.none) ~interval ~top
+    (job : Pipeline.Job.t) =
   let obs =
     Ndp_obs.Sink.create ~metrics:true ~trace ~ledger:true ~timeline_interval:(max 0 interval) ()
   in
+  let obs = { obs with Ndp_obs.Sink.spans = spans } in
   let r = Pipeline.Job.run ?pool ~obs job in
   let ledger = obs.Ndp_obs.Sink.ledger in
   let timeline = obs.Ndp_obs.Sink.timeline in
@@ -332,7 +335,10 @@ let profile ?pool ?(trace = false) ~interval ~top (job : Pipeline.Job.t) =
   let link_flits = link_flits_total reg in
   let measured = Ledger.total_flit_hops ledger in
   let reconciled = measured = link_flits in
+  (* Ledger/timeline JSON construction is a real cost on large apps;
+     charge it to a "render" phase so traced requests reconcile. *)
   let doc =
+    Ndp_obs.Span.with_span spans "render" @@ fun () ->
     Render.Json.Obj
       [
         ("result", result_json r);
@@ -436,12 +442,13 @@ type analyze_outcome = {
   a_measured_total : int;
 }
 
-let analyze ?pool ~threshold (job : Pipeline.Job.t) =
+let analyze ?pool ?(spans = Ndp_obs.Span.none) ~threshold (job : Pipeline.Job.t) =
   let config = job.Pipeline.Job.config in
   let scheme_v = job.Pipeline.Job.scheme in
   let kernel = job.Pipeline.Job.kernel in
   let table = Cost.table ~config ~scheme:scheme_v kernel in
   let obs = Ndp_obs.Sink.create ~metrics:false ~trace:false ~ledger:true () in
+  let obs = { obs with Ndp_obs.Sink.spans = spans } in
   let r = Pipeline.Job.run ?pool ~obs job in
   let ledger = obs.Ndp_obs.Sink.ledger in
   let stmt_of =
@@ -667,7 +674,7 @@ type inject_outcome = {
   i_human : unit -> string;
 }
 
-let inject ?pool ~spec (job : Pipeline.Job.t) =
+let inject ?pool ?(spans = Ndp_obs.Span.none) ~spec (job : Pipeline.Job.t) =
   let config = job.Pipeline.Job.config in
   let plan =
     match job.Pipeline.Job.faults with
@@ -676,6 +683,7 @@ let inject ?pool ~spec (job : Pipeline.Job.t) =
   in
   let repair = job.Pipeline.Job.repair in
   let obs = Ndp_obs.Sink.create ~metrics:true ~trace:false () in
+  let obs = { obs with Ndp_obs.Sink.spans = spans } in
   let r = Pipeline.Job.run ?pool ~obs { job with Pipeline.Job.faults = Some plan } in
   let reg = obs.Ndp_obs.Sink.metrics in
   let doc =

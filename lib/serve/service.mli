@@ -64,10 +64,16 @@ type run_outcome = {
 }
 
 val run :
-  ?pool:Ndp_prelude.Pool.t -> ?metrics:bool -> Ndp_core.Pipeline.Job.t -> run_outcome
+  ?pool:Ndp_prelude.Pool.t ->
+  ?metrics:bool ->
+  ?spans:Ndp_obs.Span.t ->
+  Ndp_core.Pipeline.Job.t ->
+  run_outcome
 (** [metrics] collects the registry during the run and nests the result
     under [{"result": .., "metrics": ..}], mirroring [ndp_run run
-    --metrics]. *)
+    --metrics]. [spans] (default disabled) collects the pipeline's phase
+    spans — it never changes the document, so cached daemon responses
+    stay byte-identical to CLI output. *)
 
 type profile_outcome = {
   p_result : Ndp_core.Pipeline.result;
@@ -82,13 +88,15 @@ type profile_outcome = {
 val profile :
   ?pool:Ndp_prelude.Pool.t ->
   ?trace:bool ->
+  ?spans:Ndp_obs.Span.t ->
   interval:int ->
   top:int ->
   Ndp_core.Pipeline.Job.t ->
   profile_outcome
 (** Movement-attribution ledger + counter timeline. [trace] additionally
-    fills the sink's tracer (for the CLI's Perfetto output); it never
-    changes the document. [top] bounds the human table only. *)
+    fills the sink's tracer (for the CLI's Perfetto output); [spans]
+    collects phase spans; neither changes the document. [top] bounds the
+    human table only. *)
 
 type analyze_outcome = {
   a_result : Ndp_core.Pipeline.result;
@@ -101,7 +109,11 @@ type analyze_outcome = {
 }
 
 val analyze :
-  ?pool:Ndp_prelude.Pool.t -> threshold:float -> Ndp_core.Pipeline.Job.t -> analyze_outcome
+  ?pool:Ndp_prelude.Pool.t ->
+  ?spans:Ndp_obs.Span.t ->
+  threshold:float ->
+  Ndp_core.Pipeline.Job.t ->
+  analyze_outcome
 (** Static cost table reconciled against one measured run. *)
 
 type fusion_outcome = {
@@ -132,6 +144,10 @@ type inject_outcome = {
 }
 
 val inject :
-  ?pool:Ndp_prelude.Pool.t -> spec:string -> Ndp_core.Pipeline.Job.t -> inject_outcome
+  ?pool:Ndp_prelude.Pool.t ->
+  ?spans:Ndp_obs.Span.t ->
+  spec:string ->
+  Ndp_core.Pipeline.Job.t ->
+  inject_outcome
 (** Runs the job under its fault plan (an empty plan when the job carries
     none); [spec] is echoed into the document's plan description. *)

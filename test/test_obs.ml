@@ -503,6 +503,300 @@ let stats_pp_no_nan () =
   Alcotest.(check bool) "dash placeholder" true (Astring.String.is_infix ~affix:"-" text);
   Alcotest.(check (float 1e-9)) "avg_latency total" 0.0 (Stats.avg_latency s)
 
+(* {1 Spans} *)
+
+module Span = Ndp_obs.Span
+module RJ = Ndp_obs.Render.Json
+
+(* A deterministic test clock: 1 ms per reading. *)
+let tick_clock () =
+  let t = ref 0.0 in
+  fun () ->
+    t := !t +. 0.001;
+    !t
+
+let span_fields t =
+  match RJ.member "spans" (Span.to_json ~wall:false t) with
+  | Some (RJ.List items) ->
+    List.map
+      (fun item ->
+        let int name = match RJ.member name item with Some (RJ.Int n) -> n | _ -> -999 in
+        let str name = match RJ.member name item with Some (RJ.Str s) -> s | _ -> "?" in
+        (str "name", int "id", int "parent", int "depth"))
+      items
+  | _ -> Alcotest.fail "span json has no spans list"
+
+let span_nesting_and_attrs () =
+  let t = Span.create ~clock:(tick_clock ()) () in
+  Alcotest.(check bool) "enabled" true (Span.enabled t);
+  let a = Span.enter t "a" in
+  let b = Span.enter t "b" in
+  Span.attr_int t b "n" 7;
+  Span.attr_str t b "k" "v";
+  Alcotest.(check int) "two open" 2 (Span.depth t);
+  Span.exit t b;
+  let c = Span.enter t "c" in
+  Span.exit ~cycles:42 t c;
+  Span.exit t a;
+  Alcotest.(check int) "stack drained" 0 (Span.depth t);
+  Alcotest.(check int) "three recorded" 3 (Span.count t);
+  (* ids in enter order; parents/depths reflect the open stack *)
+  Alcotest.(check (list (pair string (pair int (pair int int)))))
+    "structure"
+    [ ("a", (0, (-1, 0))); ("b", (1, (0, 1))); ("c", (2, (0, 1))) ]
+    (List.map (fun (n, i, p, d) -> (n, (i, (p, d)))) (span_fields t));
+  (* attrs and cycles survive into the JSON *)
+  (match RJ.member "spans" (Span.to_json ~wall:false t) with
+  | Some (RJ.List [ _; b_item; c_item ]) ->
+    (match RJ.member "attrs" b_item with
+    | Some attrs ->
+      Alcotest.(check bool) "int attr" true (RJ.member "n" attrs = Some (RJ.Int 7));
+      Alcotest.(check bool) "str attr" true (RJ.member "k" attrs = Some (RJ.Str "v"))
+    | None -> Alcotest.fail "span b lost its attrs");
+    Alcotest.(check bool) "cycles attr" true (RJ.member "cycles" c_item = Some (RJ.Int 42))
+  | _ -> Alcotest.fail "expected three spans");
+  (* summary aggregates by name, name-sorted *)
+  let names = List.map fst (Span.summary t) in
+  Alcotest.(check (list string)) "summary sorted" [ "a"; "b"; "c" ] names
+
+let span_disabled_inert () =
+  let t = Span.none in
+  Alcotest.(check bool) "disabled" false (Span.enabled t);
+  let sp = Span.enter t "dead" in
+  Span.attr_int t sp "n" 1;
+  Span.attr_str t sp "s" "x";
+  Span.exit t sp;
+  Alcotest.(check int) "nothing recorded" 0 (Span.count t);
+  Alcotest.(check int) "nothing open" 0 (Span.depth t);
+  Alcotest.(check bool) "empty json" true
+    (RJ.member "count" (Span.to_json t) = Some (RJ.Int 0))
+
+let span_exception_safe () =
+  let t = Span.create ~clock:(tick_clock ()) () in
+  (try Span.with_span t "boom" (fun () -> failwith "inner") with Failure _ -> ());
+  Alcotest.(check int) "span closed by exception path" 0 (Span.depth t);
+  Alcotest.(check int) "span still recorded" 1 (Span.count t)
+
+(* Byte-identical span logs at any --jobs, two ways: the pipeline's own
+   phase spans (collector stays on the calling domain), and explicit
+   per-unit collectors merged in input order under [parallel_map]. *)
+let span_deterministic_across_jobs () =
+  List.iter
+    (fun app ->
+      let kernel = Ndp_workloads.Suite.find app in
+      let pipeline jobs =
+        Pool.with_pool ~jobs (fun pool ->
+            let spans = Span.create ~clock:(fun () -> 0.0) () in
+            let obs = { Sink.none with Sink.spans } in
+            ignore
+              (P.Job.run ~pool ~obs
+                 (P.Job.make (P.Partitioned P.partitioned_defaults) kernel));
+            RJ.to_string (Span.to_json ~wall:false spans))
+      in
+      let p1 = pipeline 1 in
+      Alcotest.(check string) (app ^ " pipeline spans 4 jobs == serial") p1 (pipeline 4);
+      Alcotest.(check string) (app ^ " pipeline spans 7 jobs == serial") p1 (pipeline 7);
+      let merged jobs =
+        Pool.with_pool ~jobs (fun pool ->
+            let parts =
+              Pool.parallel_map pool
+                (fun i ->
+                  let t = Span.create ~clock:(fun () -> 0.0) () in
+                  Span.with_span t (Printf.sprintf "unit-%d" i) (fun () ->
+                      Span.with_span ~cycles:i t "inner" (fun () -> ()));
+                  t)
+                [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+            in
+            RJ.to_string (Span.to_json ~wall:false (Span.merge parts)))
+      in
+      let m1 = merged 1 in
+      Alcotest.(check string) (app ^ " merged spans 4 jobs == serial") m1 (merged 4);
+      Alcotest.(check string) (app ^ " merged spans 7 jobs == serial") m1 (merged 7))
+    [ "water"; "fft" ]
+
+let span_merge_rebases_ids () =
+  let make names =
+    let t = Span.create ~clock:(fun () -> 0.0) () in
+    List.iter (fun n -> Span.with_span t n (fun () -> ())) names;
+    t
+  in
+  let a = make [ "a1"; "a2" ] in
+  let b = make [ "b1" ] in
+  let m = Span.merge [ a; Span.none; b ] in
+  Alcotest.(check int) "merged count" 3 (Span.count m);
+  Alcotest.(check (list (pair string int)))
+    "ids rebased in input order"
+    [ ("a1", 0); ("a2", 1); ("b1", 2) ]
+    (List.map (fun (n, i, _, _) -> (n, i)) (span_fields m))
+
+let span_pipeline_phases () =
+  let phases scheme kernel =
+    let spans = Span.create ~clock:(fun () -> 0.0) () in
+    let obs = { Sink.none with Sink.spans } in
+    ignore (P.run ~obs scheme kernel);
+    List.map fst (Span.summary spans)
+  in
+  Alcotest.(check (list string)) "partitioned phases"
+    [ "deps"; "parse"; "schedule"; "simulate"; "window" ]
+    (phases (P.Partitioned P.partitioned_defaults) (water ()));
+  Alcotest.(check (list string)) "fused adds a fusion phase"
+    [ "deps"; "fusion"; "parse"; "schedule"; "simulate"; "window" ]
+    (phases
+       (P.Partitioned { P.partitioned_defaults with P.fuse = true })
+       (Ndp_workloads.Suite.find "resnet_block"));
+  Alcotest.(check (list string)) "default scheme coarse phases"
+    [ "parse"; "simulate" ]
+    (phases P.Default (water ()))
+
+let span_chrome_containment () =
+  let t = Span.create ~clock:(tick_clock ()) () in
+  Span.with_span t "outer" (fun () ->
+      Span.with_span t "inner" (fun () -> ());
+      Span.with_span t "inner" (fun () -> ()));
+  let slices =
+    List.map
+      (fun e ->
+        let num name = match RJ.member name e with Some (RJ.Float f) -> f | Some (RJ.Int n) -> float_of_int n | _ -> nan in
+        let name = match RJ.member "name" e with Some (RJ.Str s) -> s | _ -> "?" in
+        (name, num "ts", num "dur"))
+      (Span.chrome_events t)
+  in
+  let outer = List.find (fun (n, _, _) -> n = "outer") slices in
+  let _, ots, odur = outer in
+  List.iter
+    (fun (n, ts, dur) ->
+      if n = "inner" then begin
+        Alcotest.(check bool) "inner starts after outer" true (ts >= ots);
+        Alcotest.(check bool) "inner ends before outer" true (ts +. dur <= ots +. odur)
+      end)
+    slices;
+  Alcotest.(check int) "three slices" 3 (List.length slices)
+
+(* {1 Prometheus exposition} *)
+
+let prometheus_exposition_valid () =
+  let reg = M.create () in
+  M.add (M.counter reg "a.count") 3;
+  let v = M.vec reg "noc.link" ~size:3 ~label:(fun i -> Printf.sprintf "%d->%d" i (i + 1)) in
+  M.vadd v 0 2;
+  M.vadd v 2 5;
+  M.set_gauge (M.gauge reg "g.val") 1.5;
+  let h = M.histogram ~buckets:[| 1.0; 2.0; 4.0 |] reg "h.lat" in
+  List.iter (M.observe h) [ 0.5; 1.5; 3.0; 9.0 ];
+  let text = M.to_prometheus reg in
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> l <> "") in
+  let series = List.filter (fun l -> not (Astring.String.is_prefix ~affix:"#" l)) lines in
+  (* every sample line is "name{labels} value" with a numeric value *)
+  List.iter
+    (fun l ->
+      match String.rindex_opt l ' ' with
+      | None -> Alcotest.failf "sample line %S has no value" l
+      | Some i -> (
+        let value = String.sub l (i + 1) (String.length l - i - 1) in
+        match float_of_string_opt value with
+        | Some _ -> ()
+        | None ->
+          if not (List.mem value [ "NaN"; "+Inf"; "-Inf" ]) then
+            Alcotest.failf "line %S has non-numeric value %S" l value))
+    series;
+  (* mangled names only, no duplicate series *)
+  let keys =
+    List.map
+      (fun l -> match String.rindex_opt l ' ' with Some i -> String.sub l 0 i | None -> l)
+    series
+  in
+  Alcotest.(check int) "no duplicate series" (List.length keys)
+    (List.length (List.sort_uniq compare keys));
+  List.iter
+    (fun k ->
+      if Astring.String.is_infix ~affix:"." k then
+        Alcotest.failf "series %S kept an unmangled dot in its name" k)
+    keys;
+  (* one TYPE line per family *)
+  let types = List.filter (fun l -> Astring.String.is_prefix ~affix:"# TYPE " l) lines in
+  Alcotest.(check int) "one TYPE per family" 4 (List.length types);
+  Alcotest.(check int) "TYPE lines distinct" 4 (List.length (List.sort_uniq compare types));
+  (* histogram: cumulative buckets ending at +Inf, plus _sum/_count *)
+  let bucket_values =
+    List.filter_map
+      (fun l ->
+        if Astring.String.is_prefix ~affix:"h_lat_bucket{" l then
+          String.rindex_opt l ' '
+          |> Option.map (fun i -> float_of_string (String.sub l (i + 1) (String.length l - i - 1)))
+        else None)
+      series
+  in
+  Alcotest.(check int) "bucket series incl +Inf" 4 (List.length bucket_values);
+  let rec monotone = function a :: (b :: _ as rest) -> a <= b && monotone rest | _ -> true in
+  Alcotest.(check bool) "buckets cumulative" true (monotone bucket_values);
+  Alcotest.(check bool) "+Inf bucket closes the family" true
+    (List.exists (fun l -> Astring.String.is_prefix ~affix:"h_lat_bucket{le=\"+Inf\"} 4" l) series);
+  Alcotest.(check bool) "count series" true (List.mem "h_lat_count 4" series);
+  Alcotest.(check bool) "sum series" true
+    (List.exists (fun l -> Astring.String.is_prefix ~affix:"h_lat_sum " l) series)
+
+let prometheus_deterministic () =
+  let build () =
+    let reg = M.create () in
+    M.add (M.counter reg "z.last") 1;
+    M.add (M.counter reg "a.first") 2;
+    M.observe (M.histogram reg "m.h") 3.0;
+    reg
+  in
+  Alcotest.(check string) "same registry, same exposition" (M.to_prometheus (build ()))
+    (M.to_prometheus (build ()))
+
+(* {1 Bench diff} *)
+
+module BD = Ndp_obs.Bench_diff
+
+let bench_entry name ns = RJ.Obj [ ("name", RJ.Str name); ("ns", RJ.Float ns) ]
+
+let bench_diff_report () =
+  let old_doc =
+    RJ.Obj
+      [
+        ("meta", RJ.Obj [ ("commit", RJ.Str "abc123"); ("jobs", RJ.Int 4) ]);
+        ("tests", RJ.List [ bench_entry "a" 100.0; bench_entry "b" 200.0; bench_entry "gone" 5.0 ]);
+      ]
+  in
+  let new_doc =
+    RJ.Obj
+      [ ("tests", RJ.List [ bench_entry "a" 105.0; bench_entry "b" 260.0; bench_entry "fresh" 1.0 ]) ]
+  in
+  match BD.compare_docs ~threshold:10.0 ~old_doc ~new_doc () with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+    Alcotest.(check int) "two compared" 2 (List.length r.BD.r_deltas);
+    Alcotest.(check (list string)) "only b regressed" [ "b" ]
+      (List.map (fun (d : BD.delta) -> d.BD.d_name) (BD.regressions r));
+    Alcotest.(check bool) "has regressions" true (BD.has_regressions r);
+    Alcotest.(check (list string)) "only-old" [ "gone" ] r.BD.r_only_old;
+    Alcotest.(check (list string)) "only-new" [ "fresh" ] r.BD.r_only_new;
+    (* meta is surfaced but never gates *)
+    Alcotest.(check (list (pair string string))) "old meta carried"
+      [ ("commit", "abc123"); ("jobs", "4") ]
+      r.BD.r_old_meta;
+    Alcotest.(check (list (pair string string))) "missing meta tolerated" [] r.BD.r_new_meta;
+    let d_b = List.find (fun (d : BD.delta) -> d.BD.d_name = "b") r.BD.r_deltas in
+    Alcotest.(check (float 1e-9)) "pct math" 30.0 d_b.BD.d_pct;
+    (* a looser threshold accepts the same snapshots *)
+    (match BD.compare_docs ~threshold:35.0 ~old_doc ~new_doc () with
+    | Ok loose -> Alcotest.(check bool) "loose threshold passes" false (BD.has_regressions loose)
+    | Error m -> Alcotest.fail m);
+    (* the report renders and the human text flags the regression *)
+    Alcotest.(check bool) "render flags b" true
+      (Astring.String.is_infix ~affix:"REGRESSED" (BD.render r))
+
+let bench_diff_rejects_malformed () =
+  let good = RJ.Obj [ ("tests", RJ.List [ bench_entry "a" 1.0 ]) ] in
+  (match BD.compare_docs ~old_doc:(RJ.Obj []) ~new_doc:good () with
+  | Error m -> Alcotest.(check bool) "names the old side" true (Astring.String.is_infix ~affix:"old" m)
+  | Ok _ -> Alcotest.fail "missing tests array must be rejected");
+  match BD.compare_strings ~old_text:"{ not json" ~new_text:"{\"tests\": []}" () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unparseable snapshot must be rejected"
+
 let tests =
   [
     ( "obs",
@@ -528,5 +822,16 @@ let tests =
         Alcotest.test_case "observed run identical under pool" `Quick observed_run_identical_under_pool;
         Alcotest.test_case "stats alist shape" `Quick stats_alist_shape;
         Alcotest.test_case "stats pp no nan" `Quick stats_pp_no_nan;
+        Alcotest.test_case "span nesting and attrs" `Quick span_nesting_and_attrs;
+        Alcotest.test_case "span disabled inert" `Quick span_disabled_inert;
+        Alcotest.test_case "span exception safe" `Quick span_exception_safe;
+        Alcotest.test_case "span deterministic across jobs" `Slow span_deterministic_across_jobs;
+        Alcotest.test_case "span merge rebases ids" `Quick span_merge_rebases_ids;
+        Alcotest.test_case "span pipeline phases" `Quick span_pipeline_phases;
+        Alcotest.test_case "span chrome containment" `Quick span_chrome_containment;
+        Alcotest.test_case "prometheus exposition valid" `Quick prometheus_exposition_valid;
+        Alcotest.test_case "prometheus deterministic" `Quick prometheus_deterministic;
+        Alcotest.test_case "bench diff report" `Quick bench_diff_report;
+        Alcotest.test_case "bench diff rejects malformed" `Quick bench_diff_rejects_malformed;
       ] );
   ]

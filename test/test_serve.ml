@@ -202,6 +202,7 @@ let representative_requests () =
       };
     Protocol.Cache_stats;
     Protocol.Metrics_dump;
+    Protocol.Metrics_text;
     Protocol.Shutdown;
   ]
 
@@ -353,6 +354,178 @@ let errors_reported_in_band () =
       let is_sub = Astring.String.is_infix ~affix:"error" r.Server.body in
       Alcotest.(check bool) "body carries an error document" true is_sub)
 
+(* -------------------------------------------------------------------- *)
+(* Telemetry: request tracing, per-op latency, exposition, access log.   *)
+
+module RJ = Ndp_obs.Render.Json
+module Metrics = Ndp_obs.Metrics
+module Span = Ndp_obs.Span
+
+(* A deterministic server clock: 0.5 ms per reading. *)
+let test_clock () =
+  let t = ref 0.0 in
+  fun () ->
+    t := !t +. 0.0005;
+    !t
+
+let replies_are_traced () =
+  let server = Server.create ~clock:(test_clock ()) () in
+  Fun.protect
+    ~finally:(fun () -> Server.shutdown server)
+    (fun () ->
+      let r1 = Server.handle server Protocol.Ping in
+      let r2 = Server.handle server (Protocol.Run { spec = Protocol.default_spec ~app:"fft"; metrics = false }) in
+      let r3 = Server.handle server Protocol.Ping in
+      Alcotest.(check (list int)) "seq is a monotone request counter" [ 1; 2; 3 ]
+        [ r1.Server.seq; r2.Server.seq; r3.Server.seq ];
+      Alcotest.(check bool) "latency stamped" true (r2.Server.ms > 0.0);
+      Alcotest.(check bool) "root span recorded" true (Span.count r1.Server.spans >= 1);
+      Alcotest.(check bool) "uncached run records phase spans" true (Span.count r2.Server.spans > 1);
+      let phases = List.map fst (Span.summary r2.Server.spans) in
+      List.iter
+        (fun p ->
+          if not (List.mem p phases) then Alcotest.failf "run reply is missing a %S span" p)
+        [ "request"; "parse"; "window"; "deps"; "schedule"; "simulate" ];
+      (* per-phase span time reconciles with the request latency: the
+         phases live under the root, so their sum is bounded by it *)
+      let phase_ms =
+        List.fold_left
+          (fun acc (name, (_, ms, _)) -> if name = "request" then acc else acc +. ms)
+          0.0 (Span.summary r2.Server.spans)
+      in
+      Alcotest.(check bool) "phase spans sum within request latency" true
+        (phase_ms > 0.0 && phase_ms <= r2.Server.ms);
+      (* a cached repeat skips the pipeline: root span only *)
+      let r4 = Server.handle server (Protocol.Run { spec = Protocol.default_spec ~app:"fft"; metrics = false }) in
+      Alcotest.(check bool) "cached repeat" true r4.Server.cached;
+      Alcotest.(check int) "cached reply has only the root span" 1 (Span.count r4.Server.spans);
+      (* per-op histograms appear in the registry *)
+      let reg = Server.registry server in
+      (match Metrics.find reg "serve.request_ms{op=ping}" with
+      | Some (Metrics.Histogram_v h) -> Alcotest.(check int) "two pings observed" 2 h.count
+      | _ -> Alcotest.fail "no per-op histogram for ping");
+      match Metrics.find reg "serve.request_ms" with
+      | Some (Metrics.Histogram_v h) -> Alcotest.(check int) "aggregate counts all" 4 h.count
+      | _ -> Alcotest.fail "no aggregate latency histogram")
+
+let metrics_text_exposition () =
+  let server = Server.create ~clock:(test_clock ()) () in
+  Fun.protect
+    ~finally:(fun () -> Server.shutdown server)
+    (fun () ->
+      ignore (Server.handle server Protocol.Ping);
+      let r = Server.handle server Protocol.Metrics_text in
+      Alcotest.(check bool) "ok" true r.Server.ok;
+      Alcotest.(check bool) "uncached" false r.Server.cached;
+      let has affix = Astring.String.is_infix ~affix r.Server.body in
+      Alcotest.(check bool) "body is not JSON" false (Astring.String.is_prefix ~affix:"{" r.Server.body);
+      Alcotest.(check bool) "counter family present" true (has "# TYPE serve_requests counter");
+      Alcotest.(check bool) "histogram family present" true (has "# TYPE serve_request_ms histogram");
+      Alcotest.(check bool) "per-op label series" true (has "serve_request_ms_bucket{op=\"ping\",le=");
+      Alcotest.(check bool) "+Inf closes buckets" true (has "le=\"+Inf\"}");
+      Alcotest.(check bool) "count series" true (has "serve_request_ms_count "))
+
+let cache_stats_latency_section () =
+  let server = Server.create ~clock:(test_clock ()) () in
+  Fun.protect
+    ~finally:(fun () -> Server.shutdown server)
+    (fun () ->
+      ignore (Server.handle server Protocol.Ping);
+      ignore (Server.handle server (Protocol.Run { spec = Protocol.default_spec ~app:"fft"; metrics = false }));
+      let r = Server.handle server Protocol.Cache_stats in
+      match RJ.parse r.Server.body with
+      | Error m -> Alcotest.fail m
+      | Ok doc -> (
+        match RJ.member "latency" doc with
+        | Some lat ->
+          List.iter
+            (fun key ->
+              match RJ.member key lat with
+              | Some entry ->
+                (match (RJ.member "count" entry, RJ.member "p95_ms" entry) with
+                | Some (RJ.Int n), Some _ -> Alcotest.(check bool) (key ^ " count positive") true (n > 0)
+                | _ -> Alcotest.failf "latency.%s missing count/p95_ms" key)
+              | None -> Alcotest.failf "latency section missing %S" key)
+            [ "all"; "ping"; "run" ]
+        | None -> Alcotest.fail "cache-stats has no latency section"))
+
+let access_log_jsonl () =
+  let req_path = Filename.temp_file "ndp_serve_req" ".bin" in
+  let rsp_path = Filename.temp_file "ndp_serve_rsp" ".bin" in
+  let log_path = Filename.temp_file "ndp_serve_log" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ req_path; rsp_path; log_path ])
+    (fun () ->
+      let oc = open_out_bin req_path in
+      let session =
+        [
+          Protocol.Ping;
+          Protocol.Run { spec = Protocol.default_spec ~app:"fft"; metrics = false };
+          Protocol.Run { spec = Protocol.default_spec ~app:"fft"; metrics = false };
+          Protocol.Shutdown;
+        ]
+      in
+      List.iteri (fun i req -> Protocol.write_request oc ~id:(i + 1) req) session;
+      close_out oc;
+      let log_oc = open_out log_path in
+      let server = Server.create ~clock:(test_clock ()) ~access_log:log_oc ~slow_ms:1e9 () in
+      let ic = open_in_bin req_path in
+      let rsp_oc = open_out_bin rsp_path in
+      Server.serve_channels server ic rsp_oc;
+      close_in ic;
+      close_out rsp_oc;
+      Server.shutdown server;
+      close_out log_oc;
+      let lines = In_channel.with_open_bin log_path In_channel.input_all in
+      let lines = String.split_on_char '\n' lines |> List.filter (fun l -> l <> "") in
+      Alcotest.(check int) "one JSONL line per request" (List.length session) (List.length lines);
+      List.iteri
+        (fun i line ->
+          match RJ.parse line with
+          | Error m -> Alcotest.failf "access-log line %d unparseable: %s" i m
+          | Ok doc ->
+            Alcotest.(check bool) (Printf.sprintf "line %d seq" i) true
+              (RJ.member "seq" doc = Some (RJ.Int (i + 1)));
+            Alcotest.(check bool) (Printf.sprintf "line %d id" i) true
+              (RJ.member "id" doc = Some (RJ.Int (i + 1)));
+            List.iter
+              (fun field ->
+                if RJ.member field doc = None then
+                  Alcotest.failf "access-log line %d missing %S" i field)
+              [ "op"; "key"; "ok"; "cached"; "ms"; "bytes_out"; "spans"; "phases" ])
+        lines;
+      (* the uncached run (line 2) carries phase totals; the cached repeat
+         (line 3) does not *)
+      let phases_of line =
+        match RJ.parse line with
+        | Ok doc -> (match RJ.member "phases" doc with Some (RJ.Obj kvs) -> List.map fst kvs | _ -> [])
+        | Error _ -> []
+      in
+      Alcotest.(check bool) "cold run logs phase breakdown" true
+        (List.mem "simulate" (phases_of (List.nth lines 1)));
+      Alcotest.(check (list string)) "cached repeat logs no phases" [] (phases_of (List.nth lines 2));
+      (* ops recorded via Protocol.op_name *)
+      let op_of line =
+        match RJ.parse line with
+        | Ok doc -> (match RJ.member "op" doc with Some (RJ.Str s) -> s | _ -> "?")
+        | Error _ -> "?"
+      in
+      Alcotest.(check (list string)) "ops in request order" [ "ping"; "run"; "run"; "shutdown" ]
+        (List.map op_of lines))
+
+let op_names_cover_requests () =
+  List.iter
+    (fun req ->
+      let name = Protocol.op_name req in
+      if name = "" then Alcotest.fail "empty op name";
+      (* ops that round-trip through the wire decode back to the same op
+         name (the access-log vocabulary is the wire vocabulary) *)
+      match Protocol.request_of_json (Protocol.request_to_json ~id:1 req) with
+      | Ok (_, req') -> Alcotest.(check string) "op name stable" name (Protocol.op_name req')
+      | Error m -> Alcotest.fail m)
+    (representative_requests ())
+
 let tests =
   [
     ( "serve",
@@ -372,5 +545,10 @@ let tests =
           cached_replies_byte_identical;
         Alcotest.test_case "sweep reuses the captured schedule" `Quick sweep_reuses_schedule;
         Alcotest.test_case "errors reported in band" `Quick errors_reported_in_band;
+        Alcotest.test_case "replies are traced" `Quick replies_are_traced;
+        Alcotest.test_case "metrics-text exposition" `Quick metrics_text_exposition;
+        Alcotest.test_case "cache-stats latency section" `Quick cache_stats_latency_section;
+        Alcotest.test_case "access log JSONL" `Quick access_log_jsonl;
+        Alcotest.test_case "op names cover requests" `Quick op_names_cover_requests;
       ] );
   ]
